@@ -1,0 +1,29 @@
+//! Fig 5 bench: the measured per-domain kernel (the weak-scaling unit of
+//! work) and the machine-model sweep built on it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mqmd_bench::measure_domain_solve_seconds;
+use mqmd_parallel::WeakScalingModel;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_weak_scaling");
+    g.sample_size(10);
+
+    // The real unit of work: one domain Kohn-Sham solve on the 64-atom SiC
+    // block every Blue Gene/Q core owns.
+    g.bench_function("domain_solve_sic64", |b| {
+        b.iter(|| black_box(measure_domain_solve_seconds(1.5, 1.4, 2)))
+    });
+
+    // The model sweep across P = 16 .. 786,432.
+    let model = WeakScalingModel::fig5(100.0);
+    g.bench_function("model_sweep", |b| b.iter(|| black_box(model.sweep())));
+    g.finish();
+
+    let eff = WeakScalingModel::fig5(100.0).efficiency(786_432, 16);
+    eprintln!("[fig5] predicted weak-scaling efficiency at 786,432 cores: {eff:.4} (paper 0.984)");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Fig 6 bench: strong-scaling predictor for the 77,889-atom LiAl-water
+//! workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mqmd_parallel::StrongScalingModel;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let model = StrongScalingModel::fig6(30.0, 49_152);
+    c.bench_function("fig6_strong_scaling/model_sweep", |b| {
+        b.iter(|| black_box(model.sweep()))
+    });
+    eprintln!(
+        "[fig6] speedup at 16x cores: {:.2} (paper 12.85), efficiency {:.3} (paper 0.803)",
+        model.speedup(786_432, 49_152),
+        model.efficiency(786_432, 49_152)
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Fig 7 bench: one real DC and one real LDC solve of the divided system at
+//! fixed buffer (the full sweep lives in `repro_buffer`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mqmd_bench::tiny_ldc_config;
+use mqmd_core::global::{BoundaryMode, LdcConfig, LdcSolver};
+use mqmd_md::builders::sic_supercell;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let sys = sic_supercell((1, 1, 1));
+    let mut g = c.benchmark_group("fig7_buffer_convergence");
+    g.sample_size(10);
+    g.bench_function("dc_solve_b1", |b| {
+        b.iter(|| {
+            let mut s =
+                LdcSolver::new(LdcConfig { mode: BoundaryMode::Periodic, ..tiny_ldc_config() });
+            black_box(s.solve(&sys).map(|st| st.energy).unwrap_or(f64::NAN))
+        })
+    });
+    g.bench_function("ldc_solve_b1", |b| {
+        b.iter(|| {
+            let mut s = LdcSolver::new(LdcConfig {
+                mode: BoundaryMode::ldc_default(),
+                ..tiny_ldc_config()
+            });
+            black_box(s.solve(&sys).map(|st| st.energy).unwrap_or(f64::NAN))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

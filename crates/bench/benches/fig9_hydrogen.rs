@@ -1,0 +1,28 @@
+//! Fig 9 bench: the hydrogen-on-demand kMC at the paper's three
+//! temperatures (9a) and three particle sizes (9b).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mqmd_chem::analysis::{run_fig9a, run_fig9b};
+use mqmd_chem::kinetics::HodParams;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_hydrogen");
+    g.sample_size(10);
+    g.bench_function("fig9a_three_temperatures", |b| {
+        b.iter(|| {
+            let (points, fit) =
+                run_fig9a(HodParams::default(), &[300.0, 600.0, 1500.0], 30, 10_000, 1);
+            black_box((points.len(), fit.activation_ev))
+        })
+    });
+    g.bench_function("fig9b_three_sizes", |b| {
+        b.iter(|| {
+            black_box(run_fig9b(HodParams::default(), &[30, 135, 441], 1500.0, 5_000, 2).len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

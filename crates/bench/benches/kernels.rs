@@ -1,0 +1,78 @@
+//! Micro-benchmarks of the numerical substrates: FFT, GEMM, multigrid
+//! V-cycle, Cholesky band orthonormalisation, Ewald, Hilbert encoding.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mqmd_dft::ewald::ewald;
+use mqmd_fft::Fft3d;
+use mqmd_grid::hilbert::hilbert_encode;
+use mqmd_grid::UniformGrid3;
+use mqmd_linalg::orthonorm::cholesky_orthonormalize;
+use mqmd_linalg::CMatrix;
+use mqmd_multigrid::PoissonMultigrid;
+use mqmd_util::{Complex64, Vec3, Xoshiro256pp};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // 3-D FFT, the per-domain hot kernel.
+    let fft = Fft3d::cubic(32);
+    let mut rng = Xoshiro256pp::seed_from_u64(1);
+    let field: Vec<Complex64> =
+        (0..fft.len()).map(|_| Complex64::new(rng.normal(), rng.normal())).collect();
+    let mut g = c.benchmark_group("kernels");
+    g.throughput(Throughput::Elements(fft.len() as u64));
+    g.bench_function("fft3d_32cubed", |b| {
+        b.iter(|| {
+            let mut data = field.clone();
+            fft.forward(&mut data);
+            black_box(data[0])
+        })
+    });
+
+    // Band orthonormalisation (overlap + Cholesky + triangular solve).
+    // Random bands: structured modular fills are rank-deficient (singular
+    // overlap), which Cholesky rightly rejects.
+    let mut rng_psi = Xoshiro256pp::seed_from_u64(4);
+    let psi0 = CMatrix::from_fn(2048, 64, |_, _| {
+        Complex64::new(rng_psi.normal(), rng_psi.normal())
+    });
+    g.bench_function("cholesky_orthonormalise_2048x64", |b| {
+        b.iter(|| {
+            let mut psi = psi0.clone();
+            black_box(cholesky_orthonormalize(&mut psi).unwrap())
+        })
+    });
+
+    // Multigrid V-cycle Poisson solve.
+    let grid = UniformGrid3::cubic(32, 10.0);
+    let rho = grid.sample(|r| (std::f64::consts::TAU * r.x / 10.0).sin());
+    let mg = PoissonMultigrid::with_defaults(grid);
+    g.bench_function("multigrid_poisson_32cubed", |b| {
+        b.iter(|| black_box(mg.hartree(&rho).unwrap()[0]))
+    });
+
+    // Ewald on a 64-atom cell.
+    let mut rng2 = Xoshiro256pp::seed_from_u64(2);
+    let pos: Vec<Vec3> = (0..64)
+        .map(|_| Vec3::new(rng2.uniform_in(0.0, 12.0), rng2.uniform_in(0.0, 12.0), rng2.uniform_in(0.0, 12.0)))
+        .collect();
+    let q: Vec<f64> = (0..64).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+    g.bench_function("ewald_64_atoms", |b| {
+        b.iter(|| black_box(ewald(Vec3::splat(12.0), &pos, &q, None).energy))
+    });
+
+    // Hilbert curve encoding throughput (I/O compression hot loop).
+    g.throughput(Throughput::Elements(4096));
+    g.bench_function("hilbert_encode_4096", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..4096u32 {
+                acc ^= hilbert_encode(i % 16, (i / 16) % 16, i / 256, 4);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! §2 bench: a full LDC-DFT solve of the 64-atom SiC workload — the
+//! denominator of the atom-iteration/s metric on this host.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mqmd_bench::tiny_ldc_config;
+use mqmd_core::global::LdcSolver;
+use mqmd_md::builders::sic_supercell;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // A miniature SiC cell keeps the 10-sample Criterion loop tractable;
+    // the full 64-atom measurement lives in `repro_tts`.
+    let sys = sic_supercell((1, 1, 1));
+    let mut g = c.benchmark_group("s2_time_to_solution");
+    g.sample_size(10);
+    g.bench_function("ldc_full_solve_sic8", |b| {
+        b.iter(|| {
+            let mut solver = LdcSolver::new(tiny_ldc_config());
+            black_box(solver.solve(&sys).map(|s| s.energy).unwrap_or(f64::NAN))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

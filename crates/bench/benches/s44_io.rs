@@ -1,0 +1,27 @@
+//! §4.4 bench: SFC trajectory compression and the collective-I/O model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mqmd_md::builders::sic_supercell;
+use mqmd_md::io::CompressedFrame;
+use mqmd_parallel::io::CollectiveIoModel;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let sys = sic_supercell((4, 4, 4));
+    let mut g = c.benchmark_group("s44_io");
+    g.bench_function("sfc_compress_512", |b| {
+        b.iter(|| black_box(CompressedFrame::compress(&sys, 12).compressed_bytes()))
+    });
+    let frame = CompressedFrame::compress(&sys, 12);
+    g.bench_function("sfc_decompress_512", |b| {
+        b.iter(|| black_box(frame.decompress().unwrap().len()))
+    });
+    let model = CollectiveIoModel::mira();
+    g.bench_function("collective_io_group_sweep", |b| {
+        b.iter(|| black_box(model.optimal_group(786_432, 1.0e6)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Table 1 bench: the thread-throughput model grid, plus an honest measured
+//! GEMM GFLOP/s number for this host (the analogue of the paper's
+//! hardware-counter measurement).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mqmd_linalg::gemm::dgemm;
+use mqmd_linalg::Matrix;
+use mqmd_parallel::machine::MachineSpec;
+use mqmd_parallel::threads::ThreadModel;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let m = MachineSpec::bluegene_q(1);
+    let model = ThreadModel::default();
+    c.bench_function("table1/model_grid", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for nodes in [4usize, 8, 16] {
+                for t in [1usize, 2, 4] {
+                    acc += model.sustained_gflops(&m, nodes, 4, t);
+                }
+            }
+            black_box(acc)
+        })
+    });
+
+    // Measured dense kernel throughput on this host.
+    let n = 256;
+    let a = Matrix::from_fn(n, n, |i, j| ((i * 3 + j) % 7) as f64 * 0.1);
+    let bm = Matrix::from_fn(n, n, |i, j| ((i + 5 * j) % 11) as f64 * 0.05);
+    let mut out = Matrix::zeros(n, n);
+    let mut g = c.benchmark_group("table1/measured");
+    g.throughput(criterion::Throughput::Elements((2 * n * n * n) as u64));
+    g.bench_function("dgemm_256", |b| {
+        b.iter(|| {
+            dgemm(1.0, &a, &bm, 0.0, &mut out);
+            black_box(out.data()[0])
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

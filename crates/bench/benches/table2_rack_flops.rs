@@ -1,0 +1,25 @@
+//! Table 2 bench: sustained TFLOP/s vs rack count.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mqmd_parallel::scaling::RackFlopsModel;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let model = RackFlopsModel::default();
+    c.bench_function("table2_rack_flops/model", |b| {
+        b.iter(|| {
+            black_box(
+                model.sustained_tflops(1) + model.sustained_tflops(2) + model.sustained_tflops(48),
+            )
+        })
+    });
+    eprintln!(
+        "[table2] 1/2/48 racks: {:.1}/{:.1}/{:.0} TFLOP/s (paper 113.2/226.3/5081)",
+        model.sustained_tflops(1),
+        model.sustained_tflops(2),
+        model.sustained_tflops(48)
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Property-based tests of the reactive kinetics: conservation laws,
+//! propensity positivity, Arrhenius monotonicity, and particle-builder
+//! invariants, over random parameters.
+
+use mqmd_chem::kinetics::{arrhenius_rate, HodParams, HodSimulation, HodState};
+use mqmd_chem::nanoparticle::lial_nanoparticle;
+use mqmd_chem::surface::analyze_surface;
+use mqmd_util::constants::Element;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn hydrogen_inventory_conserved_for_any_run(
+        pairs in 1usize..40,
+        al in 0usize..20,
+        water in 10usize..5000,
+        t in 200.0..2000.0f64,
+        seed in any::<u64>(),
+    ) {
+        let state = HodState::new(pairs, al, pairs, water);
+        let before = state.hydrogen_inventory();
+        let mut sim = HodSimulation::new(HodParams::default(), t, state, seed);
+        sim.run(f64::INFINITY, 3000);
+        prop_assert_eq!(sim.state.hydrogen_inventory(), before);
+    }
+
+    #[test]
+    fn propensities_are_finite_and_nonnegative(
+        pairs in 0usize..50,
+        al in 0usize..50,
+        water in 0usize..1000,
+        t in 100.0..3000.0f64,
+        seed in any::<u64>(),
+    ) {
+        let mut sim = HodSimulation::new(HodParams::default(), t, HodState::new(pairs, al, pairs, water), seed);
+        // Run a bit to visit nontrivial states.
+        sim.run(f64::INFINITY, 500);
+        for r in sim.propensities() {
+            prop_assert!(r.is_finite() && r >= 0.0);
+        }
+    }
+
+    #[test]
+    fn arrhenius_monotone_in_temperature(a_log in 6.0..14.0f64, ea in 0.01..1.5f64,
+                                         t1 in 200.0..1000.0f64, dt in 1.0..1000.0f64) {
+        let ch = (10f64.powf(a_log), ea);
+        prop_assert!(arrhenius_rate(ch, t1 + dt) > arrhenius_rate(ch, t1));
+    }
+
+    #[test]
+    fn simulated_time_is_monotone(seed in any::<u64>(), t in 300.0..2000.0f64) {
+        let mut sim = HodSimulation::new(HodParams::default(), t, HodState::new(10, 5, 10, 500), seed);
+        let mut last = 0.0;
+        for _ in 0..200 {
+            if !sim.step() { break; }
+            prop_assert!(sim.state.time > last);
+            last = sim.state.time;
+        }
+    }
+
+    #[test]
+    fn counts_never_go_negative_or_exceed_totals(seed in any::<u64>()) {
+        let pairs = 15;
+        let al = 10;
+        let water = 300;
+        let mut sim = HodSimulation::new(HodParams::default(), 1000.0, HodState::new(pairs, al, pairs, water), seed);
+        for _ in 0..2000 {
+            if !sim.step() { break; }
+            let s = &sim.state;
+            prop_assert!(s.water_remaining <= water);
+            prop_assert!(s.h2_produced * 2 <= water * 2);
+            prop_assert!(s.al_sites + s.passivated == al);
+            prop_assert!(s.li_remaining <= pairs);
+            prop_assert!(s.bridging_oh <= s.oh_capacity);
+        }
+    }
+
+    #[test]
+    fn nanoparticles_are_always_stoichiometric(n in 1usize..60) {
+        let cell = (2.0 * mqmd_chem::nanoparticle::particle_radius(n) + 15.0).max(40.0);
+        let p = lial_nanoparticle(n, cell);
+        prop_assert_eq!(p.count(Element::Li), n);
+        prop_assert_eq!(p.count(Element::Al), n);
+        let surf = analyze_surface(&p);
+        prop_assert!(surf.n_surface <= surf.n_metal);
+        prop_assert!(surf.n_surface >= 1);
+    }
+}

@@ -1,0 +1,159 @@
+//! Hierarchical band-space-domain (BSD) decomposition plan (paper §3.3).
+//!
+//! The coarse level assigns a dedicated communicator of
+//! `cores_per_domain = P / n_domains` cores to each DC domain
+//! (`MPI_COMM_SPLIT` in the original). Within a domain the plane-wave solve
+//! alternates between **band decomposition** (each core owns whole bands)
+//! and **space decomposition** (each core owns a slab of grid points);
+//! switching between the two costs an all-to-all *inside the communicator
+//! only*, and orthonormalisation adds a Cholesky axis. This module captures
+//! that structure as pure bookkeeping — message counts and volumes — which
+//! the Blue Gene/Q machine model in `mqmd-parallel` prices into the Fig 5/6
+//! scaling predictions.
+
+use mqmd_util::{MqmdError, Result};
+
+/// A concrete BSD decomposition for one workload.
+#[derive(Clone, Copy, Debug)]
+pub struct BsdPlan {
+    /// Total cores P.
+    pub total_cores: usize,
+    /// Number of DC domains (coarse task decomposition).
+    pub n_domains: usize,
+    /// Cores per domain communicator.
+    pub cores_per_domain: usize,
+    /// Kohn–Sham bands per domain.
+    pub n_bands: usize,
+    /// Grid/reciprocal points per domain (the `Np ~ 10⁴` of §3.4).
+    pub n_grid: usize,
+}
+
+impl BsdPlan {
+    /// Builds a plan; `total_cores` must be divisible by `n_domains` (the
+    /// paper always runs whole communicators per domain).
+    pub fn new(total_cores: usize, n_domains: usize, n_bands: usize, n_grid: usize) -> Result<Self> {
+        if total_cores == 0 || n_domains == 0 {
+            return Err(MqmdError::Invalid("cores and domains must be positive".into()));
+        }
+        if total_cores % n_domains != 0 {
+            return Err(MqmdError::Invalid(format!(
+                "{total_cores} cores not divisible into {n_domains} domain communicators"
+            )));
+        }
+        Ok(Self {
+            total_cores,
+            n_domains,
+            cores_per_domain: total_cores / n_domains,
+            n_bands,
+            n_grid,
+        })
+    }
+
+    /// Bands owned per core under band decomposition (ceiling).
+    pub fn bands_per_core(&self) -> usize {
+        self.n_bands.div_ceil(self.cores_per_domain)
+    }
+
+    /// Grid points owned per core under space decomposition (ceiling).
+    pub fn grid_per_core(&self) -> usize {
+        self.n_grid.div_ceil(self.cores_per_domain)
+    }
+
+    /// Point-to-point messages of one intra-domain all-to-all (the
+    /// band↔space switch): `c·(c−1)` per domain.
+    pub fn alltoall_messages_per_domain(&self) -> usize {
+        let c = self.cores_per_domain;
+        c * (c - 1)
+    }
+
+    /// Doubles each core ships in one band↔space all-to-all: it holds
+    /// `n_bands·n_grid/c` wave-function values and re-shuffles the fraction
+    /// `(c−1)/c` of them.
+    pub fn alltoall_volume_per_core(&self) -> f64 {
+        let c = self.cores_per_domain as f64;
+        if c <= 1.0 {
+            return 0.0;
+        }
+        (self.n_bands as f64 * self.n_grid as f64 / c) * (c - 1.0) / c
+    }
+
+    /// Latency chain length of an intra-domain allreduce (scalar products of
+    /// §3.3): a binomial tree of depth ⌈log₂ c⌉.
+    pub fn allreduce_depth(&self) -> usize {
+        (self.cores_per_domain as f64).log2().ceil() as usize
+    }
+
+    /// Depth of the global (inter-domain) reduction tree that assembles the
+    /// density: ⌈log₂ n_domains⌉ — the "progressively reduced communication
+    /// volume at upper tree levels" of the metascalability argument (§7).
+    pub fn global_tree_depth(&self) -> usize {
+        (self.n_domains as f64).log2().ceil() as usize
+    }
+
+    /// Fraction of the total wave-function data that the global density
+    /// represents — the paper quotes 0.078 % for the 50.3 M-atom run; small
+    /// values are what make the algorithm communication-avoiding.
+    pub fn global_density_fraction(&self, global_grid_points: usize) -> f64 {
+        let wf_data = self.n_domains as f64 * self.n_bands as f64 * self.n_grid as f64;
+        global_grid_points as f64 / (wf_data + global_grid_points as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_divides_cores() {
+        let p = BsdPlan::new(786_432, 12_288, 128, 32 * 32 * 32).unwrap();
+        assert_eq!(p.cores_per_domain, 64);
+        assert_eq!(p.bands_per_core(), 2);
+        assert_eq!(p.grid_per_core(), 512);
+    }
+
+    #[test]
+    fn indivisible_cores_rejected() {
+        assert!(BsdPlan::new(100, 7, 10, 100).is_err());
+        assert!(BsdPlan::new(0, 1, 10, 100).is_err());
+    }
+
+    #[test]
+    fn alltoall_scales_quadratically_in_communicator() {
+        let small = BsdPlan::new(64, 16, 64, 4096).unwrap(); // c = 4
+        let large = BsdPlan::new(256, 16, 64, 4096).unwrap(); // c = 16
+        assert_eq!(small.alltoall_messages_per_domain(), 12);
+        assert_eq!(large.alltoall_messages_per_domain(), 240);
+    }
+
+    #[test]
+    fn alltoall_volume_shrinks_per_core_with_more_cores() {
+        let small = BsdPlan::new(64, 16, 64, 4096).unwrap();
+        let large = BsdPlan::new(1024, 16, 64, 4096).unwrap();
+        assert!(large.alltoall_volume_per_core() < small.alltoall_volume_per_core());
+    }
+
+    #[test]
+    fn single_core_domains_need_no_communication() {
+        let p = BsdPlan::new(16, 16, 32, 1000).unwrap();
+        assert_eq!(p.cores_per_domain, 1);
+        assert_eq!(p.alltoall_messages_per_domain(), 0);
+        assert_eq!(p.alltoall_volume_per_core(), 0.0);
+        assert_eq!(p.allreduce_depth(), 0);
+    }
+
+    #[test]
+    fn paper_global_density_fraction_is_tiny() {
+        // 50.3M-atom run: 786,432 domains-worth of wave data vs one global
+        // density — the fraction must be well below 1%.
+        let p = BsdPlan::new(786_432, 786_432, 128, 16_384).unwrap();
+        let frac = p.global_density_fraction(50_331_648 * 8);
+        assert!(frac < 0.01, "fraction {frac}");
+    }
+
+    #[test]
+    fn tree_depths() {
+        let p = BsdPlan::new(4096, 64, 100, 1000).unwrap();
+        assert_eq!(p.global_tree_depth(), 6);
+        assert_eq!(p.allreduce_depth(), 6); // c = 64
+    }
+}

@@ -1,0 +1,269 @@
+//! Divide-conquer-**recombine** (DCR, paper §7).
+//!
+//! The conclusion of the paper generalises LDC-DFT into the DCR paradigm:
+//! the DC phase computes *globally informed local solutions*, and a
+//! recombine phase synthesises global properties from them — global
+//! frontier (HOMO/LUMO) orbitals, densities of states, charge-migration
+//! networks — "at length and time scales that are otherwise impossible to
+//! reach". This module implements the recombine computations that need only
+//! the per-domain spectra and geometry:
+//!
+//! * [`density_of_states`] — the global electronic DOS as the
+//!   core-weight-weighted sum of Gaussian-broadened domain levels;
+//! * [`frontier_orbitals`] — the global HOMO/LUMO and gap, located by
+//!   domain (which nanoreactor hosts the reactive orbital — exactly the
+//!   Lewis-pair analysis of §6);
+//! * [`DomainNetwork`] — the range-limited inter-domain adjacency used for
+//!   "higher inter-domain correlations … not captured by the tree topology"
+//!   (n-tuple recombine computations, the paper's ref [79]).
+
+use crate::global::LdcState;
+use mqmd_grid::DomainDecomposition;
+
+/// A sampled density of states.
+#[derive(Clone, Debug)]
+pub struct DensityOfStates {
+    /// Energy grid (Hartree).
+    pub energies: Vec<f64>,
+    /// DOS values (states per Hartree, spin-summed).
+    pub dos: Vec<f64>,
+    /// Gaussian broadening used (Hartree).
+    pub sigma: f64,
+}
+
+/// Computes the global DOS from the core-weighted spectrum of an LDC solve:
+/// `D(ε) = Σ_αn 2·w^α_n·g_σ(ε − ε^α_n)` — the partition of unity makes the
+/// domain contributions sum to the global count without double counting.
+pub fn density_of_states(state: &LdcState, sigma: f64, n_points: usize) -> DensityOfStates {
+    assert!(sigma > 0.0 && n_points >= 2);
+    let (lo, hi) = state
+        .spectrum
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &(e, _)| (lo.min(e), hi.max(e)));
+    let margin = 4.0 * sigma;
+    let (lo, hi) = (lo - margin, hi + margin);
+    let de = (hi - lo) / (n_points - 1) as f64;
+    let norm = 1.0 / (sigma * (std::f64::consts::TAU).sqrt());
+    let energies: Vec<f64> = (0..n_points).map(|i| lo + i as f64 * de).collect();
+    let dos: Vec<f64> = energies
+        .iter()
+        .map(|&e| {
+            state
+                .spectrum
+                .iter()
+                .map(|&(eps, w)| {
+                    let x = (e - eps) / sigma;
+                    2.0 * w * norm * (-0.5 * x * x).exp()
+                })
+                .sum()
+        })
+        .collect();
+    DensityOfStates { energies, dos, sigma }
+}
+
+impl DensityOfStates {
+    /// Integrated state count `∫D(ε)dε` (trapezoid) — should equal twice
+    /// the total core weight.
+    pub fn integrated_states(&self) -> f64 {
+        let mut acc = 0.0;
+        for w in self.energies.windows(2).zip(self.dos.windows(2)) {
+            let (es, ds) = w;
+            acc += 0.5 * (ds[0] + ds[1]) * (es[1] - es[0]);
+        }
+        acc
+    }
+}
+
+/// The global frontier-orbital summary of a divided system.
+#[derive(Clone, Copy, Debug)]
+pub struct FrontierOrbitals {
+    /// Highest level with occupation ≥ 1 (per spin-degenerate pair).
+    pub homo: f64,
+    /// Lowest level with occupation < 1.
+    pub lumo: f64,
+    /// HOMO–LUMO gap (0 for metallic spectra).
+    pub gap: f64,
+    /// Chemical potential.
+    pub mu: f64,
+}
+
+/// Locates the global frontier orbitals from an LDC solve: the recombine
+/// phase of the paper's refs [82, 83] (global frontier molecular orbitals
+/// from DC bases), reduced to the eigenvalue level.
+pub fn frontier_orbitals(state: &LdcState, kt: f64) -> FrontierOrbitals {
+    let mut homo = f64::NEG_INFINITY;
+    let mut lumo = f64::INFINITY;
+    for &(e, w) in &state.spectrum {
+        if w < 1e-6 {
+            continue; // pure buffer states carry no global weight
+        }
+        let f = mqmd_dft::density::fermi(e, state.mu, kt);
+        if f >= 1.0 && e > homo {
+            homo = e;
+        }
+        if f < 1.0 && e < lumo {
+            lumo = e;
+        }
+    }
+    FrontierOrbitals { homo, lumo, gap: (lumo - homo).max(0.0), mu: state.mu }
+}
+
+/// Range-limited inter-domain network for recombine-phase n-tuple
+/// computations: which domain pairs are close enough (core-centre distance
+/// below `range`) to carry higher-order corrections.
+#[derive(Clone, Debug)]
+pub struct DomainNetwork {
+    /// Domain-pair edges `(i, j)` with `i < j`.
+    pub edges: Vec<(usize, usize)>,
+    /// Number of domains.
+    pub n_domains: usize,
+}
+
+impl DomainNetwork {
+    /// Builds the network from the decomposition geometry.
+    pub fn build(dd: &DomainDecomposition, range: f64) -> Self {
+        let n = dd.len();
+        let cell = dd.cell();
+        let centre = |i: usize| {
+            let d = &dd.domains()[i];
+            (d.core_origin + d.core_len * 0.5).wrap(cell)
+        };
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dist = (centre(i) - centre(j)).min_image(cell).norm();
+                if dist <= range {
+                    edges.push((i, j));
+                }
+            }
+        }
+        Self { edges, n_domains: n }
+    }
+
+    /// Degree (number of recombine partners) of each domain.
+    pub fn degrees(&self) -> Vec<usize> {
+        let mut deg = vec![0usize; self.n_domains];
+        for &(i, j) in &self.edges {
+            deg[i] += 1;
+            deg[j] += 1;
+        }
+        deg
+    }
+
+    /// Count of connected `n`-tuples (pairs only and triangles) — the
+    /// recombine phase's work estimate.
+    pub fn triangle_count(&self) -> usize {
+        let mut adj = vec![vec![false; self.n_domains]; self.n_domains];
+        for &(i, j) in &self.edges {
+            adj[i][j] = true;
+            adj[j][i] = true;
+        }
+        let mut count = 0;
+        for i in 0..self.n_domains {
+            for j in (i + 1)..self.n_domains {
+                if !adj[i][j] {
+                    continue;
+                }
+                for k in (j + 1)..self.n_domains {
+                    if adj[i][k] && adj[j][k] {
+                        count += 1;
+                    }
+                }
+            }
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::global::{BoundaryMode, HartreeSolver, LdcConfig, LdcSolver};
+    use mqmd_md::AtomicSystem;
+    use mqmd_util::constants::Element;
+    use mqmd_util::Vec3;
+
+    fn solved_h2() -> (LdcState, f64) {
+        let sys = AtomicSystem::new(
+            Vec3::splat(8.0),
+            vec![Element::H, Element::H],
+            vec![Vec3::new(3.3, 4.0, 4.0), Vec3::new(4.7, 4.0, 4.0)],
+        );
+        let cfg = LdcConfig {
+            nd: (2, 1, 1),
+            buffer: 2.0,
+            mode: BoundaryMode::ldc_default(),
+            hartree: HartreeSolver::Fft,
+            tol_density: 1e-4,
+            ..Default::default()
+        };
+        let kt = cfg.kt;
+        (LdcSolver::new(cfg).solve(&sys).unwrap(), kt)
+    }
+
+    #[test]
+    fn dos_integrates_to_weighted_state_count() {
+        let (state, _) = solved_h2();
+        let dos = density_of_states(&state, 0.02, 400);
+        let expect: f64 = state.spectrum.iter().map(|&(_, w)| 2.0 * w).sum();
+        let got = dos.integrated_states();
+        assert!((got - expect).abs() < 0.02 * expect, "{got} vs {expect}");
+    }
+
+    #[test]
+    fn dos_peaks_near_levels() {
+        let (state, _) = solved_h2();
+        let dos = density_of_states(&state, 0.01, 800);
+        // The strongest-weight level must sit under a local DOS maximum.
+        let &(e0, _) = state
+            .spectrum
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        let at_level = dos
+            .energies
+            .iter()
+            .zip(&dos.dos)
+            .min_by(|a, b| (a.0 - e0).abs().partial_cmp(&(b.0 - e0).abs()).unwrap())
+            .map(|(_, &d)| d)
+            .unwrap();
+        let mean = dos.dos.iter().sum::<f64>() / dos.dos.len() as f64;
+        assert!(at_level > mean, "DOS at a level ({at_level}) exceeds the mean ({mean})");
+    }
+
+    #[test]
+    fn frontier_orbitals_bracket_mu() {
+        let (state, kt) = solved_h2();
+        let f = frontier_orbitals(&state, kt);
+        assert!(f.homo <= f.lumo + 1e-9, "HOMO {} vs LUMO {}", f.homo, f.lumo);
+        assert!(f.homo <= f.mu + 10.0 * kt);
+        assert!(f.lumo >= f.mu - 10.0 * kt);
+        assert!(f.gap >= 0.0);
+    }
+
+    #[test]
+    fn domain_network_periodic_neighbours() {
+        let dd = mqmd_grid::DomainDecomposition::new(Vec3::splat(12.0), (3, 3, 3), 1.0);
+        // Range slightly above one core length: the 6 face neighbours.
+        let net = DomainNetwork::build(&dd, 4.5);
+        let deg = net.degrees();
+        for (i, &d) in deg.iter().enumerate() {
+            assert_eq!(d, 6, "domain {i} has degree {d}");
+        }
+        // 27 domains × 6 partners / 2 = 81 edges.
+        assert_eq!(net.edges.len(), 81);
+    }
+
+    #[test]
+    fn network_range_controls_tuple_count() {
+        // A 4-wide lattice avoids the 3-wide torus degeneracy (+2 ≡ −1)
+        // that turns axis triples into 3-cycles.
+        let dd = mqmd_grid::DomainDecomposition::new(Vec3::splat(16.0), (4, 4, 4), 0.5);
+        let near = DomainNetwork::build(&dd, 4.5); // faces only (4.0)
+        let far = DomainNetwork::build(&dd, 6.0); // + edge diagonals (5.66)
+        assert_eq!(near.edges.len(), 64 * 6 / 2);
+        assert!(far.edges.len() > near.edges.len());
+        assert_eq!(near.triangle_count(), 0, "face-only adjacency has no triangles");
+        assert!(far.triangle_count() > 0, "diagonals close triangles");
+    }
+}

@@ -1,0 +1,340 @@
+//! Iterative eigensolvers for the domain Kohn–Sham problem.
+//!
+//! The production algorithm (paper §3.4) is an all-band preconditioned
+//! conjugate-gradient minimisation recast in BLAS3 form; we implement its
+//! modern equivalent, a preconditioned **block Davidson** iteration
+//! ([`block_davidson`]) whose hot operations are exactly the all-band
+//! `H·Ψ` and `Ψ†·Ψ`-type BLAS3 kernels, plus the historical
+//! **band-by-band** minimiser ([`band_by_band`]) the paper replaced — kept
+//! as the BLAS2 baseline for the §3.4 ablation benchmark.
+//!
+//! Preconditioning uses the Teter–Payne–Allan polynomial filter, the
+//! standard choice for plane-wave CG (paper refs [2, 47]).
+
+use crate::hamiltonian::KsHamiltonian;
+use mqmd_linalg::eigen::zheev;
+use mqmd_linalg::gemm::{zgemm, zgemm_dagger_a};
+use mqmd_linalg::orthonorm::{cholesky_orthonormalize, mgs_orthonormalize};
+use mqmd_linalg::CMatrix;
+use mqmd_util::{Complex64, MqmdError, Result};
+
+/// Convergence report of an eigensolve.
+#[derive(Clone, Debug)]
+pub struct EigenReport {
+    /// Ritz values (ascending).
+    pub eigenvalues: Vec<f64>,
+    /// Outer iterations used.
+    pub iterations: usize,
+    /// Final maximum residual norm `max_n ‖H·ψ_n − ε_n·ψ_n‖`.
+    pub residual: f64,
+}
+
+/// Teter–Payne–Allan preconditioner factor for relative kinetic energy `x`.
+#[inline]
+pub fn tpa_factor(x: f64) -> f64 {
+    let num = 27.0 + 18.0 * x + 12.0 * x * x + 8.0 * x * x * x;
+    num / (num + 16.0 * x * x * x * x)
+}
+
+/// Preconditioned block-Davidson eigensolver: refines the `Nb` bands of
+/// `psi` toward the lowest eigenpairs of `h`.
+///
+/// Each outer iteration performs a Rayleigh–Ritz step in
+/// `span{Ψ, K·(H·Ψ − Ψ·Θ)}` — two all-band `H` applications and a handful
+/// of BLAS3 products, matching the paper's computational profile.
+pub fn block_davidson(
+    h: &KsHamiltonian,
+    psi: &mut CMatrix,
+    max_iter: usize,
+    tol: f64,
+) -> Result<EigenReport> {
+    let np = psi.rows();
+    let nb = psi.cols();
+    assert_eq!(np, h.basis().len());
+    let mut last_res = f64::INFINITY;
+    let mut eigenvalues = vec![0.0; nb];
+
+    for iter in 1..=max_iter {
+        // Rayleigh–Ritz on the current block.
+        let h_psi = h.apply(psi);
+        let hs = zgemm_dagger_a(psi, &h_psi);
+        let (theta, v) = zheev(&hs)?;
+        let mut psi_rot = CMatrix::zeros(np, nb);
+        zgemm(Complex64::ONE, psi, &v, Complex64::ZERO, &mut psi_rot);
+        let mut h_psi_rot = CMatrix::zeros(np, nb);
+        zgemm(Complex64::ONE, &h_psi, &v, Complex64::ZERO, &mut h_psi_rot);
+
+        // Residuals R = H·Ψ − Ψ·Θ.
+        let mut res = CMatrix::zeros(np, nb);
+        let mut max_res: f64 = 0.0;
+        for n in 0..nb {
+            let mut norm2 = 0.0;
+            for g in 0..np {
+                let r = h_psi_rot[(g, n)] - psi_rot[(g, n)].scale(theta[n]);
+                norm2 += r.norm_sqr();
+                res[(g, n)] = r;
+            }
+            max_res = max_res.max(norm2.sqrt());
+        }
+        eigenvalues.copy_from_slice(&theta[..nb]);
+        *psi = psi_rot.clone();
+        last_res = max_res;
+        if max_res < tol {
+            return Ok(EigenReport { eigenvalues, iterations: iter, residual: max_res });
+        }
+
+        // TPA-precondition the residuals band-wise.
+        for n in 0..nb {
+            let band = psi.col(n);
+            let ke = h.basis().kinetic_expectation(&band).max(1e-6);
+            for g in 0..np {
+                let x = 0.5 * h.basis().g2()[g] / ke;
+                res[(g, n)] = res[(g, n)].scale(tpa_factor(x));
+            }
+        }
+
+        // Augmented Rayleigh–Ritz in span{Ψ, K·R}.
+        let mut aug = CMatrix::zeros(np, 2 * nb);
+        for g in 0..np {
+            for n in 0..nb {
+                aug[(g, n)] = psi[(g, n)];
+                aug[(g, nb + n)] = res[(g, n)];
+            }
+        }
+        if cholesky_orthonormalize(&mut aug).is_err() {
+            // Rank-deficient augmentation (residuals almost in span Ψ):
+            // fall back to modified Gram–Schmidt, which simply renormalises.
+            mgs_orthonormalize(&mut aug);
+        }
+        let h_aug = h.apply(&aug);
+        let hs2 = zgemm_dagger_a(&aug, &h_aug);
+        let (_, v2) = zheev(&hs2)?;
+        // Keep the lowest nb Ritz vectors.
+        let mut v_keep = CMatrix::zeros(2 * nb, nb);
+        for i in 0..2 * nb {
+            for n in 0..nb {
+                v_keep[(i, n)] = v2[(i, n)];
+            }
+        }
+        let mut new_psi = CMatrix::zeros(np, nb);
+        zgemm(Complex64::ONE, &aug, &v_keep, Complex64::ZERO, &mut new_psi);
+        *psi = new_psi;
+    }
+
+    Err(MqmdError::Convergence {
+        what: "block Davidson".into(),
+        iterations: max_iter,
+        residual: last_res,
+    })
+}
+
+/// Band-by-band minimisation (the BLAS2 baseline of §3.4): optimises one
+/// band at a time in ascending order, each by `steps` two-dimensional
+/// subspace rotations along the preconditioned residual, holding lower bands
+/// fixed. Returns the final Rayleigh quotients.
+pub fn band_by_band(h: &KsHamiltonian, psi: &mut CMatrix, sweeps: usize, steps: usize) -> Vec<f64> {
+    let np = psi.rows();
+    let nb = psi.cols();
+    let mut eps = vec![0.0; nb];
+
+    for _sweep in 0..sweeps {
+        for n in 0..nb {
+            let mut band = psi.col(n);
+            // Project out lower (already-optimised) bands and renormalise.
+            project_out(psi, n, &mut band);
+            normalize(&mut band);
+
+            for _ in 0..steps {
+                let h_band = h.apply_band(&band);
+                let theta: f64 = band.iter().zip(&h_band).map(|(c, h)| (c.conj() * *h).re).sum();
+                // Residual, preconditioned, orthogonalised to current band
+                // and lower bands.
+                let ke = h.basis().kinetic_expectation(&band).max(1e-6);
+                let mut dir: Vec<Complex64> = (0..np)
+                    .map(|g| {
+                        let r = h_band[g] - band[g].scale(theta);
+                        let x = 0.5 * h.basis().g2()[g] / ke;
+                        r.scale(tpa_factor(x))
+                    })
+                    .collect();
+                project_out(psi, n, &mut dir);
+                let overlap: Complex64 = band.iter().zip(&dir).map(|(b, d)| b.conj() * *d).sum();
+                for (d, b) in dir.iter_mut().zip(&band) {
+                    *d -= overlap * *b;
+                }
+                let d_norm: f64 = dir.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+                if d_norm < 1e-14 {
+                    break;
+                }
+                for d in &mut dir {
+                    *d = d.scale(1.0 / d_norm);
+                }
+                // Exact minimisation in the 2-D subspace {band, dir}.
+                let h_dir = h.apply_band(&dir);
+                let a = theta;
+                let b2: f64 = dir.iter().zip(&h_dir).map(|(c, h)| (c.conj() * *h).re).sum();
+                let c: Complex64 = band.iter().zip(&h_dir).map(|(c, h)| c.conj() * *h).sum();
+                // Lowest eigenvector of [[a, c], [c*, b2]].
+                let diff = 0.5 * (b2 - a);
+                let rad = (diff * diff + c.norm_sqr()).sqrt();
+                if rad < 1e-16 {
+                    break;
+                }
+                // Rotation angle: tan(2φ)·… — construct directly.
+                let lowest = 0.5 * (a + b2) - rad;
+                // Solve (a − λ)x + c y = 0 → choose y = 1 basis then renorm.
+                let (alpha, beta) = if (a - lowest).abs() > c.abs() * 1e-8 {
+                    (c.scale(-1.0 / (a - lowest)), Complex64::ONE)
+                } else {
+                    (Complex64::ONE, Complex64::ZERO)
+                };
+                let norm = (alpha.norm_sqr() + beta.norm_sqr()).sqrt();
+                let (alpha, beta) = (alpha.scale(1.0 / norm), beta.scale(1.0 / norm));
+                for g in 0..np {
+                    band[g] = band[g] * alpha + dir[g] * beta;
+                }
+                normalize(&mut band);
+            }
+            let h_band = h.apply_band(&band);
+            eps[n] = band.iter().zip(&h_band).map(|(c, h)| (c.conj() * *h).re).sum();
+            psi.set_col(n, &band);
+        }
+    }
+    eps
+}
+
+fn project_out(psi: &CMatrix, n: usize, vec: &mut [Complex64]) {
+    let np = psi.rows();
+    for m in 0..n {
+        let mut overlap = Complex64::ZERO;
+        for g in 0..np {
+            overlap = overlap.mul_add(psi[(g, m)].conj(), vec[g]);
+        }
+        for g in 0..np {
+            let p = psi[(g, m)];
+            vec[g] -= overlap * p;
+        }
+    }
+}
+
+fn normalize(vec: &mut [Complex64]) {
+    let norm: f64 = vec.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        for z in vec.iter_mut() {
+            *z = z.scale(1.0 / norm);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pw::PlaneWaveBasis;
+    use mqmd_grid::UniformGrid3;
+
+    fn small_basis() -> PlaneWaveBasis {
+        // ~ 60 plane waves: small enough for a dense cross-check.
+        PlaneWaveBasis::new(UniformGrid3::cubic(8, 8.0), 2.2)
+    }
+
+    fn dense_eigenvalues(h: &KsHamiltonian, count: usize) -> Vec<f64> {
+        let np = h.basis().len();
+        let mut dense = CMatrix::zeros(np, np);
+        for g in 0..np {
+            let mut e = vec![Complex64::ZERO; np];
+            e[g] = Complex64::ONE;
+            let col = h.apply_band(&e);
+            for i in 0..np {
+                dense[(i, g)] = col[i];
+            }
+        }
+        // Symmetrise tiny numerical asymmetry before Jacobi.
+        let mut sym = CMatrix::zeros(np, np);
+        for i in 0..np {
+            for j in 0..np {
+                sym[(i, j)] = (dense[(i, j)] + dense[(j, i)].conj()).scale(0.5);
+            }
+        }
+        let (vals, _) = zheev(&sym).unwrap();
+        vals[..count].to_vec()
+    }
+
+    #[test]
+    fn tpa_limits() {
+        assert!((tpa_factor(0.0) - 1.0).abs() < 1e-14, "no damping at low G");
+        assert!(tpa_factor(10.0) < 0.06, "strong damping at high G");
+        assert!(tpa_factor(100.0) < 6e-3, "asymptotic 1/(2x) decay");
+    }
+
+    #[test]
+    fn free_electron_spectrum() {
+        let b = small_basis();
+        let h = KsHamiltonian::new(&b, vec![0.0; b.grid().len()], None);
+        let mut psi = b.random_bands(5, 1);
+        let report = block_davidson(&h, &mut psi, 60, 1e-9).unwrap();
+        let mut exact: Vec<f64> = b.g2().iter().map(|&g2| 0.5 * g2).collect();
+        exact.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (got, want) in report.eigenvalues.iter().zip(&exact[..5]) {
+            assert!((got - want).abs() < 1e-7, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn davidson_matches_dense_diagonalisation() {
+        let b = small_basis();
+        // A smooth cosine potential well.
+        let grid = b.grid();
+        let l = grid.lengths().0;
+        let v = grid.sample(|r| {
+            -0.8 * ((std::f64::consts::TAU * r.x / l).cos()
+                + (std::f64::consts::TAU * r.y / l).cos()
+                + (std::f64::consts::TAU * r.z / l).cos())
+        });
+        let h = KsHamiltonian::new(&b, v, None);
+        let exact = dense_eigenvalues(&h, 4);
+        let mut psi = b.random_bands(4, 5);
+        let report = block_davidson(&h, &mut psi, 100, 1e-8).unwrap();
+        for (got, want) in report.eigenvalues.iter().zip(&exact) {
+            assert!((got - want).abs() < 1e-6, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal_after_solve() {
+        let b = small_basis();
+        let grid = b.grid();
+        let v = grid.sample(|r| -0.4 * (std::f64::consts::TAU * r.x / 8.0).cos());
+        let h = KsHamiltonian::new(&b, v, None);
+        let mut psi = b.random_bands(4, 8);
+        block_davidson(&h, &mut psi, 80, 1e-8).unwrap();
+        assert!(mqmd_linalg::orthonorm::orthonormality_defect(&psi) < 1e-8);
+    }
+
+    #[test]
+    fn band_by_band_agrees_with_davidson() {
+        let b = small_basis();
+        let grid = b.grid();
+        let l = grid.lengths().0;
+        let v = grid.sample(|r| -0.6 * (std::f64::consts::TAU * r.x / l).cos());
+        let h = KsHamiltonian::new(&b, v, None);
+
+        let mut psi_d = b.random_bands(3, 11);
+        let rep = block_davidson(&h, &mut psi_d, 100, 1e-9).unwrap();
+
+        let mut psi_b = b.random_bands(3, 13);
+        let eps = band_by_band(&h, &mut psi_b, 12, 8);
+        for (bb, dv) in eps.iter().zip(&rep.eigenvalues) {
+            assert!((bb - dv).abs() < 1e-4, "band-by-band {bb} vs davidson {dv}");
+        }
+    }
+
+    #[test]
+    fn residual_below_tolerance_on_success() {
+        let b = small_basis();
+        let h = KsHamiltonian::new(&b, vec![0.0; b.grid().len()], None);
+        let mut psi = b.random_bands(3, 17);
+        let report = block_davidson(&h, &mut psi, 60, 1e-9).unwrap();
+        assert!(report.residual < 1e-9);
+        assert!(report.iterations <= 60);
+    }
+}

@@ -1,0 +1,256 @@
+//! Planned 3-D complex FFT over flattened arrays.
+//!
+//! Layout: `index = (ix·ny + iy)·nz + iz` (z fastest). The transform is a
+//! pencil decomposition — all z-lines, then all y-lines, then all x-lines —
+//! with rayon parallelism across pencils, mirroring the butterfly network
+//! the paper draws inside each domain (Fig 3, red lines). Each worker uses a
+//! thread-local gather buffer so strided axes still feed the 1-D kernel with
+//! contiguous data.
+
+use crate::fft1d::Fft1d;
+use mqmd_util::Complex64;
+use rayon::prelude::*;
+
+/// A planned 3-D FFT of fixed dimensions.
+pub struct Fft3d {
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    plan_x: Fft1d,
+    plan_y: Fft1d,
+    plan_z: Fft1d,
+}
+
+impl Fft3d {
+    /// Plans a transform for an `(nx, ny, nz)` grid.
+    pub fn new(nx: usize, ny: usize, nz: usize) -> Self {
+        assert!(nx >= 1 && ny >= 1 && nz >= 1);
+        Self { nx, ny, nz, plan_x: Fft1d::new(nx), plan_y: Fft1d::new(ny), plan_z: Fft1d::new(nz) }
+    }
+
+    /// Creates a plan for a cubic grid.
+    pub fn cubic(n: usize) -> Self {
+        Self::new(n, n, n)
+    }
+
+    /// Grid dimensions.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        (self.nx, self.ny, self.nz)
+    }
+
+    /// Total number of grid points.
+    pub fn len(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// Returns false: a planned transform always has at least one point.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Flat index of grid point `(ix, iy, iz)`.
+    #[inline(always)]
+    pub fn index(&self, ix: usize, iy: usize, iz: usize) -> usize {
+        (ix * self.ny + iy) * self.nz + iz
+    }
+
+    /// In-place forward transform.
+    pub fn forward(&self, data: &mut [Complex64]) {
+        self.transform(data, true);
+    }
+
+    /// In-place inverse transform (scaled by `1/(nx·ny·nz)`).
+    pub fn inverse(&self, data: &mut [Complex64]) {
+        self.transform(data, false);
+    }
+
+    fn transform(&self, data: &mut [Complex64], fwd: bool) {
+        assert_eq!(data.len(), self.len(), "buffer length mismatch");
+        let (nx, ny, nz) = (self.nx, self.ny, self.nz);
+
+        // Axis z: contiguous lines of length nz.
+        if nz > 1 {
+            data.par_chunks_mut(nz).for_each(|line| {
+                if fwd {
+                    self.plan_z.forward(line);
+                } else {
+                    self.plan_z.inverse(line);
+                }
+            });
+        }
+
+        // Axis y: stride nz within each x-plane; parallel over x-planes.
+        if ny > 1 {
+            data.par_chunks_mut(ny * nz).for_each(|plane| {
+                let mut buf = vec![Complex64::ZERO; ny];
+                for iz in 0..nz {
+                    for iy in 0..ny {
+                        buf[iy] = plane[iy * nz + iz];
+                    }
+                    if fwd {
+                        self.plan_y.forward(&mut buf);
+                    } else {
+                        self.plan_y.inverse(&mut buf);
+                    }
+                    for iy in 0..ny {
+                        plane[iy * nz + iz] = buf[iy];
+                    }
+                }
+            });
+        }
+
+        // Axis x: stride ny*nz; parallel over (iy, iz) pencils by splitting
+        // the yz index range. We cannot hand out disjoint &mut slices along a
+        // strided axis, so gather into per-task buffers and scatter through a
+        // raw pointer wrapper (each yz pencil touches a disjoint index set).
+        if nx > 1 {
+            let stride = ny * nz;
+            let ptr = SendPtr(data.as_mut_ptr());
+            (0..stride).into_par_iter().for_each(|yz| {
+                let p = ptr; // copy the Send wrapper into the closure
+                let mut buf = vec![Complex64::ZERO; nx];
+                // SAFETY: pencil `yz` reads/writes only indices yz + ix*stride,
+                // which are disjoint across distinct yz values in [0, stride).
+                unsafe {
+                    for ix in 0..nx {
+                        buf[ix] = *p.0.add(yz + ix * stride);
+                    }
+                }
+                if fwd {
+                    self.plan_x.forward(&mut buf);
+                } else {
+                    self.plan_x.inverse(&mut buf);
+                }
+                unsafe {
+                    for ix in 0..nx {
+                        *p.0.add(yz + ix * stride) = buf[ix];
+                    }
+                }
+            });
+        }
+    }
+}
+
+/// Raw-pointer wrapper asserting Send/Sync for the disjoint-pencil scatter.
+#[derive(Clone, Copy)]
+struct SendPtr(*mut Complex64);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::freq::bin_freq;
+
+    fn random_field(n: usize, seed: u64) -> Vec<Complex64> {
+        let mut rng = mqmd_util::Xoshiro256pp::seed_from_u64(seed);
+        (0..n).map(|_| Complex64::new(rng.normal(), rng.normal())).collect()
+    }
+
+    fn max_err(a: &[Complex64], b: &[Complex64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (*x - *y).abs()).fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn round_trip() {
+        for (nx, ny, nz) in [(4, 4, 4), (8, 4, 2), (3, 5, 7), (16, 16, 16)] {
+            let plan = Fft3d::new(nx, ny, nz);
+            let x = random_field(plan.len(), (nx * 100 + ny * 10 + nz) as u64);
+            let mut y = x.clone();
+            plan.forward(&mut y);
+            plan.inverse(&mut y);
+            assert!(max_err(&x, &y) < 1e-9, "dims {nx}x{ny}x{nz}");
+        }
+    }
+
+    #[test]
+    fn matches_separable_naive_dft() {
+        // 3-D DFT of a separable product equals product of 1-D DFTs.
+        let (nx, ny, nz) = (4usize, 8usize, 2usize);
+        let fx = random_field(nx, 1);
+        let fy = random_field(ny, 2);
+        let fz = random_field(nz, 3);
+        let plan = Fft3d::new(nx, ny, nz);
+        let mut data = vec![Complex64::ZERO; plan.len()];
+        for ix in 0..nx {
+            for iy in 0..ny {
+                for iz in 0..nz {
+                    data[plan.index(ix, iy, iz)] = fx[ix] * fy[iy] * fz[iz];
+                }
+            }
+        }
+        plan.forward(&mut data);
+
+        let mut fxh = fx.clone();
+        let mut fyh = fy.clone();
+        let mut fzh = fz.clone();
+        Fft1d::new(nx).forward(&mut fxh);
+        Fft1d::new(ny).forward(&mut fyh);
+        Fft1d::new(nz).forward(&mut fzh);
+        for ix in 0..nx {
+            for iy in 0..ny {
+                for iz in 0..nz {
+                    let expect = fxh[ix] * fyh[iy] * fzh[iz];
+                    let got = data[plan.index(ix, iy, iz)];
+                    assert!((expect - got).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plane_wave_gives_delta_in_g_space() {
+        let n = 8;
+        let plan = Fft3d::cubic(n);
+        let (kx, ky, kz) = (2i64, -3i64, 1i64);
+        let mut data = vec![Complex64::ZERO; plan.len()];
+        for ix in 0..n {
+            for iy in 0..n {
+                for iz in 0..n {
+                    let phase = std::f64::consts::TAU
+                        * (kx * ix as i64 + ky * iy as i64 + kz * iz as i64) as f64
+                        / n as f64;
+                    data[plan.index(ix, iy, iz)] = Complex64::cis(phase);
+                }
+            }
+        }
+        plan.forward(&mut data);
+        let total = plan.len() as f64;
+        for ix in 0..n {
+            for iy in 0..n {
+                for iz in 0..n {
+                    let here = (bin_freq(ix, n), bin_freq(iy, n), bin_freq(iz, n));
+                    let mag = data[plan.index(ix, iy, iz)].abs();
+                    if here == (kx, ky, kz) {
+                        assert!((mag - total).abs() < 1e-8);
+                    } else {
+                        assert!(mag < 1e-8, "leakage at {here:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parseval_3d() {
+        let plan = Fft3d::new(8, 8, 8);
+        let x = random_field(plan.len(), 42);
+        let mut y = x.clone();
+        plan.forward(&mut y);
+        let e_r: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let e_g: f64 = y.iter().map(|z| z.norm_sqr()).sum::<f64>() / plan.len() as f64;
+        assert!((e_r - e_g).abs() < 1e-8 * e_r);
+    }
+
+    #[test]
+    fn degenerate_dimensions() {
+        // (1,1,n) reduces to a 1-D transform.
+        let plan = Fft3d::new(1, 1, 16);
+        let x = random_field(16, 5);
+        let mut got = x.clone();
+        plan.forward(&mut got);
+        let mut expect = x;
+        Fft1d::new(16).forward(&mut expect);
+        assert!(max_err(&got, &expect) < 1e-10);
+    }
+}

@@ -1,0 +1,76 @@
+//! Property-based tests of the FFT: round trip, Parseval, linearity, and
+//! the shift theorem, for arbitrary (not just power-of-two) lengths.
+
+use mqmd_fft::{Fft1d, Fft3d};
+use mqmd_util::{Complex64, Xoshiro256pp};
+use proptest::prelude::*;
+
+fn random_signal(n: usize, seed: u64) -> Vec<Complex64> {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    (0..n).map(|_| Complex64::new(rng.normal(), rng.normal())).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn round_trip_any_length(n in 1usize..200, seed in any::<u64>()) {
+        let x = random_signal(n, seed);
+        let plan = Fft1d::new(n);
+        let mut y = x.clone();
+        plan.forward(&mut y);
+        plan.inverse(&mut y);
+        for (a, b) in x.iter().zip(&y) {
+            prop_assert!((*a - *b).abs() < 1e-8 * (1.0 + a.abs()));
+        }
+    }
+
+    #[test]
+    fn parseval_any_length(n in 1usize..150, seed in any::<u64>()) {
+        let x = random_signal(n, seed);
+        let mut y = x.clone();
+        Fft1d::new(n).forward(&mut y);
+        let e_t: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let e_f: f64 = y.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        prop_assert!((e_t - e_f).abs() < 1e-7 * (1.0 + e_t));
+    }
+
+    #[test]
+    fn circular_shift_theorem(n in 2usize..100, shift in 0usize..100, seed in any::<u64>()) {
+        // FFT(x shifted by s)_k = FFT(x)_k · e^{−2πi·s·k/n}
+        let shift = shift % n;
+        let x = random_signal(n, seed);
+        let shifted: Vec<Complex64> = (0..n).map(|i| x[(i + shift) % n]).collect();
+        let plan = Fft1d::new(n);
+        let mut fx = x.clone();
+        let mut fs = shifted;
+        plan.forward(&mut fx);
+        plan.forward(&mut fs);
+        for k in 0..n {
+            let phase = Complex64::cis(std::f64::consts::TAU * (shift * k % n) as f64 / n as f64);
+            let expect = fx[k] * phase;
+            prop_assert!((fs[k] - expect).abs() < 1e-7 * (1.0 + expect.abs()));
+        }
+    }
+
+    #[test]
+    fn fft3d_round_trip(nx in 1usize..9, ny in 1usize..9, nz in 1usize..9, seed in any::<u64>()) {
+        let plan = Fft3d::new(nx, ny, nz);
+        let x = random_signal(plan.len(), seed);
+        let mut y = x.clone();
+        plan.forward(&mut y);
+        plan.inverse(&mut y);
+        for (a, b) in x.iter().zip(&y) {
+            prop_assert!((*a - *b).abs() < 1e-8 * (1.0 + a.abs()));
+        }
+    }
+
+    #[test]
+    fn dc_bin_is_the_sum(n in 1usize..120, seed in any::<u64>()) {
+        let x = random_signal(n, seed);
+        let mut y = x.clone();
+        Fft1d::new(n).forward(&mut y);
+        let sum: Complex64 = x.iter().copied().sum();
+        prop_assert!((y[0] - sum).abs() < 1e-8 * (1.0 + sum.abs()));
+    }
+}

@@ -1,0 +1,27 @@
+//! # mqmd-grid
+//!
+//! Real-space grids and the divide-and-conquer domain geometry of the SC14
+//! paper (Fig 1): the periodic global cell Ω is covered by non-overlapping
+//! cores Ω₀α, each extended by a buffer layer Γα into an overlapping domain
+//! Ωα = Ω₀α ∪ Γα; domain support functions pα(r) form a partition of unity
+//! (Σα pα(r) = 1 exactly) through which global quantities such as the
+//! electron density are assembled from domain-local ones (Eq. (b) of Fig 2).
+//!
+//! * [`ugrid::UniformGrid3`] — periodic uniform real-space grid over an
+//!   orthorhombic cell, with trilinear interpolation;
+//! * [`domain`] — DC domain decomposition, core/buffer bookkeeping,
+//!   global↔domain field transfer;
+//! * [`support`] — partition-of-unity support functions;
+//! * [`octree`] — locality-preserving octree used for hierarchical (tree)
+//!   reductions of domain data (paper Fig 1(a) and §3.2);
+//! * [`hilbert`] — Morton and Hilbert space-filling curves backing the §4.4
+//!   trajectory-compression scheme.
+
+pub mod domain;
+pub mod hilbert;
+pub mod octree;
+pub mod support;
+pub mod ugrid;
+
+pub use domain::{Domain, DomainDecomposition};
+pub use ugrid::UniformGrid3;

@@ -1,0 +1,128 @@
+//! Property-based tests of the DC geometry: the partition-of-unity sum
+//! rule over random decompositions, Hilbert-curve bijectivity/adjacency,
+//! octree reductions, and grid interpolation invariants.
+
+use mqmd_grid::hilbert::{hilbert_decode, hilbert_encode};
+use mqmd_grid::octree::Octree;
+use mqmd_grid::{DomainDecomposition, UniformGrid3};
+use mqmd_util::{Vec3, Xoshiro256pp};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn partition_of_unity_holds_for_random_decompositions(
+        l in 6.0..30.0f64,
+        ndx in 1usize..4, ndy in 1usize..4, ndz in 1usize..4,
+        buffer in 0.0..3.0f64,
+        seed in any::<u64>(),
+    ) {
+        let dd = DomainDecomposition::new(Vec3::splat(l), (ndx, ndy, ndz), buffer);
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        for _ in 0..20 {
+            let r = Vec3::new(
+                rng.uniform_in(-l, 2.0 * l),
+                rng.uniform_in(-l, 2.0 * l),
+                rng.uniform_in(-l, 2.0 * l),
+            );
+            let sum: f64 = dd.support_at(r).iter().map(|&(_, w)| w).sum();
+            prop_assert!((sum - 1.0).abs() < 1e-10, "sum {} at {:?}", sum, r);
+        }
+    }
+
+    #[test]
+    fn exactly_one_core_owner(
+        l in 6.0..30.0f64,
+        nd in 1usize..4,
+        buffer in 0.0..2.0f64,
+        seed in any::<u64>(),
+    ) {
+        let dd = DomainDecomposition::new(Vec3::splat(l), (nd, nd, nd), buffer);
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        for _ in 0..20 {
+            let r = Vec3::new(rng.uniform_in(0.0, l), rng.uniform_in(0.0, l), rng.uniform_in(0.0, l));
+            let owners = dd.domains().iter().filter(|d| d.core_contains(r)).count();
+            prop_assert_eq!(owners, 1);
+        }
+    }
+
+    #[test]
+    fn domain_local_round_trip(
+        l in 8.0..24.0f64,
+        nd in 1usize..4,
+        buffer in 0.0..2.0f64,
+        seed in any::<u64>(),
+    ) {
+        let dd = DomainDecomposition::new(Vec3::splat(l), (nd, nd, nd), buffer);
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        for d in dd.domains() {
+            let dl = d.domain_len();
+            let local = Vec3::new(
+                rng.uniform_in(0.0, dl.x * 0.999),
+                rng.uniform_in(0.0, dl.y * 0.999),
+                rng.uniform_in(0.0, dl.z * 0.999),
+            );
+            let g = d.to_global(local);
+            let back = d.to_local(g);
+            prop_assert!(back.is_some());
+            prop_assert!((back.unwrap() - local).norm() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn hilbert_round_trip_random(bits in 1u32..8, seed in any::<u64>()) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let n = 1u64 << bits;
+        for _ in 0..50 {
+            let x = rng.below(n) as u32;
+            let y = rng.below(n) as u32;
+            let z = rng.below(n) as u32;
+            let h = hilbert_encode(x, y, z, bits);
+            prop_assert!(h < 1u64 << (3 * bits));
+            prop_assert_eq!(hilbert_decode(h, bits), (x, y, z));
+        }
+    }
+
+    #[test]
+    fn hilbert_adjacency_random_windows(bits in 2u32..6, seed in any::<u64>()) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let n = 1u64 << (3 * bits);
+        for _ in 0..30 {
+            let h = rng.below(n - 1);
+            let a = hilbert_decode(h, bits);
+            let b = hilbert_decode(h + 1, bits);
+            let d = a.0.abs_diff(b.0) + a.1.abs_diff(b.1) + a.2.abs_diff(b.2);
+            prop_assert_eq!(d, 1, "step {} -> {}", h, h + 1);
+        }
+    }
+
+    #[test]
+    fn octree_reduce_equals_direct_sum(levels in 0usize..4, seed in any::<u64>()) {
+        let n = 1usize << levels;
+        let t = Octree::new(n);
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let leaves: Vec<f64> = (0..t.nodes_at_level(0)).map(|_| rng.normal()).collect();
+        let tree = t.reduce(&leaves, |a, b| a + b);
+        let direct: f64 = leaves.iter().sum();
+        prop_assert!((tree - direct).abs() < 1e-9 * (1.0 + direct.abs()));
+    }
+
+    #[test]
+    fn interpolation_bounded_by_field_extrema(
+        n in 4usize..12,
+        l in 2.0..20.0f64,
+        seed in any::<u64>(),
+    ) {
+        let g = UniformGrid3::cubic(n, l);
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let field: Vec<f64> = (0..g.len()).map(|_| rng.normal()).collect();
+        let lo = field.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = field.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for _ in 0..20 {
+            let r = Vec3::new(rng.uniform_in(-l, 2.0 * l), rng.uniform_in(-l, 2.0 * l), rng.uniform_in(-l, 2.0 * l));
+            let v = g.interpolate(&field, r);
+            prop_assert!(v >= lo - 1e-10 && v <= hi + 1e-10, "{} outside [{}, {}]", v, lo, hi);
+        }
+    }
+}

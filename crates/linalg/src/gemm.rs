@@ -1,0 +1,301 @@
+//! BLAS2/BLAS3-style multiply kernels.
+//!
+//! The paper's §3.4 describes transforming band-by-band conjugate-gradient
+//! updates (DGEMV-shaped, BLAS2) into all-band matrix–matrix products
+//! (DGEMM-shaped, BLAS3) to expose parallelism and increase arithmetic
+//! intensity. Both paths are implemented here on our own data structures:
+//!
+//! * [`dgemv`]/[`zgemv`] — the band-by-band reference path;
+//! * [`dgemm`]/[`zgemm`] — the all-band path, using the cache-friendly
+//!   `i-k-j` loop order on row-major data and rayon parallelism over output
+//!   row blocks (no synchronisation: each task owns disjoint rows of C);
+//! * [`zgemm_dagger_a`] — `A†·B`, the overlap-matrix kernel of the band
+//!   orthonormalisation (§3.3).
+//!
+//! Every kernel tallies analytic FLOPs via `mqmd_util::flops`.
+
+use crate::cmatrix::CMatrix;
+use crate::matrix::Matrix;
+use mqmd_util::flops::{count_flops, gemm_flops, zgemm_flops};
+use mqmd_util::Complex64;
+use rayon::prelude::*;
+
+/// Row-block size for parallel GEMM. Small enough to give rayon work-stealing
+/// granularity on thousands-row matrices, big enough to amortise task
+/// overhead.
+const ROW_BLOCK: usize = 32;
+
+/// Dense real GEMM: `C ← α·A·B + β·C`.
+///
+/// # Panics
+/// Panics on dimension mismatch.
+pub fn dgemm(alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Matrix) {
+    let (m, k) = (a.rows(), a.cols());
+    let n = b.cols();
+    assert_eq!(b.rows(), k, "inner dimension mismatch");
+    assert_eq!(c.rows(), m, "C row mismatch");
+    assert_eq!(c.cols(), n, "C col mismatch");
+    count_flops(gemm_flops(m as u64, n as u64, k as u64));
+
+    let a_data = a.data();
+    let b_data = b.data();
+    c.data_mut()
+        .par_chunks_mut(ROW_BLOCK * n)
+        .enumerate()
+        .for_each(|(blk, c_rows)| {
+            let i0 = blk * ROW_BLOCK;
+            for (di, c_row) in c_rows.chunks_mut(n).enumerate() {
+                let i = i0 + di;
+                if beta == 0.0 {
+                    c_row.fill(0.0);
+                } else if beta != 1.0 {
+                    for x in c_row.iter_mut() {
+                        *x *= beta;
+                    }
+                }
+                let a_row = &a_data[i * k..(i + 1) * k];
+                for (kk, &aik) in a_row.iter().enumerate() {
+                    let s = alpha * aik;
+                    if s == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b_data[kk * n..(kk + 1) * n];
+                    for (cj, &bj) in c_row.iter_mut().zip(b_row) {
+                        *cj += s * bj;
+                    }
+                }
+            }
+        });
+}
+
+/// Dense real GEMV: `y ← α·A·x + β·y` (the BLAS2 band-by-band path).
+pub fn dgemv(alpha: f64, a: &Matrix, x: &[f64], beta: f64, y: &mut [f64]) {
+    let (m, k) = (a.rows(), a.cols());
+    assert_eq!(x.len(), k);
+    assert_eq!(y.len(), m);
+    count_flops(gemm_flops(m as u64, 1, k as u64));
+    for i in 0..m {
+        let row = a.row(i);
+        let mut acc = 0.0;
+        for (aij, xj) in row.iter().zip(x) {
+            acc += aij * xj;
+        }
+        y[i] = alpha * acc + if beta == 0.0 { 0.0 } else { beta * y[i] };
+    }
+}
+
+/// Dense complex GEMM: `C ← α·A·B + β·C`.
+pub fn zgemm(alpha: Complex64, a: &CMatrix, b: &CMatrix, beta: Complex64, c: &mut CMatrix) {
+    let (m, k) = (a.rows(), a.cols());
+    let n = b.cols();
+    assert_eq!(b.rows(), k, "inner dimension mismatch");
+    assert_eq!(c.rows(), m, "C row mismatch");
+    assert_eq!(c.cols(), n, "C col mismatch");
+    count_flops(zgemm_flops(m as u64, n as u64, k as u64));
+
+    let a_data = a.data();
+    let b_data = b.data();
+    c.data_mut()
+        .par_chunks_mut(ROW_BLOCK * n)
+        .enumerate()
+        .for_each(|(blk, c_rows)| {
+            let i0 = blk * ROW_BLOCK;
+            for (di, c_row) in c_rows.chunks_mut(n).enumerate() {
+                let i = i0 + di;
+                if beta == Complex64::ZERO {
+                    c_row.fill(Complex64::ZERO);
+                } else if beta != Complex64::ONE {
+                    for z in c_row.iter_mut() {
+                        *z *= beta;
+                    }
+                }
+                let a_row = &a_data[i * k..(i + 1) * k];
+                for (kk, &aik) in a_row.iter().enumerate() {
+                    let s = alpha * aik;
+                    if s == Complex64::ZERO {
+                        continue;
+                    }
+                    let b_row = &b_data[kk * n..(kk + 1) * n];
+                    for (cj, &bj) in c_row.iter_mut().zip(b_row) {
+                        *cj = cj.mul_add(s, bj);
+                    }
+                }
+            }
+        });
+}
+
+/// Dense complex GEMV: `y ← α·A·x + β·y`.
+pub fn zgemv(alpha: Complex64, a: &CMatrix, x: &[Complex64], beta: Complex64, y: &mut [Complex64]) {
+    let (m, k) = (a.rows(), a.cols());
+    assert_eq!(x.len(), k);
+    assert_eq!(y.len(), m);
+    count_flops(zgemm_flops(m as u64, 1, k as u64));
+    for i in 0..m {
+        let row = a.row(i);
+        let mut acc = Complex64::ZERO;
+        for (&aij, &xj) in row.iter().zip(x) {
+            acc = acc.mul_add(aij, xj);
+        }
+        y[i] = alpha * acc + if beta == Complex64::ZERO { Complex64::ZERO } else { beta * y[i] };
+    }
+}
+
+/// Computes `A†·B` (an `A.cols × B.cols` matrix). With `A = B = Ψ` this is
+/// the band overlap matrix `S = Ψ†Ψ` that feeds the Cholesky
+/// orthonormalisation.
+pub fn zgemm_dagger_a(a: &CMatrix, b: &CMatrix) -> CMatrix {
+    let (np, na) = (a.rows(), a.cols());
+    let nb = b.cols();
+    assert_eq!(b.rows(), np, "row mismatch");
+    count_flops(zgemm_flops(na as u64, nb as u64, np as u64));
+
+    // Accumulate over rows of A/B (the plane-wave index); parallelise by
+    // splitting the plane-wave range and reducing partial products.
+    let a_data = a.data();
+    let b_data = b.data();
+    let chunk = 1024usize.max(np / (4 * rayon::current_num_threads().max(1)) + 1);
+    let partials: Vec<Vec<Complex64>> = (0..np)
+        .into_par_iter()
+        .step_by(chunk)
+        .map(|g0| {
+            let g1 = (g0 + chunk).min(np);
+            let mut acc = vec![Complex64::ZERO; na * nb];
+            for g in g0..g1 {
+                let a_row = &a_data[g * na..(g + 1) * na];
+                let b_row = &b_data[g * nb..(g + 1) * nb];
+                for (i, &ai) in a_row.iter().enumerate() {
+                    let ai_c = ai.conj();
+                    let out = &mut acc[i * nb..(i + 1) * nb];
+                    for (o, &bj) in out.iter_mut().zip(b_row) {
+                        *o = o.mul_add(ai_c, bj);
+                    }
+                }
+            }
+            acc
+        })
+        .collect();
+
+    let mut out = vec![Complex64::ZERO; na * nb];
+    for p in partials {
+        for (o, v) in out.iter_mut().zip(p) {
+            *o += v;
+        }
+    }
+    CMatrix::from_vec(na, nb, out)
+}
+
+/// Column-by-column emulation of GEMM via repeated GEMV — the BLAS2 baseline
+/// for the §3.4 ablation (`bench/ablations.rs`). Computes `C = A·B` one
+/// column of B at a time, exactly how the original band-by-band code applied
+/// the Hamiltonian to one band at a time.
+pub fn zgemm_via_gemv(a: &CMatrix, b: &CMatrix) -> CMatrix {
+    let (m, _k) = (a.rows(), a.cols());
+    let n = b.cols();
+    let mut c = CMatrix::zeros(m, n);
+    let mut ycol = vec![Complex64::ZERO; m];
+    for j in 0..n {
+        let xcol = b.col(j);
+        zgemv(Complex64::ONE, a, &xcol, Complex64::ZERO, &mut ycol);
+        c.set_col(j, &ycol);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_dgemm(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut c = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut s = 0.0;
+                for k in 0..a.cols() {
+                    s += a[(i, k)] * b[(k, j)];
+                }
+                c[(i, j)] = s;
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn dgemm_matches_naive() {
+        let a = Matrix::from_fn(17, 9, |i, j| ((i * 7 + j * 3) % 11) as f64 - 5.0);
+        let b = Matrix::from_fn(9, 23, |i, j| ((i * 5 + j) % 7) as f64 * 0.5);
+        let mut c = Matrix::zeros(17, 23);
+        dgemm(1.0, &a, &b, 0.0, &mut c);
+        assert!(c.max_abs_diff(&naive_dgemm(&a, &b)) < 1e-12);
+    }
+
+    #[test]
+    fn dgemm_alpha_beta() {
+        let a = Matrix::identity(4);
+        let b = Matrix::from_fn(4, 4, |i, j| (i + j) as f64);
+        let mut c = Matrix::from_fn(4, 4, |_, _| 1.0);
+        dgemm(2.0, &a, &b, 3.0, &mut c);
+        // c = 2*b + 3*ones
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((c[(i, j)] - (2.0 * (i + j) as f64 + 3.0)).abs() < 1e-13);
+            }
+        }
+    }
+
+    #[test]
+    fn dgemv_matches_gemm_column() {
+        let a = Matrix::from_fn(6, 5, |i, j| (i as f64 - j as f64) * 0.3);
+        let x: Vec<f64> = (0..5).map(|i| i as f64 + 0.5).collect();
+        let mut y = vec![0.0; 6];
+        dgemv(1.0, &a, &x, 0.0, &mut y);
+        let xb = Matrix::from_vec(5, 1, x.clone());
+        let mut c = Matrix::zeros(6, 1);
+        dgemm(1.0, &a, &xb, 0.0, &mut c);
+        for i in 0..6 {
+            assert!((y[i] - c[(i, 0)]).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn zgemm_matches_via_gemv() {
+        let a = CMatrix::from_fn(13, 7, |i, j| Complex64::new(i as f64 * 0.1, j as f64 * -0.2));
+        let b = CMatrix::from_fn(7, 11, |i, j| Complex64::new((i + j) as f64 * 0.05, 0.3));
+        let mut c = CMatrix::zeros(13, 11);
+        zgemm(Complex64::ONE, &a, &b, Complex64::ZERO, &mut c);
+        let c2 = zgemm_via_gemv(&a, &b);
+        assert!(c.max_abs_diff(&c2) < 1e-12);
+    }
+
+    #[test]
+    fn dagger_a_is_overlap() {
+        let psi = CMatrix::from_fn(40, 5, |i, j| {
+            Complex64::new(((i * 3 + j) % 7) as f64 * 0.1, ((i + 2 * j) % 5) as f64 * -0.1)
+        });
+        let s = zgemm_dagger_a(&psi, &psi);
+        assert_eq!(s.rows(), 5);
+        assert!(s.is_hermitian(1e-12), "overlap must be Hermitian");
+        // Compare against dagger+zgemm.
+        let mut s2 = CMatrix::zeros(5, 5);
+        zgemm(Complex64::ONE, &psi.dagger(), &psi, Complex64::ZERO, &mut s2);
+        assert!(s.max_abs_diff(&s2) < 1e-12);
+    }
+
+    #[test]
+    fn flop_accounting() {
+        mqmd_util::flops::take_flops();
+        let a = Matrix::zeros(8, 4);
+        let b = Matrix::zeros(4, 6);
+        let mut c = Matrix::zeros(8, 6);
+        dgemm(1.0, &a, &b, 0.0, &mut c);
+        assert_eq!(mqmd_util::flops::take_flops(), 2 * 8 * 6 * 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dimension_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let mut c = Matrix::zeros(2, 3);
+        dgemm(1.0, &a, &b, 0.0, &mut c);
+    }
+}

@@ -1,0 +1,369 @@
+//! Trajectory I/O with space-filling-curve delta compression.
+//!
+//! The paper (§4.4) reduces atomic-coordinate I/O with a
+//! "spacefilling-curve-based adaptive data compression scheme" (ref [65]):
+//! positions are quantised onto a fine grid, atoms are ordered along a
+//! space-filling curve, and the curve indices are delta-encoded — spatially
+//! adjacent atoms have nearby curve indices, so the deltas are small and
+//! varint-encode compactly. This module implements exactly that pipeline
+//! (Hilbert curve + LEB128 varints) plus a simple binary trajectory
+//! container.
+
+use crate::structure::AtomicSystem;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use mqmd_util::{MqmdError, Result, Vec3};
+use mqmd_grid::hilbert::{hilbert_decode, hilbert_encode};
+
+/// Maximum quantisation bits per axis (3·21 = 63 curve bits fit in u64).
+pub const MAX_BITS: u32 = 21;
+
+/// LEB128 unsigned varint encoding.
+pub fn write_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+/// LEB128 unsigned varint decoding.
+pub fn read_varint(buf: &mut impl Buf) -> Result<u64> {
+    let mut v = 0u64;
+    let mut shift = 0;
+    loop {
+        if !buf.has_remaining() {
+            return Err(MqmdError::Io("truncated varint".into()));
+        }
+        let byte = buf.get_u8();
+        v |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return Err(MqmdError::Io("varint overflow".into()));
+        }
+    }
+}
+
+/// A compressed snapshot of atomic positions.
+#[derive(Clone, Debug)]
+pub struct CompressedFrame {
+    /// Quantisation bits per axis.
+    pub bits: u32,
+    /// Cell lengths at capture time.
+    pub cell: Vec3,
+    /// Number of atoms.
+    pub n_atoms: usize,
+    /// Payload: sorted Hilbert-index deltas and original atom ids.
+    pub payload: Bytes,
+}
+
+impl CompressedFrame {
+    /// Compresses positions with `bits` bits per axis (quantisation error
+    /// ≤ cell/2^bits per component).
+    pub fn compress(system: &AtomicSystem, bits: u32) -> Self {
+        assert!(bits >= 1 && bits <= MAX_BITS);
+        let n_side = 1u64 << bits;
+        let cell = system.cell;
+        let mut keyed: Vec<(u64, u32)> = system
+            .positions
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| {
+                let w = r.wrap(cell);
+                let qx = ((w.x / cell.x * n_side as f64) as u64).min(n_side - 1) as u32;
+                let qy = ((w.y / cell.y * n_side as f64) as u64).min(n_side - 1) as u32;
+                let qz = ((w.z / cell.z * n_side as f64) as u64).min(n_side - 1) as u32;
+                (hilbert_encode(qx, qy, qz, bits), i as u32)
+            })
+            .collect();
+        keyed.sort_unstable();
+
+        let mut payload = BytesMut::new();
+        let mut prev = 0u64;
+        for &(h, id) in &keyed {
+            write_varint(&mut payload, h - prev);
+            write_varint(&mut payload, id as u64);
+            prev = h;
+        }
+        Self { bits, cell, n_atoms: keyed.len(), payload: payload.freeze() }
+    }
+
+    /// Decompresses to positions in original atom order (cell-centre of each
+    /// quantisation voxel).
+    pub fn decompress(&self) -> Result<Vec<Vec3>> {
+        let n_side = 1u64 << self.bits;
+        let mut out = vec![Vec3::ZERO; self.n_atoms];
+        let mut seen = vec![false; self.n_atoms];
+        let mut buf = self.payload.clone();
+        let mut h = 0u64;
+        for _ in 0..self.n_atoms {
+            h += read_varint(&mut buf)?;
+            let id = read_varint(&mut buf)? as usize;
+            if id >= self.n_atoms || seen[id] {
+                return Err(MqmdError::Io(format!("corrupt frame: bad atom id {id}")));
+            }
+            seen[id] = true;
+            let (qx, qy, qz) = hilbert_decode(h, self.bits);
+            out[id] = Vec3::new(
+                (qx as f64 + 0.5) / n_side as f64 * self.cell.x,
+                (qy as f64 + 0.5) / n_side as f64 * self.cell.y,
+                (qz as f64 + 0.5) / n_side as f64 * self.cell.z,
+            );
+        }
+        Ok(out)
+    }
+
+    /// Compressed size in bytes.
+    pub fn compressed_bytes(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Raw size the frame would occupy as 3 × f64 per atom.
+    pub fn raw_bytes(&self) -> usize {
+        self.n_atoms * 24
+    }
+
+    /// Compression ratio raw/compressed (> 1 is a win).
+    pub fn ratio(&self) -> f64 {
+        self.raw_bytes() as f64 / self.compressed_bytes().max(1) as f64
+    }
+
+    /// Worst-case quantisation error per component (half a voxel diagonal).
+    pub fn max_quantisation_error(&self) -> f64 {
+        let n_side = (1u64 << self.bits) as f64;
+        let hx = self.cell.x / n_side;
+        let hy = self.cell.y / n_side;
+        let hz = self.cell.z / n_side;
+        0.5 * (hx * hx + hy * hy + hz * hz).sqrt()
+    }
+}
+
+/// Magic bytes of the trajectory container format.
+const TRAJ_MAGIC: &[u8; 8] = b"MQMDTRJ1";
+
+/// A multi-frame compressed trajectory container.
+///
+/// Layout: magic, bits, cell, then per frame `(step, n_atoms, payload_len,
+/// payload)` — the aggregated stream a §4.4 collective-I/O master would
+/// write.
+#[derive(Clone, Debug, Default)]
+pub struct Trajectory {
+    /// Quantisation bits shared by all frames.
+    pub bits: u32,
+    /// Frames: `(MD step, compressed snapshot)`.
+    pub frames: Vec<(u64, CompressedFrame)>,
+}
+
+impl Trajectory {
+    /// Creates an empty trajectory with the given quantisation.
+    pub fn new(bits: u32) -> Self {
+        assert!(bits >= 1 && bits <= MAX_BITS);
+        Self { bits, frames: Vec::new() }
+    }
+
+    /// Appends a snapshot of the system at `step`.
+    pub fn push(&mut self, step: u64, system: &AtomicSystem) {
+        self.frames.push((step, CompressedFrame::compress(system, self.bits)));
+    }
+
+    /// Serialises the container to bytes.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_slice(TRAJ_MAGIC);
+        write_varint(&mut buf, self.bits as u64);
+        write_varint(&mut buf, self.frames.len() as u64);
+        for (step, frame) in &self.frames {
+            write_varint(&mut buf, *step);
+            buf.put_f64(frame.cell.x);
+            buf.put_f64(frame.cell.y);
+            buf.put_f64(frame.cell.z);
+            write_varint(&mut buf, frame.n_atoms as u64);
+            write_varint(&mut buf, frame.payload.len() as u64);
+            buf.put_slice(&frame.payload);
+        }
+        buf.freeze()
+    }
+
+    /// Deserialises a container.
+    pub fn from_bytes(mut data: Bytes) -> Result<Self> {
+        if data.len() < TRAJ_MAGIC.len() || &data[..TRAJ_MAGIC.len()] != TRAJ_MAGIC {
+            return Err(MqmdError::Io("not a MQMD trajectory (bad magic)".into()));
+        }
+        data.advance(TRAJ_MAGIC.len());
+        let bits = read_varint(&mut data)? as u32;
+        if bits == 0 || bits > MAX_BITS {
+            return Err(MqmdError::Io(format!("corrupt trajectory: bits = {bits}")));
+        }
+        let n_frames = read_varint(&mut data)? as usize;
+        let mut frames = Vec::with_capacity(n_frames.min(1 << 20));
+        for _ in 0..n_frames {
+            let step = read_varint(&mut data)?;
+            if data.remaining() < 24 {
+                return Err(MqmdError::Io("truncated trajectory frame header".into()));
+            }
+            let cell = Vec3::new(data.get_f64(), data.get_f64(), data.get_f64());
+            let n_atoms = read_varint(&mut data)? as usize;
+            let len = read_varint(&mut data)? as usize;
+            if data.remaining() < len {
+                return Err(MqmdError::Io("truncated trajectory payload".into()));
+            }
+            let payload = data.split_to(len);
+            frames.push((step, CompressedFrame { bits, cell, n_atoms, payload }));
+        }
+        Ok(Self { bits, frames })
+    }
+
+    /// Writes the container to a file.
+    pub fn save(&self, path: &std::path::Path) -> Result<()> {
+        std::fs::write(path, self.to_bytes())?;
+        Ok(())
+    }
+
+    /// Reads a container from a file.
+    pub fn load(path: &std::path::Path) -> Result<Self> {
+        let data = std::fs::read(path)?;
+        Self::from_bytes(Bytes::from(data))
+    }
+
+    /// Total compressed bytes across frames (excluding headers).
+    pub fn compressed_bytes(&self) -> usize {
+        self.frames.iter().map(|(_, f)| f.compressed_bytes()).sum()
+    }
+
+    /// Overall compression ratio versus raw 3×f64 coordinates.
+    pub fn ratio(&self) -> f64 {
+        let raw: usize = self.frames.iter().map(|(_, f)| f.raw_bytes()).sum();
+        raw as f64 / self.compressed_bytes().max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::sic_supercell;
+    use mqmd_util::Xoshiro256pp;
+
+    #[test]
+    fn varint_round_trip() {
+        let values = [0u64, 1, 127, 128, 300, 16383, 16384, u32::MAX as u64, u64::MAX];
+        let mut buf = BytesMut::new();
+        for &v in &values {
+            write_varint(&mut buf, v);
+        }
+        let mut bytes = buf.freeze();
+        for &v in &values {
+            assert_eq!(read_varint(&mut bytes).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn varint_small_values_are_one_byte() {
+        let mut buf = BytesMut::new();
+        write_varint(&mut buf, 100);
+        assert_eq!(buf.len(), 1);
+        write_varint(&mut buf, 200);
+        assert_eq!(buf.len(), 3); // 200 needs two bytes
+    }
+
+    #[test]
+    fn compression_round_trip_within_quantisation_error() {
+        let s = sic_supercell((3, 3, 3));
+        let frame = CompressedFrame::compress(&s, 16);
+        let back = frame.decompress().unwrap();
+        assert_eq!(back.len(), s.len());
+        let tol = frame.max_quantisation_error();
+        for (a, b) in back.iter().zip(&s.positions) {
+            assert!((*a - *b).min_image(s.cell).norm() <= tol * 1.0001);
+        }
+    }
+
+    #[test]
+    fn crystal_compresses_well() {
+        // Ordered structures put consecutive curve indices close together:
+        // the paper's premise. Expect clearly better than raw f64 storage.
+        let s = sic_supercell((4, 4, 4));
+        let frame = CompressedFrame::compress(&s, 12);
+        assert!(frame.ratio() > 3.0, "ratio {}", frame.ratio());
+    }
+
+    #[test]
+    fn more_bits_bigger_payload_smaller_error() {
+        let s = sic_supercell((3, 3, 3));
+        let lo = CompressedFrame::compress(&s, 8);
+        let hi = CompressedFrame::compress(&s, 16);
+        assert!(hi.compressed_bytes() > lo.compressed_bytes());
+        assert!(hi.max_quantisation_error() < lo.max_quantisation_error());
+    }
+
+    #[test]
+    fn random_gas_still_round_trips() {
+        let mut rng = Xoshiro256pp::seed_from_u64(23);
+        let n = 500;
+        let cell = Vec3::splat(30.0);
+        let positions: Vec<Vec3> = (0..n)
+            .map(|_| {
+                Vec3::new(
+                    rng.uniform_in(0.0, 30.0),
+                    rng.uniform_in(0.0, 30.0),
+                    rng.uniform_in(0.0, 30.0),
+                )
+            })
+            .collect();
+        let s = AtomicSystem::new(cell, vec![mqmd_util::constants::Element::O; n], positions);
+        let frame = CompressedFrame::compress(&s, 14);
+        let back = frame.decompress().unwrap();
+        let tol = frame.max_quantisation_error();
+        for (a, b) in back.iter().zip(&s.positions) {
+            assert!((*a - *b).min_image(cell).norm() <= tol * 1.0001);
+        }
+    }
+
+    #[test]
+    fn trajectory_round_trip_through_bytes_and_file() {
+        let mut sys = sic_supercell((2, 2, 2));
+        let mut traj = Trajectory::new(14);
+        let mut rng = Xoshiro256pp::seed_from_u64(9);
+        for step in 0..5u64 {
+            crate::builders::amorphize(&mut sys, 0.05, &mut rng);
+            traj.push(step * 10, &sys);
+        }
+        let bytes = traj.to_bytes();
+        let back = Trajectory::from_bytes(bytes).unwrap();
+        assert_eq!(back.frames.len(), 5);
+        assert_eq!(back.frames[3].0, 30);
+        let tol = back.frames[4].1.max_quantisation_error() * 1.0001;
+        let decoded = back.frames[4].1.decompress().unwrap();
+        for (a, b) in decoded.iter().zip(&sys.positions) {
+            assert!((*a - *b).min_image(sys.cell).norm() <= tol);
+        }
+        // File round trip.
+        let dir = std::env::temp_dir().join("mqmd_traj_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("test.mqmdtrj");
+        traj.save(&path).unwrap();
+        let loaded = Trajectory::load(&path).unwrap();
+        assert_eq!(loaded.frames.len(), 5);
+        assert!(loaded.ratio() > 1.0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn trajectory_rejects_garbage() {
+        assert!(Trajectory::from_bytes(Bytes::from_static(b"not a trajectory")).is_err());
+        assert!(Trajectory::from_bytes(Bytes::from_static(b"MQMDTRJ1\xff\xff")).is_err());
+    }
+
+    #[test]
+    fn corrupt_payload_detected() {
+        let s = sic_supercell((1, 1, 1));
+        let mut frame = CompressedFrame::compress(&s, 10);
+        frame.payload = Bytes::from_static(&[0xff, 0xff]);
+        assert!(frame.decompress().is_err());
+    }
+}

@@ -1,0 +1,22 @@
+//! # mqmd-md
+//!
+//! The molecular dynamics engine underneath the QMD driver: atomic
+//! structures and workload builders (the paper's SiC, CdSe and LiAl systems),
+//! linked-cell neighbour lists, the velocity-Verlet integrator, thermostats,
+//! and trajectory I/O with the space-filling-curve delta compression of the
+//! paper's §4.4.
+//!
+//! Forces are abstracted behind [`forcefield::ForceField`] so the same
+//! integrator runs on the classical test potential here, on the O(N³)
+//! plane-wave DFT of `mqmd-dft`, and on the LDC-DFT of `mqmd-core`.
+
+pub mod builders;
+pub mod forcefield;
+pub mod integrator;
+pub mod io;
+pub mod neighbor;
+pub mod structure;
+pub mod thermostat;
+
+pub use forcefield::{ForceField, ForceResult};
+pub use structure::AtomicSystem;

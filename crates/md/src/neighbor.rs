@@ -1,0 +1,215 @@
+//! Linked-cell neighbour list.
+//!
+//! O(N) construction: the cell is binned into boxes at least as large as the
+//! cutoff; each atom only tests the 27 surrounding boxes. This backs the
+//! classical force fields, the surface detector in `mqmd-chem`, and the
+//! short-range part of the Ewald ion–ion energy in `mqmd-dft`.
+
+use crate::structure::AtomicSystem;
+use mqmd_util::Vec3;
+
+/// A half neighbour list: every unordered pair within the cutoff appears
+/// exactly once as `(i, j)` with `i < j`.
+#[derive(Clone, Debug)]
+pub struct NeighborList {
+    cutoff: f64,
+    pairs: Vec<(u32, u32)>,
+}
+
+impl NeighborList {
+    /// Builds the list for the current positions.
+    ///
+    /// # Panics
+    /// Panics if the cutoff exceeds half the smallest cell length (minimum
+    /// image would be ambiguous).
+    pub fn build(system: &AtomicSystem, cutoff: f64) -> Self {
+        assert!(cutoff > 0.0);
+        let min_l = system.cell.x.min(system.cell.y).min(system.cell.z);
+        assert!(
+            cutoff <= 0.5 * min_l + 1e-12,
+            "cutoff {cutoff} exceeds half the smallest cell length {min_l}"
+        );
+        let n = system.len();
+        // Bin counts per axis (at least 1, boxes ≥ cutoff when ≥ 3 bins).
+        let nbx = ((system.cell.x / cutoff).floor() as usize).max(1);
+        let nby = ((system.cell.y / cutoff).floor() as usize).max(1);
+        let nbz = ((system.cell.z / cutoff).floor() as usize).max(1);
+
+        // With fewer than 3 bins along an axis the 27-stencil double-counts
+        // periodic images; fall back to the O(N²) scan (small systems only).
+        if nbx < 3 || nby < 3 || nbz < 3 {
+            let mut pairs = Vec::new();
+            let c2 = cutoff * cutoff;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if system.displacement(i, j).norm_sqr() <= c2 {
+                        pairs.push((i as u32, j as u32));
+                    }
+                }
+            }
+            return Self { cutoff, pairs };
+        }
+
+        let bin_of = |r: Vec3| -> (usize, usize, usize) {
+            let bx = ((r.x / system.cell.x * nbx as f64) as usize).min(nbx - 1);
+            let by = ((r.y / system.cell.y * nby as f64) as usize).min(nby - 1);
+            let bz = ((r.z / system.cell.z * nbz as f64) as usize).min(nbz - 1);
+            (bx, by, bz)
+        };
+        let mut bins: Vec<Vec<u32>> = vec![Vec::new(); nbx * nby * nbz];
+        for (i, &r) in system.positions.iter().enumerate() {
+            let (bx, by, bz) = bin_of(r);
+            bins[(bx * nby + by) * nbz + bz].push(i as u32);
+        }
+
+        let c2 = cutoff * cutoff;
+        let mut pairs = Vec::new();
+        for bx in 0..nbx {
+            for by in 0..nby {
+                for bz in 0..nbz {
+                    let home = &bins[(bx * nby + by) * nbz + bz];
+                    for dz in -1i64..=1 {
+                        for dy in -1i64..=1 {
+                            for dx in -1i64..=1 {
+                                let ox = (bx as i64 + dx).rem_euclid(nbx as i64) as usize;
+                                let oy = (by as i64 + dy).rem_euclid(nby as i64) as usize;
+                                let oz = (bz as i64 + dz).rem_euclid(nbz as i64) as usize;
+                                let other_idx = (ox * nby + oy) * nbz + oz;
+                                let home_idx = (bx * nby + by) * nbz + bz;
+                                if other_idx < home_idx {
+                                    continue; // each box pair handled once
+                                }
+                                let other = &bins[other_idx];
+                                if other_idx == home_idx {
+                                    for (a, &i) in home.iter().enumerate() {
+                                        for &j in &home[a + 1..] {
+                                            if system.displacement(i as usize, j as usize).norm_sqr() <= c2 {
+                                                pairs.push((i.min(j), i.max(j)));
+                                            }
+                                        }
+                                    }
+                                } else {
+                                    for &i in home {
+                                        for &j in other {
+                                            if system.displacement(i as usize, j as usize).norm_sqr() <= c2 {
+                                                pairs.push((i.min(j), i.max(j)));
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+        Self { cutoff, pairs }
+    }
+
+    /// The cutoff the list was built with.
+    pub fn cutoff(&self) -> f64 {
+        self.cutoff
+    }
+
+    /// All unordered pairs `(i, j)` with `i < j` within the cutoff.
+    pub fn pairs(&self) -> &[(u32, u32)] {
+        &self.pairs
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True when no pair is within the cutoff.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Per-atom coordination numbers.
+    pub fn coordination(&self, n_atoms: usize) -> Vec<usize> {
+        let mut z = vec![0usize; n_atoms];
+        for &(i, j) in &self.pairs {
+            z[i as usize] += 1;
+            z[j as usize] += 1;
+        }
+        z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::sic_supercell;
+    use mqmd_util::constants::Element;
+
+    fn brute_force(system: &AtomicSystem, cutoff: f64) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        for i in 0..system.len() {
+            for j in (i + 1)..system.len() {
+                if system.distance(i, j) <= cutoff {
+                    out.push((i as u32, j as u32));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matches_brute_force_on_crystal() {
+        let s = sic_supercell((3, 3, 3));
+        for cutoff in [2.0, 4.0, 6.0] {
+            let list = NeighborList::build(&s, cutoff);
+            let brute = brute_force(&s, cutoff);
+            assert_eq!(list.pairs(), brute.as_slice(), "cutoff {cutoff}");
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_gas() {
+        let mut rng = mqmd_util::Xoshiro256pp::seed_from_u64(9);
+        let n = 200;
+        let cell = Vec3::splat(15.0);
+        let positions: Vec<Vec3> = (0..n)
+            .map(|_| {
+                Vec3::new(
+                    rng.uniform_in(0.0, 15.0),
+                    rng.uniform_in(0.0, 15.0),
+                    rng.uniform_in(0.0, 15.0),
+                )
+            })
+            .collect();
+        let s = AtomicSystem::new(cell, vec![Element::H; n], positions);
+        let list = NeighborList::build(&s, 3.0);
+        assert_eq!(list.pairs(), brute_force(&s, 3.0).as_slice());
+    }
+
+    #[test]
+    fn small_cell_fallback_path() {
+        // Cell barely twice the cutoff: exercises the O(N²) fallback.
+        let s = sic_supercell((1, 1, 1));
+        let cutoff = 4.0;
+        let list = NeighborList::build(&s, cutoff);
+        assert_eq!(list.pairs(), brute_force(&s, cutoff).as_slice());
+    }
+
+    #[test]
+    fn zincblende_coordination_is_four() {
+        let s = sic_supercell((2, 2, 2));
+        // First-shell cutoff: between a√3/4 ≈ 3.57 and the second shell a/√2 ≈ 5.8.
+        let list = NeighborList::build(&s, 4.5);
+        let z = list.coordination(s.len());
+        for (i, &zi) in z.iter().enumerate() {
+            assert_eq!(zi, 4, "atom {i} has coordination {zi}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_cutoff_rejected() {
+        let s = sic_supercell((1, 1, 1));
+        NeighborList::build(&s, 6.0);
+    }
+}

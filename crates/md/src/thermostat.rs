@@ -1,0 +1,171 @@
+//! Thermostats for canonical (NVT) sampling.
+//!
+//! The hydrogen-on-demand simulations run at fixed temperatures (300, 600,
+//! 1,500 K); production QMD codes use Nosé–Hoover chains for rigorous
+//! canonical sampling and Berendsen rescaling for rapid equilibration. Both
+//! are provided.
+
+use crate::structure::AtomicSystem;
+use mqmd_util::constants::KB_HARTREE_PER_K;
+
+/// A velocity-rescaling policy applied after each MD step.
+pub trait Thermostat {
+    /// Adjusts velocities toward the target temperature; `dt` in a.u.
+    fn apply(&mut self, system: &mut AtomicSystem, dt: f64);
+    /// Target temperature in Kelvin.
+    fn target(&self) -> f64;
+}
+
+/// Berendsen weak-coupling thermostat: exponential relaxation of the
+/// kinetic temperature with time constant `tau`.
+#[derive(Clone, Copy, Debug)]
+pub struct Berendsen {
+    /// Target temperature (K).
+    pub t_target: f64,
+    /// Relaxation time constant (a.u.).
+    pub tau: f64,
+}
+
+impl Thermostat for Berendsen {
+    fn apply(&mut self, system: &mut AtomicSystem, dt: f64) {
+        let t_now = system.temperature();
+        if t_now <= 0.0 {
+            return;
+        }
+        let lambda = (1.0 + dt / self.tau * (self.t_target / t_now - 1.0)).max(0.0).sqrt();
+        for v in &mut system.velocities {
+            *v *= lambda;
+        }
+    }
+
+    fn target(&self) -> f64 {
+        self.t_target
+    }
+}
+
+/// Single Nosé–Hoover thermostat (one chain link) integrated with the
+/// velocity-Verlet-compatible half-step scheme.
+#[derive(Clone, Copy, Debug)]
+pub struct NoseHoover {
+    /// Target temperature (K).
+    pub t_target: f64,
+    /// Thermostat "mass" Q (a.u.); larger = gentler coupling.
+    pub q: f64,
+    /// Thermostat momentum (internal state).
+    pub xi: f64,
+}
+
+impl NoseHoover {
+    /// Creates a thermostat with the standard mass heuristic
+    /// `Q = 3·N·k_B·T·τ²` for relaxation time `tau`.
+    pub fn new(t_target: f64, n_atoms: usize, tau: f64) -> Self {
+        let q = 3.0 * n_atoms as f64 * KB_HARTREE_PER_K * t_target.max(1.0) * tau * tau;
+        Self { t_target, q, xi: 0.0 }
+    }
+}
+
+impl Thermostat for NoseHoover {
+    fn apply(&mut self, system: &mut AtomicSystem, dt: f64) {
+        let n = system.len();
+        if n == 0 {
+            return;
+        }
+        let g = 3.0 * n as f64;
+        let kt = KB_HARTREE_PER_K * self.t_target;
+        // Half-step ξ update, full velocity scale, half-step ξ update.
+        let ke = system.kinetic_energy();
+        self.xi += 0.5 * dt * (2.0 * ke - g * kt) / self.q;
+        let scale = (-self.xi * dt).exp();
+        for v in &mut system.velocities {
+            *v *= scale;
+        }
+        let ke2 = system.kinetic_energy();
+        self.xi += 0.5 * dt * (2.0 * ke2 - g * kt) / self.q;
+    }
+
+    fn target(&self) -> f64 {
+        self.t_target
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forcefield::LennardJones;
+    use crate::integrator::VelocityVerlet;
+    use crate::structure::AtomicSystem;
+    use mqmd_util::constants::Element;
+    use mqmd_util::{Vec3, Xoshiro256pp};
+
+    fn gas(n_side: usize, spacing: f64) -> AtomicSystem {
+        let n = n_side.pow(3);
+        let mut positions = Vec::with_capacity(n);
+        for i in 0..n_side {
+            for j in 0..n_side {
+                for k in 0..n_side {
+                    positions.push(Vec3::new(i as f64, j as f64, k as f64) * spacing);
+                }
+            }
+        }
+        AtomicSystem::new(Vec3::splat(n_side as f64 * spacing), vec![Element::Al; n], positions)
+    }
+
+    #[test]
+    fn berendsen_relaxes_to_target() {
+        let mut sys = gas(4, 7.0);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        sys.thermalize(100.0, &mut rng);
+        let mut lj = LennardJones { epsilon: 3e-4, sigma: 5.0, cutoff: 12.0 };
+        let mut vv = VelocityVerlet::new(20.0);
+        let mut thermo = Berendsen { t_target: 600.0, tau: 400.0 };
+        for _ in 0..300 {
+            vv.step(&mut sys, &mut lj);
+            thermo.apply(&mut sys, vv.dt);
+        }
+        let t = sys.temperature();
+        assert!((t - 600.0).abs() < 120.0, "temperature {t} not near 600 K");
+    }
+
+    #[test]
+    fn berendsen_cools_hot_system() {
+        let mut sys = gas(3, 8.0);
+        let mut rng = Xoshiro256pp::seed_from_u64(7);
+        sys.thermalize(2000.0, &mut rng);
+        let mut thermo = Berendsen { t_target: 300.0, tau: 100.0 };
+        // Pure rescaling (no dynamics): converges geometrically.
+        for _ in 0..200 {
+            thermo.apply(&mut sys, 10.0);
+        }
+        assert!((sys.temperature() - 300.0).abs() < 5.0);
+    }
+
+    #[test]
+    fn nose_hoover_mean_temperature() {
+        let mut sys = gas(4, 7.0);
+        let mut rng = Xoshiro256pp::seed_from_u64(11);
+        sys.thermalize(900.0, &mut rng);
+        let mut lj = LennardJones { epsilon: 3e-4, sigma: 5.0, cutoff: 12.0 };
+        let mut vv = VelocityVerlet::new(20.0);
+        let mut thermo = NoseHoover::new(600.0, sys.len(), 500.0);
+        let mut temps = Vec::new();
+        for step in 0..600 {
+            vv.step(&mut sys, &mut lj);
+            thermo.apply(&mut sys, vv.dt);
+            if step >= 200 {
+                temps.push(sys.temperature());
+            }
+        }
+        let mean = mqmd_util::stats::mean(&temps);
+        assert!((mean - 600.0).abs() < 100.0, "NH mean temperature {mean}");
+    }
+
+    #[test]
+    fn nose_hoover_xi_responds_to_temperature_error() {
+        let mut sys = gas(3, 8.0);
+        let mut rng = Xoshiro256pp::seed_from_u64(13);
+        sys.thermalize(1200.0, &mut rng);
+        let mut thermo = NoseHoover::new(300.0, sys.len(), 200.0);
+        thermo.apply(&mut sys, 10.0);
+        assert!(thermo.xi > 0.0, "hot system must push ξ positive (friction)");
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests of the MD engine: neighbour-list correctness on
+//! random gases, force-field gradient consistency, thermalisation
+//! invariants, and compression round trips.
+
+use mqmd_md::builders::amorphize;
+use mqmd_md::forcefield::{ForceField, LennardJones};
+use mqmd_md::io::{read_varint, write_varint, CompressedFrame};
+use mqmd_md::neighbor::NeighborList;
+use mqmd_md::AtomicSystem;
+use mqmd_util::constants::Element;
+use mqmd_util::{Vec3, Xoshiro256pp};
+use proptest::prelude::*;
+
+fn random_gas(n: usize, l: f64, seed: u64) -> AtomicSystem {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    let positions: Vec<Vec3> = (0..n)
+        .map(|_| Vec3::new(rng.uniform_in(0.0, l), rng.uniform_in(0.0, l), rng.uniform_in(0.0, l)))
+        .collect();
+    AtomicSystem::new(Vec3::splat(l), vec![Element::Al; n], positions)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn neighbor_list_matches_brute_force(n in 2usize..80, seed in any::<u64>(), cut_frac in 0.1..0.45f64) {
+        let l = 14.0;
+        let sys = random_gas(n, l, seed);
+        let cutoff = cut_frac * l;
+        let list = NeighborList::build(&sys, cutoff);
+        let mut brute = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if sys.distance(i, j) <= cutoff {
+                    brute.push((i as u32, j as u32));
+                }
+            }
+        }
+        prop_assert_eq!(list.pairs(), brute.as_slice());
+    }
+
+    #[test]
+    fn lj_forces_sum_to_zero(n in 2usize..40, seed in any::<u64>()) {
+        let sys = random_gas(n, 16.0, seed);
+        let mut lj = LennardJones { epsilon: 1e-3, sigma: 3.0, cutoff: 7.0 };
+        let out = lj.compute(&sys);
+        let total: Vec3 = out.forces.iter().copied().sum();
+        // Newton's third law: cancellation is exact pairwise, so the sum is
+        // bounded by float round-off relative to the largest force (random
+        // gases can have near-overlapping atoms with enormous repulsion).
+        let max_force = out.forces.iter().map(|f| f.norm()).fold(0.0, f64::max);
+        prop_assert!(total.norm() <= 1e-12 * (1.0 + max_force) * n as f64);
+    }
+
+    #[test]
+    fn thermalize_hits_any_target(t in 1.0..5000.0f64, seed in any::<u64>()) {
+        let mut sys = random_gas(32, 20.0, seed);
+        let mut rng = Xoshiro256pp::seed_from_u64(seed ^ 0xABCD);
+        sys.thermalize(t, &mut rng);
+        prop_assert!((sys.temperature() - t).abs() < 1e-6 * t);
+        let p: Vec3 = (0..sys.len()).map(|i| sys.velocities[i] * sys.mass(i)).sum();
+        prop_assert!(p.norm() < 1e-6);
+    }
+
+    #[test]
+    fn varint_round_trips(values in prop::collection::vec(any::<u64>(), 0..40)) {
+        let mut buf = bytes::BytesMut::new();
+        for &v in &values {
+            write_varint(&mut buf, v);
+        }
+        let mut bytes = buf.freeze();
+        for &v in &values {
+            prop_assert_eq!(read_varint(&mut bytes).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn compression_round_trip_random_systems(n in 1usize..120, bits in 8u32..18, seed in any::<u64>()) {
+        let sys = random_gas(n, 25.0, seed);
+        let frame = CompressedFrame::compress(&sys, bits);
+        let back = frame.decompress().unwrap();
+        prop_assert_eq!(back.len(), n);
+        let tol = frame.max_quantisation_error() * 1.0001;
+        for (a, b) in back.iter().zip(&sys.positions) {
+            prop_assert!((*a - *b).min_image(sys.cell).norm() <= tol);
+        }
+    }
+
+    #[test]
+    fn amorphize_preserves_atom_count_and_cell(sigma in 0.0..1.0f64, seed in any::<u64>()) {
+        let mut sys = random_gas(20, 12.0, seed);
+        let cell = sys.cell;
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        amorphize(&mut sys, sigma, &mut rng);
+        prop_assert_eq!(sys.len(), 20);
+        prop_assert_eq!(sys.cell, cell);
+        for r in &sys.positions {
+            prop_assert!(r.x >= 0.0 && r.x < cell.x);
+        }
+    }
+}

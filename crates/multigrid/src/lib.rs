@@ -1,0 +1,26 @@
+//! # mqmd-multigrid
+//!
+//! Geometric multigrid solver for the periodic Poisson equation
+//! `∇²V_H(r) = −4π·ρ(r)` — the *globally scalable* half of the paper's
+//! GSLF electronic-structure solver (§3.2). Once the global density is
+//! assembled from the DC domains, the Hartree potential is obtained on the
+//! global real-space grid by a V-cycle hierarchy whose tree structure (blue
+//! lines of the paper's Fig 3) carries progressively less data at upper
+//! levels, which is exactly what makes the method scale on tree networks.
+//!
+//! * [`stencil`] — periodic 7-point Laplacian and residuals;
+//! * [`smoother`] — weighted-Jacobi and red-black Gauss–Seidel sweeps;
+//! * [`transfer`] — full-weighting restriction / trilinear prolongation;
+//! * [`vcycle`] — the V-cycle driver and the user-facing
+//!   [`vcycle::PoissonMultigrid`];
+//! * [`fftpoisson`] — an FFT-based reference solver used for verification
+//!   (and as the in-domain Hartree path in `mqmd-dft`).
+
+pub mod fftpoisson;
+pub mod smoother;
+pub mod stencil;
+pub mod transfer;
+pub mod vcycle;
+
+pub use fftpoisson::FftPoisson;
+pub use vcycle::PoissonMultigrid;

@@ -1,0 +1,198 @@
+//! A miniature message-passing executor: MPI-style rank programs on
+//! threads.
+//!
+//! The paper's code is MPI everywhere (§3.3); this executor provides the
+//! same programming model locally — each rank runs on its own thread with
+//! `send`/`recv` point-to-point channels, `barrier`, and an
+//! `allreduce_sum` — so the BSD communication patterns can be *executed*,
+//! not just priced by the cost model. The `MPI_COMM_SPLIT` of the domain
+//! decomposition corresponds to constructing one executor per domain
+//! group.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::{Arc, Barrier};
+
+/// The per-rank communicator handle.
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    senders: Vec<Sender<Vec<f64>>>,
+    receiver: Receiver<Vec<f64>>,
+    barrier: Arc<Barrier>,
+}
+
+impl Comm {
+    /// This rank's id.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Communicator size.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Sends a message to `dest` (non-blocking, unbounded buffering).
+    pub fn send(&self, dest: usize, data: Vec<f64>) {
+        self.senders[dest].send(data).expect("receiver alive for the run's duration");
+    }
+
+    /// Receives the next message addressed to this rank (blocking).
+    pub fn recv(&self) -> Vec<f64> {
+        self.receiver.recv().expect("senders alive for the run's duration")
+    }
+
+    /// Blocks until every rank reaches the barrier.
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    /// Element-wise sum allreduce over all ranks (naive gather-to-0 +
+    /// broadcast — the semantics, not the tree optimisation, which the cost
+    /// model prices separately).
+    pub fn allreduce_sum(&self, mut data: Vec<f64>) -> Vec<f64> {
+        if self.size == 1 {
+            return data;
+        }
+        if self.rank == 0 {
+            for _ in 1..self.size {
+                let other = self.recv();
+                assert_eq!(other.len(), data.len(), "allreduce length mismatch");
+                for (a, b) in data.iter_mut().zip(other) {
+                    *a += b;
+                }
+            }
+            for dest in 1..self.size {
+                self.send(dest, data.clone());
+            }
+            data
+        } else {
+            self.send(0, data);
+            self.recv()
+        }
+    }
+}
+
+/// Runs `f(rank, comm)` on `n` rank threads and returns the per-rank
+/// results in rank order. Panics in any rank propagate.
+pub fn run_ranks<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, &Comm) -> T + Sync,
+{
+    assert!(n >= 1);
+    let mut senders = Vec::with_capacity(n);
+    let mut receivers = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    let barrier = Arc::new(Barrier::new(n));
+
+    let mut comms: Vec<Comm> = receivers
+        .into_iter()
+        .enumerate()
+        .map(|(rank, receiver)| Comm {
+            rank,
+            size: n,
+            senders: senders.clone(),
+            receiver,
+            barrier: barrier.clone(),
+        })
+        .collect();
+    drop(senders);
+
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = comms
+            .drain(..)
+            .enumerate()
+            .map(|(rank, comm)| {
+                let f = &f;
+                scope.spawn(move |_| f(rank, &comm))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+    })
+    .expect("executor scope")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_know_their_identity() {
+        let out = run_ranks(4, |rank, comm| {
+            assert_eq!(comm.rank(), rank);
+            assert_eq!(comm.size(), 4);
+            rank * 10
+        });
+        assert_eq!(out, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn ring_pass_accumulates() {
+        // Each rank sends its id to the next; after one hop every rank holds
+        // its predecessor's id.
+        let n = 5;
+        let out = run_ranks(n, |rank, comm| {
+            comm.send((rank + 1) % n, vec![rank as f64]);
+            comm.recv()[0] as usize
+        });
+        for (rank, &got) in out.iter().enumerate() {
+            assert_eq!(got, (rank + n - 1) % n);
+        }
+    }
+
+    #[test]
+    fn allreduce_sums_across_ranks() {
+        let n = 6;
+        let out = run_ranks(n, |rank, comm| {
+            comm.allreduce_sum(vec![rank as f64, 1.0])
+        });
+        let expect = vec![(0..6).sum::<usize>() as f64, 6.0];
+        for o in out {
+            assert_eq!(o, expect);
+        }
+    }
+
+    #[test]
+    fn repeated_allreduces_stay_consistent() {
+        // The global-density reduction happens every SCF iteration; repeated
+        // collectives must not deadlock or cross-talk.
+        let out = run_ranks(3, |rank, comm| {
+            let mut acc = 0.0;
+            for round in 0..10 {
+                let r = comm.allreduce_sum(vec![(rank + round) as f64]);
+                acc += r[0];
+            }
+            acc
+        });
+        // Σ_round Σ_rank (rank + round) = Σ_round (3 + 3·round) = 30 + 3·45·...
+        let expect: f64 = (0..10).map(|round| (0..3).map(|r| (r + round) as f64).sum::<f64>()).sum();
+        for o in out {
+            assert_eq!(o, expect);
+        }
+    }
+
+    #[test]
+    fn barrier_synchronises_phases() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let phase1 = AtomicUsize::new(0);
+        let out = run_ranks(4, |_, comm| {
+            phase1.fetch_add(1, Ordering::SeqCst);
+            comm.barrier();
+            // After the barrier every rank must observe all 4 phase-1
+            // increments.
+            phase1.load(Ordering::SeqCst)
+        });
+        assert_eq!(out, vec![4, 4, 4, 4]);
+    }
+
+    #[test]
+    fn single_rank_degenerates_gracefully() {
+        let out = run_ranks(1, |_, comm| comm.allreduce_sum(vec![7.0]));
+        assert_eq!(out, vec![vec![7.0]]);
+    }
+}

@@ -1,0 +1,129 @@
+//! Collective file I/O model (paper §4.4).
+//!
+//! Creating a file per MPI rank is impossible at 786,432 ranks, and a
+//! single writer serialises everything; the paper groups ranks into
+//! aggregation groups (master gathers, master writes) and reports an
+//! optimal group size of **192** ranks, with read/write times of 9.1 s and
+//! 99 s over a 12-hour production run (0.02 % / 0.23 %).
+
+use crate::collectives::allreduce_time;
+use crate::machine::MachineSpec;
+
+/// Parameters of the collective-I/O configuration.
+#[derive(Clone, Debug)]
+pub struct CollectiveIoModel {
+    /// Machine parameters (network side of the aggregation).
+    pub machine: MachineSpec,
+    /// Number of I/O servers (BG/Q: 1 I/O node per 128 compute nodes on
+    /// Mira; each sustains `server_bandwidth`).
+    pub io_servers: usize,
+    /// Sustained bandwidth per I/O server (bytes/s).
+    pub server_bandwidth: f64,
+    /// Per-file-open overhead (s) paid by each writing master.
+    pub file_open_overhead: f64,
+}
+
+impl CollectiveIoModel {
+    /// Mira-like configuration.
+    pub fn mira() -> Self {
+        Self {
+            machine: MachineSpec::mira(),
+            io_servers: 384,
+            server_bandwidth: 0.6e9,
+            file_open_overhead: 0.05,
+        }
+    }
+
+    /// Time for all `total_ranks` ranks to write `bytes_per_rank` through
+    /// aggregation groups of size `group`.
+    ///
+    /// Masters = total/group; gather inside each group is a binomial tree
+    /// over the group; writing is striped over `min(masters, io_servers)`
+    /// servers; per-master file-management overhead grows with the number
+    /// of files — the tension that creates an interior optimum.
+    pub fn write_time(&self, total_ranks: usize, bytes_per_rank: f64, group: usize) -> f64 {
+        assert!(group >= 1 && group <= total_ranks);
+        let masters = total_ranks.div_ceil(group);
+        let group_bytes = bytes_per_rank * group as f64;
+        let gather = allreduce_time(&self.machine, group_bytes, group);
+        let writers = masters.min(self.io_servers);
+        let total_bytes = bytes_per_rank * total_ranks as f64;
+        let disk = total_bytes / (writers as f64 * self.server_bandwidth);
+        // File management: metadata cost per file, serialised on the
+        // metadata server in batches across io_servers.
+        let metadata = self.file_open_overhead * masters as f64 / self.io_servers as f64;
+        gather + disk + metadata
+    }
+
+    /// Finds the group size minimising write time over a candidate list.
+    pub fn optimal_group(&self, total_ranks: usize, bytes_per_rank: f64) -> usize {
+        let candidates = [1usize, 4, 16, 48, 96, 192, 384, 768, 1536, 4096, 16384];
+        candidates
+            .into_iter()
+            .filter(|&g| g <= total_ranks)
+            .min_by(|&a, &b| {
+                self.write_time(total_ranks, bytes_per_rank, a)
+                    .partial_cmp(&self.write_time(total_ranks, bytes_per_rank, b))
+                    .unwrap()
+            })
+            .expect("candidate list is non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extremes_are_bad() {
+        let m = CollectiveIoModel::mira();
+        let ranks = 786_432;
+        let bytes = 4096.0;
+        let t_opt = m.write_time(ranks, bytes, 192);
+        let t_one = m.write_time(ranks, bytes, 1); // file per rank
+        let t_all = m.write_time(ranks, bytes, ranks); // single writer
+        assert!(t_opt < t_one, "per-rank files: {t_one} vs {t_opt}");
+        assert!(t_opt < t_all, "single writer: {t_all} vs {t_opt}");
+    }
+
+    #[test]
+    fn optimum_is_interior_and_near_paper_value() {
+        // At production checkpoint volumes (~1 MB/rank of wave-function
+        // data) the gather and metadata costs balance near the paper's
+        // optimal group of 192 ranks.
+        let m = CollectiveIoModel::mira();
+        let g = m.optimal_group(786_432, 1.0e6);
+        assert_eq!(g, 192, "optimal group (paper: 192)");
+    }
+
+    #[test]
+    fn optimum_grows_for_tiny_payloads() {
+        // With negligible data the metadata term dominates and larger
+        // groups win — the model's trade-off is payload-dependent.
+        let m = CollectiveIoModel::mira();
+        let g = m.optimal_group(786_432, 4096.0);
+        assert!(g > 192, "tiny payloads favour fewer files, got {g}");
+    }
+
+    #[test]
+    fn production_io_fraction_is_small() {
+        // §4.4: write time ~99 s over a 12 h run = 0.23 %. Our model at the
+        // paper's scale should put the optimal-group write in the same
+        // order of magnitude.
+        let m = CollectiveIoModel::mira();
+        // 16,661 atoms × 24 B × ~2000 snapshots ≈ 0.8 GB total → trivial;
+        // checkpoint data (wave functions) dominates: take ~1 MB/rank.
+        let t = m.write_time(786_432, 1.0e6, 192);
+        let twelve_hours = 12.0 * 3600.0;
+        assert!(t / twelve_hours < 0.05, "I/O fraction {}", t / twelve_hours);
+        assert!(t > 1.0, "writing ~0.8 TB takes non-trivial seconds: {t}");
+    }
+
+    #[test]
+    fn write_time_scales_with_volume() {
+        let m = CollectiveIoModel::mira();
+        let t1 = m.write_time(49_152, 1.0e5, 192);
+        let t2 = m.write_time(49_152, 2.0e5, 192);
+        assert!(t2 > t1);
+    }
+}

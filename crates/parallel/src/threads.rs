@@ -1,0 +1,175 @@
+//! Per-core thread-throughput model (paper Table 1 and §4.1).
+//!
+//! A Blue Gene/Q PowerPC A2 core issues at most one AXU (floating-point)
+//! and one XU (load/store/branch) instruction per cycle, *from different
+//! hardware threads*: a single thread cannot dual-issue, so ≥ 2 threads per
+//! core are needed to approach full FP issue, and 4 threads hide further
+//! latency until memory bandwidth saturates (§4.1). The model captures this
+//! with three calibration constants measured off the paper's own 4-node row
+//! of Table 1:
+//!
+//! * `single_thread_eff` = 0.29 — fraction of peak a lone thread sustains
+//!   (issue-limited);
+//! * `dual_issue_gain` = 1.45 — second hardware thread fills the dual-issue
+//!   slot;
+//! * `smt4_gain` = 1.88 — four threads hide remaining latency;
+//!
+//! and a memory-bandwidth ceiling from the kernel's arithmetic intensity
+//! that can make 4 threads *slower* than 2 when saturated — the
+//! non-monotonicity the paper notes ("saturating all hardware threads does
+//! not necessarily improve the performance").
+
+use crate::machine::MachineSpec;
+
+/// Throughput model for one kernel on one machine.
+#[derive(Clone, Copy, Debug)]
+pub struct ThreadModel {
+    /// Fraction of core peak sustained by one hardware thread.
+    pub single_thread_eff: f64,
+    /// Multiplier from the second thread (dual issue).
+    pub dual_issue_gain: f64,
+    /// Multiplier from four threads (latency hiding).
+    pub smt4_gain: f64,
+    /// Arithmetic intensity of the kernel (FLOPs per byte of DRAM traffic);
+    /// plane-wave DFT kernels (GEMM-heavy) sit around 4–8.
+    pub arithmetic_intensity: f64,
+    /// Strong-scaling overhead slope per doubling of node count at fixed
+    /// total work (communication + surface effects).
+    pub node_overhead_per_doubling: f64,
+}
+
+impl Default for ThreadModel {
+    fn default() -> Self {
+        Self {
+            single_thread_eff: 0.29,
+            dual_issue_gain: 1.45,
+            smt4_gain: 1.88,
+            arithmetic_intensity: 6.0,
+            node_overhead_per_doubling: 0.07,
+        }
+    }
+}
+
+impl ThreadModel {
+    /// Issue-side efficiency at `t ∈ {1, 2, 4}` hardware threads per core.
+    pub fn issue_efficiency(&self, threads_per_core: usize) -> f64 {
+        match threads_per_core {
+            1 => self.single_thread_eff,
+            2 => self.single_thread_eff * self.dual_issue_gain,
+            4 => self.single_thread_eff * self.smt4_gain,
+            3 => self.single_thread_eff * 0.5 * (self.dual_issue_gain + self.smt4_gain),
+            t => panic!("BG/Q supports 1–4 threads per core, got {t}"),
+        }
+    }
+
+    /// Memory-bandwidth ceiling as a fraction of node peak:
+    /// `AI × mem_bw / peak_flops_node`.
+    pub fn bandwidth_ceiling(&self, m: &MachineSpec) -> f64 {
+        (self.arithmetic_intensity * m.mem_bandwidth / m.peak_flops_per_node()).min(1.0)
+    }
+
+    /// Sustained fraction of peak for `nodes` nodes at `threads_per_core`,
+    /// relative to a `base_nodes` run of the same total problem (Table 1
+    /// fixes 64 ranks and scales nodes 4 → 16).
+    pub fn sustained_fraction(
+        &self,
+        m: &MachineSpec,
+        nodes: usize,
+        base_nodes: usize,
+        threads_per_core: usize,
+    ) -> f64 {
+        let issue = self.issue_efficiency(threads_per_core);
+        let ceiling = self.bandwidth_ceiling(m);
+        let per_node = issue.min(ceiling);
+        let doublings = (nodes as f64 / base_nodes as f64).log2().max(0.0);
+        per_node / (1.0 + self.node_overhead_per_doubling * doublings)
+    }
+
+    /// Sustained GFLOP/s for a Table 1 cell.
+    pub fn sustained_gflops(
+        &self,
+        m: &MachineSpec,
+        nodes: usize,
+        base_nodes: usize,
+        threads_per_core: usize,
+    ) -> f64 {
+        self.sustained_fraction(m, nodes, base_nodes, threads_per_core)
+            * m.peak_flops_per_node()
+            * nodes as f64
+            / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_threads_more_throughput_until_ceiling() {
+        let m = MachineSpec::bluegene_q(1);
+        let model = ThreadModel::default();
+        let e1 = model.sustained_fraction(&m, 4, 4, 1);
+        let e2 = model.sustained_fraction(&m, 4, 4, 2);
+        let e4 = model.sustained_fraction(&m, 4, 4, 4);
+        assert!(e1 < e2 && e2 < e4, "{e1} {e2} {e4}");
+    }
+
+    #[test]
+    fn bandwidth_saturation_flattens_smt4() {
+        // A streaming kernel (low arithmetic intensity) hits the bandwidth
+        // ceiling: 4 threads stop helping — the paper's observed effect.
+        let m = MachineSpec::bluegene_q(1);
+        let model = ThreadModel { arithmetic_intensity: 1.5, ..Default::default() };
+        let e2 = model.sustained_fraction(&m, 4, 4, 2);
+        let e4 = model.sustained_fraction(&m, 4, 4, 4);
+        assert!((e4 - e2).abs() < 1e-12, "both pinned at the ceiling");
+    }
+
+    #[test]
+    fn reproduces_table1_shape_within_tolerance() {
+        // Paper Table 1 (GFLOP/s): rows = nodes (4, 8, 16), cols = threads
+        // per core (1, 2, 4).
+        let paper = [
+            (4usize, [236.0, 343.0, 445.0]),
+            (8, [433.0, 563.0, 746.0]),
+            (16, [806.0, 1017.0, 1535.0]),
+        ];
+        let m = MachineSpec::bluegene_q(1);
+        let model = ThreadModel::default();
+        for (nodes, row) in paper {
+            for (ti, &t_threads) in [1usize, 2, 4].iter().enumerate() {
+                let got = model.sustained_gflops(&m, nodes, 4, t_threads);
+                let want = row[ti];
+                let rel = (got - want).abs() / want;
+                assert!(
+                    rel < 0.25,
+                    "nodes {nodes} threads {t_threads}: model {got:.0} vs paper {want} ({rel:.2})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table1_monotonicities_match_paper() {
+        // Within a row FLOP/s rises with threads; down a column the
+        // %-of-peak falls with node count (strong-scaling overhead).
+        let m = MachineSpec::bluegene_q(1);
+        let model = ThreadModel::default();
+        for t in [1usize, 2, 4] {
+            let f4 = model.sustained_fraction(&m, 4, 4, t);
+            let f16 = model.sustained_fraction(&m, 16, 4, t);
+            assert!(f16 < f4);
+        }
+        for nodes in [4usize, 8, 16] {
+            let g1 = model.sustained_gflops(&m, nodes, 4, 1);
+            let g4 = model.sustained_gflops(&m, nodes, 4, 4);
+            assert!(g4 > g1);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn more_than_smt4_rejected() {
+        ThreadModel::default().issue_efficiency(8);
+    }
+}

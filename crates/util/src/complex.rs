@@ -1,0 +1,338 @@
+//! Minimal, fast double-precision complex arithmetic.
+//!
+//! The plane-wave electronic-structure code stores wave functions as flat
+//! `Vec<Complex64>` arrays; this type is deliberately `Copy`,
+//! `#[repr(C)]`-compatible (two `f64`s) and free of any allocation so those
+//! arrays are cache-dense and trivially shareable across rayon tasks.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A double-precision complex number `re + i·im`.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[repr(C)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// The additive identity `0 + 0i`.
+    pub const ZERO: Self = Self { re: 0.0, im: 0.0 };
+    /// The multiplicative identity `1 + 0i`.
+    pub const ONE: Self = Self { re: 1.0, im: 0.0 };
+    /// The imaginary unit `i`.
+    pub const I: Self = Self { re: 0.0, im: 1.0 };
+
+    /// Creates `re + i·im`.
+    #[inline(always)]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline(always)]
+    pub const fn from_re(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+
+    /// Returns `e^{iθ} = cosθ + i·sinθ`.
+    #[inline(always)]
+    pub fn cis(theta: f64) -> Self {
+        let (s, c) = theta.sin_cos();
+        Self { re: c, im: s }
+    }
+
+    /// Complex conjugate.
+    #[inline(always)]
+    pub fn conj(self) -> Self {
+        Self { re: self.re, im: -self.im }
+    }
+
+    /// Squared modulus `|z|² = re² + im²`.
+    #[inline(always)]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`, computed with `hypot` for robustness against
+    /// overflow/underflow of the squares.
+    #[inline(always)]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Argument (phase angle) in `(-π, π]`.
+    #[inline(always)]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse `1/z`.
+    #[inline(always)]
+    pub fn inv(self) -> Self {
+        let d = self.norm_sqr();
+        Self { re: self.re / d, im: -self.im / d }
+    }
+
+    /// Scales by a real factor.
+    #[inline(always)]
+    pub fn scale(self, s: f64) -> Self {
+        Self { re: self.re * s, im: self.im * s }
+    }
+
+    /// Fused multiply-add: `self + a*b`, the inner-loop primitive of the
+    /// hand-rolled GEMM kernels.
+    #[inline(always)]
+    pub fn mul_add(self, a: Self, b: Self) -> Self {
+        Self {
+            re: a.re.mul_add(b.re, (-a.im).mul_add(b.im, self.re)),
+            im: a.re.mul_add(b.im, a.im.mul_add(b.re, self.im)),
+        }
+    }
+
+    /// Complex exponential `e^z`.
+    pub fn exp(self) -> Self {
+        let r = self.re.exp();
+        Self::cis(self.im).scale(r)
+    }
+
+    /// Principal square root.
+    pub fn sqrt(self) -> Self {
+        let r = self.abs();
+        let half = Self { re: (0.5 * (r + self.re)).max(0.0).sqrt(), im: (0.5 * (r - self.re)).max(0.0).sqrt() };
+        if self.im < 0.0 {
+            Self { re: half.re, im: -half.im }
+        } else {
+            half
+        }
+    }
+
+    /// Returns true if either component is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        self.re.is_nan() || self.im.is_nan()
+    }
+
+    /// Returns true if both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl From<f64> for Complex64 {
+    #[inline(always)]
+    fn from(re: f64) -> Self {
+        Self::from_re(re)
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Self;
+    #[inline(always)]
+    fn add(self, o: Self) -> Self {
+        Self { re: self.re + o.re, im: self.im + o.im }
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Self;
+    #[inline(always)]
+    fn sub(self, o: Self) -> Self {
+        Self { re: self.re - o.re, im: self.im - o.im }
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Self;
+    #[inline(always)]
+    fn mul(self, o: Self) -> Self {
+        Self {
+            re: self.re * o.re - self.im * o.im,
+            im: self.re * o.im + self.im * o.re,
+        }
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Self;
+    #[inline(always)]
+    fn mul(self, s: f64) -> Self {
+        self.scale(s)
+    }
+}
+
+impl Mul<Complex64> for f64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn mul(self, z: Complex64) -> Complex64 {
+        z.scale(self)
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Self;
+    #[inline(always)]
+    fn div(self, o: Self) -> Self {
+        self * o.inv()
+    }
+}
+
+impl Div<f64> for Complex64 {
+    type Output = Self;
+    #[inline(always)]
+    fn div(self, s: f64) -> Self {
+        Self { re: self.re / s, im: self.im / s }
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Self;
+    #[inline(always)]
+    fn neg(self) -> Self {
+        Self { re: -self.re, im: -self.im }
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline(always)]
+    fn add_assign(&mut self, o: Self) {
+        self.re += o.re;
+        self.im += o.im;
+    }
+}
+
+impl SubAssign for Complex64 {
+    #[inline(always)]
+    fn sub_assign(&mut self, o: Self) {
+        self.re -= o.re;
+        self.im -= o.im;
+    }
+}
+
+impl MulAssign for Complex64 {
+    #[inline(always)]
+    fn mul_assign(&mut self, o: Self) {
+        *self = *self * o;
+    }
+}
+
+impl MulAssign<f64> for Complex64 {
+    #[inline(always)]
+    fn mul_assign(&mut self, s: f64) {
+        self.re *= s;
+        self.im *= s;
+    }
+}
+
+impl DivAssign<f64> for Complex64 {
+    #[inline(always)]
+    fn div_assign(&mut self, s: f64) {
+        self.re /= s;
+        self.im /= s;
+    }
+}
+
+impl Sum for Complex64 {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex64, b: Complex64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = Complex64::new(3.0, -4.0);
+        assert_eq!(z + Complex64::ZERO, z);
+        assert_eq!(z * Complex64::ONE, z);
+        assert_eq!(z - z, Complex64::ZERO);
+        assert!(close(z * z.inv(), Complex64::ONE, 1e-14));
+    }
+
+    #[test]
+    fn modulus_and_conjugate() {
+        let z = Complex64::new(3.0, -4.0);
+        assert_eq!(z.abs(), 5.0);
+        assert_eq!(z.norm_sqr(), 25.0);
+        assert_eq!(z.conj(), Complex64::new(3.0, 4.0));
+        // z * conj(z) = |z|^2
+        let p = z * z.conj();
+        assert!(close(p, Complex64::from_re(25.0), 1e-12));
+    }
+
+    #[test]
+    fn cis_lies_on_unit_circle() {
+        for k in 0..32 {
+            let theta = k as f64 * 0.3;
+            let z = Complex64::cis(theta);
+            assert!((z.abs() - 1.0).abs() < 1e-14);
+            assert!((z.arg() - theta.sin().atan2(theta.cos())).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn exp_of_i_pi_is_minus_one() {
+        let z = (Complex64::I * std::f64::consts::PI).exp();
+        assert!(close(z, Complex64::from_re(-1.0), 1e-14));
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        let samples = [
+            Complex64::new(2.0, 3.0),
+            Complex64::new(-2.0, 3.0),
+            Complex64::new(-2.0, -3.0),
+            Complex64::new(4.0, 0.0),
+            Complex64::new(-4.0, 0.0),
+        ];
+        for z in samples {
+            let r = z.sqrt();
+            assert!(close(r * r, z, 1e-12), "sqrt({z}) = {r}");
+            assert!(r.re >= 0.0, "principal branch");
+        }
+    }
+
+    #[test]
+    fn mul_add_matches_naive() {
+        let a = Complex64::new(1.5, -2.5);
+        let b = Complex64::new(0.25, 4.0);
+        let acc = Complex64::new(-3.0, 7.0);
+        let fused = acc.mul_add(a, b);
+        let naive = acc + a * b;
+        assert!(close(fused, naive, 1e-13));
+    }
+
+    #[test]
+    fn division_round_trip() {
+        let a = Complex64::new(1.0, 2.0);
+        let b = Complex64::new(-0.5, 0.125);
+        assert!(close(a / b * b, a, 1e-13));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(Complex64::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(Complex64::new(1.0, -2.0).to_string(), "1-2i");
+    }
+}

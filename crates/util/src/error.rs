@@ -1,0 +1,66 @@
+//! Workspace error type.
+
+use std::fmt;
+
+/// Errors produced anywhere in the metascale-qmd workspace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MqmdError {
+    /// A numerical routine failed to converge within its iteration budget.
+    Convergence {
+        what: String,
+        iterations: usize,
+        residual: f64,
+    },
+    /// Invalid input dimensions or parameters.
+    Invalid(String),
+    /// A linear-algebra factorisation broke down (e.g. non-SPD matrix passed
+    /// to Cholesky).
+    Numerical(String),
+    /// I/O failure (trajectory reading/writing).
+    Io(String),
+}
+
+impl fmt::Display for MqmdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MqmdError::Convergence { what, iterations, residual } => write!(
+                f,
+                "{what} failed to converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+            MqmdError::Invalid(msg) => write!(f, "invalid input: {msg}"),
+            MqmdError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
+            MqmdError::Io(msg) => write!(f, "i/o failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MqmdError {}
+
+impl From<std::io::Error> for MqmdError {
+    fn from(e: std::io::Error) -> Self {
+        MqmdError::Io(e.to_string())
+    }
+}
+
+/// Workspace result alias.
+pub type Result<T> = std::result::Result<T, MqmdError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = MqmdError::Convergence { what: "SCF".into(), iterations: 100, residual: 1e-3 };
+        let s = e.to_string();
+        assert!(s.contains("SCF") && s.contains("100"));
+        assert!(MqmdError::Invalid("bad".into()).to_string().contains("bad"));
+    }
+
+    #[test]
+    fn io_conversion() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let e: MqmdError = io.into();
+        assert!(matches!(e, MqmdError::Io(_)));
+    }
+}

@@ -1,0 +1,25 @@
+//! # mqmd-util
+//!
+//! Shared foundation for the metascale-qmd workspace: complex arithmetic,
+//! 3-vectors, physical constants in Hartree atomic units, a deterministic
+//! xoshiro256++ RNG, least-squares fitting (including the Arrhenius fits used
+//! by the hydrogen-on-demand analysis), running statistics, FLOP accounting,
+//! and the workspace error type.
+//!
+//! Everything in this crate is dependency-free numerical plumbing; the
+//! physics lives in the higher crates.
+
+pub mod complex;
+pub mod constants;
+pub mod error;
+pub mod fit;
+pub mod flops;
+pub mod rng;
+pub mod stats;
+pub mod timer;
+pub mod vec3;
+
+pub use complex::Complex64;
+pub use error::{MqmdError, Result};
+pub use rng::Xoshiro256pp;
+pub use vec3::Vec3;

@@ -1,0 +1,114 @@
+//! Property-based tests of the numerical foundation.
+
+use mqmd_util::{Complex64, Vec3, Xoshiro256pp};
+use proptest::prelude::*;
+
+fn finite() -> impl Strategy<Value = f64> {
+    -1e3..1e3f64
+}
+
+proptest! {
+    #[test]
+    fn complex_multiplication_commutes(a in finite(), b in finite(), c in finite(), d in finite()) {
+        let x = Complex64::new(a, b);
+        let y = Complex64::new(c, d);
+        let xy = x * y;
+        let yx = y * x;
+        prop_assert!((xy - yx).abs() <= 1e-9 * (1.0 + xy.abs()));
+    }
+
+    #[test]
+    fn complex_conjugation_is_multiplicative(a in finite(), b in finite(), c in finite(), d in finite()) {
+        let x = Complex64::new(a, b);
+        let y = Complex64::new(c, d);
+        let lhs = (x * y).conj();
+        let rhs = x.conj() * y.conj();
+        prop_assert!((lhs - rhs).abs() <= 1e-9 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn modulus_is_multiplicative(a in finite(), b in finite(), c in finite(), d in finite()) {
+        let x = Complex64::new(a, b);
+        let y = Complex64::new(c, d);
+        prop_assert!(((x * y).abs() - x.abs() * y.abs()).abs() <= 1e-6 * (1.0 + x.abs() * y.abs()));
+    }
+
+    #[test]
+    fn vec3_triangle_inequality(ax in finite(), ay in finite(), az in finite(),
+                                bx in finite(), by in finite(), bz in finite()) {
+        let a = Vec3::new(ax, ay, az);
+        let b = Vec3::new(bx, by, bz);
+        prop_assert!((a + b).norm() <= a.norm() + b.norm() + 1e-9);
+    }
+
+    #[test]
+    fn min_image_is_shortest(x in -50.0..50.0f64, y in -50.0..50.0f64, z in -50.0..50.0f64,
+                             lx in 1.0..20.0f64, ly in 1.0..20.0f64, lz in 1.0..20.0f64) {
+        let l = Vec3::new(lx, ly, lz);
+        let d = Vec3::new(x, y, z);
+        let mi = d.min_image(l);
+        // Component-wise within [-l/2, l/2).
+        prop_assert!(mi.x >= -lx / 2.0 - 1e-9 && mi.x < lx / 2.0 + 1e-9);
+        prop_assert!(mi.y >= -ly / 2.0 - 1e-9 && mi.y < ly / 2.0 + 1e-9);
+        prop_assert!(mi.z >= -lz / 2.0 - 1e-9 && mi.z < lz / 2.0 + 1e-9);
+        // And congruent to the original displacement mod the cell.
+        let diff = d - mi;
+        prop_assert!((diff.x / lx - (diff.x / lx).round()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rng_uniform_stays_in_unit_interval(seed in any::<u64>()) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        for _ in 0..100 {
+            let u = rng.uniform();
+            prop_assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn rng_below_is_in_range(seed in any::<u64>(), n in 1u64..1_000_000) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        for _ in 0..50 {
+            prop_assert!(rng.below(n) < n);
+        }
+    }
+
+    #[test]
+    fn running_stats_merge_matches_sequential(xs in prop::collection::vec(-100.0..100.0f64, 2..60),
+                                              split in 1usize..50) {
+        let split = split.min(xs.len() - 1);
+        let mut all = mqmd_util::stats::RunningStats::new();
+        for &x in &xs { all.push(x); }
+        let mut a = mqmd_util::stats::RunningStats::new();
+        let mut b = mqmd_util::stats::RunningStats::new();
+        for &x in &xs[..split] { a.push(x); }
+        for &x in &xs[split..] { b.push(x); }
+        a.merge(&b);
+        prop_assert!((a.mean() - all.mean()).abs() < 1e-9);
+        prop_assert!((a.variance() - all.variance()).abs() < 1e-7 * (1.0 + all.variance()));
+    }
+
+    #[test]
+    fn linear_fit_recovers_exact_lines(intercept in -10.0..10.0f64, slope in -10.0..10.0f64,
+                                       n in 3usize..20) {
+        let x: Vec<f64> = (0..n).map(|i| i as f64 * 0.5).collect();
+        let y: Vec<f64> = x.iter().map(|&xi| intercept + slope * xi).collect();
+        let fit = mqmd_util::fit::linear_fit(&x, &y);
+        prop_assert!((fit.intercept - intercept).abs() < 1e-8);
+        prop_assert!((fit.slope - slope).abs() < 1e-8);
+    }
+
+    #[test]
+    fn arrhenius_fit_inverts_synthesis(ea_ev in 0.01..2.0f64, log_a in 5.0..15.0f64) {
+        let a = 10f64.powf(log_a);
+        let ea = mqmd_util::constants::ev_to_hartree(ea_ev);
+        let temps = [300.0, 700.0, 1500.0];
+        let rates: Vec<f64> = temps
+            .iter()
+            .map(|&t| a * (-ea / mqmd_util::constants::kelvin_to_hartree(t)).exp())
+            .collect();
+        prop_assume!(rates.iter().all(|&r| r > 1e-300));
+        let fit = mqmd_util::fit::arrhenius_fit(&temps, &rates);
+        prop_assert!((fit.activation_ev - ea_ev).abs() < 1e-6 * (1.0 + ea_ev));
+    }
+}

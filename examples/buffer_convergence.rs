@@ -1,0 +1,80 @@
+//! Buffer convergence (the Fig 7 mechanism, quick edition): the DC error
+//! decays with buffer thickness, and the LDC density-adaptive boundary
+//! potential reaches a given accuracy with a thinner buffer — which is the
+//! entire point of the paper's "lean" variant.
+//!
+//! Run with: `cargo run --release --example buffer_convergence`
+//! (The paper-shaped CdSe version is `cargo run --release -p mqmd-bench
+//! --bin repro_buffer -- --full`.)
+
+use metascale_qmd::core::complexity::CostModel;
+use metascale_qmd::core::global::{BoundaryMode, HartreeSolver, LdcConfig, LdcSolver};
+use metascale_qmd::md::builders::amorphize;
+use metascale_qmd::md::AtomicSystem;
+use metascale_qmd::util::constants::Element;
+use metascale_qmd::util::{Vec3, Xoshiro256pp};
+
+fn main() {
+    // A 27-atom disordered hydrogen lattice: light bands keep every solve
+    // in seconds, and hydrogen's projector-free pseudopotential isolates
+    // the boundary-condition error Fig 7 is about.
+    let n = 3usize;
+    let a = 4.0;
+    let mut positions = Vec::new();
+    for i in 0..n {
+        for j in 0..n {
+            for k in 0..n {
+                positions.push(Vec3::new(i as f64, j as f64, k as f64) * a);
+            }
+        }
+    }
+    let mut system =
+        AtomicSystem::new(Vec3::splat(n as f64 * a), vec![Element::H; n * n * n], positions);
+    let mut rng = Xoshiro256pp::seed_from_u64(7);
+    amorphize(&mut system, 0.25, &mut rng);
+
+    let base = LdcConfig {
+        nd: (2, 2, 2),
+        hartree: HartreeSolver::Multigrid,
+        ecut: 2.5,
+        global_spacing: 1.0,
+        domain_spacing: 1.0,
+        kt: 0.05,
+        mix_alpha: 0.3,
+        tol_density: 1e-4,
+        davidson_iters: 10,
+        davidson_tol: 1e-5,
+        extra_bands: 3,
+        max_scf: 60,
+        ..Default::default()
+    };
+
+    // Reference: single domain, no DC approximation at all.
+    let mut reference = LdcSolver::new(LdcConfig {
+        nd: (1, 1, 1),
+        buffer: 0.0,
+        mode: BoundaryMode::Periodic,
+        ..base
+    });
+    let e_ref = reference.solve(&system).expect("reference converges").energy;
+    println!("reference energy (undivided): {e_ref:.6} Ha\n");
+    println!("{:<10}{:>18}{:>18}", "b (Bohr)", "DC error/atom", "LDC error/atom");
+
+    let n = system.len() as f64;
+    for b in [0.5, 1.0, 1.5, 2.5] {
+        let run = |mode: BoundaryMode| -> f64 {
+            let mut solver = LdcSolver::new(LdcConfig { buffer: b, mode, ..base });
+            solver.solve(&system).map(|s| (s.energy - e_ref).abs() / n).unwrap_or(f64::NAN)
+        };
+        let dc = run(BoundaryMode::Periodic);
+        let ldc = run(BoundaryMode::ldc_default());
+        println!("{b:<10.2}{dc:>18.3e}{ldc:>18.3e}");
+    }
+
+    println!(
+        "\ncomplexity consequence (paper §5.2): cutting the buffer from 4.73 to \
+         3.57 Bohr at l = 11.416 speeds the solver by {:.2}× (ν = 2) or {:.2}× (ν = 3)",
+        CostModel::PRACTICAL.buffer_speedup(11.416, 4.73, 3.57),
+        CostModel::ASYMPTOTIC.buffer_speedup(11.416, 4.73, 3.57)
+    );
+}

@@ -1,0 +1,64 @@
+//! Hydrogen-on-demand: the paper's §6 science application.
+//!
+//! Builds the Li30Al30-in-water system, detects the reactive Lewis
+//! acid–base surface sites geometrically, runs the reactive kinetics at
+//! three temperatures, and reports the Arrhenius barrier, the
+//! size-scaling of Fig 9(b), and the pH signature.
+//!
+//! Run with: `cargo run --release --example hydrogen_on_demand`
+
+use metascale_qmd::chem::analysis::{ph_from_oh, run_fig9a, run_fig9b};
+use metascale_qmd::chem::kinetics::{HodParams, HodSimulation, HodState};
+use metascale_qmd::chem::nanoparticle::solvated_particle;
+use metascale_qmd::chem::surface::analyze_surface;
+
+fn main() {
+    // The paper's verification system: Li30Al30 + 182 H2O = 606 atoms.
+    let system = solvated_particle(30, 182, 50.0, 1);
+    let surface = analyze_surface(&system);
+    println!("Li30Al30 in water: {} atoms total", system.len());
+    println!(
+        "surface analysis: {} of {} metal atoms on the surface, {} Lewis acid-base pairs\n",
+        surface.n_surface,
+        surface.n_metal,
+        surface.lewis_pairs.len()
+    );
+
+    // Fig 9(a): Arrhenius behaviour.
+    let temps = [300.0, 600.0, 1500.0];
+    let (points, fit) = run_fig9a(HodParams::default(), &temps, surface.lewis_pairs.len().max(1), 40_000, 7);
+    println!("H2 production rate vs temperature:");
+    for p in &points {
+        println!("  T = {:>6.0} K: {:.3e} ± {:.1e} H2/s per pair", p.temperature, p.rate_per_pair, p.error);
+    }
+    println!(
+        "Arrhenius fit: Ea = {:.3} eV (paper: 0.068 eV), r² = {:.4}\n",
+        fit.activation_ev, fit.r2
+    );
+
+    // Fig 9(b): surface scaling across Li30Al30 / Li135Al135 / Li441Al441.
+    let fig9b = run_fig9b(HodParams::default(), &[30, 135, 441], 1500.0, 20_000, 9);
+    println!("surface-normalised rate vs particle size (1500 K):");
+    for p in &fig9b {
+        println!(
+            "  Li{0}Al{0}: N_surf = {1:>4}, rate/N_surf = {2:.3e} /s",
+            p.n_pairs_in_particle, p.n_surface, p.rate_per_surface_atom
+        );
+    }
+    println!("(paper: constant within error bars — reactivity scales to industrial sizes)\n");
+
+    // The pH signature of Li dissolution.
+    let mut sim = HodSimulation::new(
+        HodParams::default(),
+        600.0,
+        HodState::new(surface.lewis_pairs.len(), 5, 30, 100_000),
+        3,
+    );
+    sim.run(f64::INFINITY, 100_000);
+    println!(
+        "after {} H2 molecules: {} OH⁻ dissolved, pH = {:.2} (basic — matches experiment)",
+        sim.state.h2_produced,
+        sim.state.oh_minus,
+        ph_from_oh(sim.state.oh_minus, system.volume())
+    );
+}

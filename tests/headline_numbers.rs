@@ -1,0 +1,88 @@
+//! Integration test pinning every headline number of the paper that this
+//! reproduction regenerates, through the public facade crate — the
+//! machine-model results (Figs 5–6, Tables 1–2, §2), the closed-form
+//! complexity results (§3.1/§5.2), and the chemistry results (Fig 9).
+
+use metascale_qmd::core::complexity::{crossover_length, optimal_core_length, CostModel};
+use metascale_qmd::chem::analysis::run_fig9a;
+use metascale_qmd::chem::kinetics::HodParams;
+use metascale_qmd::parallel::machine::MachineSpec;
+use metascale_qmd::parallel::scaling::{prior_art, RackFlopsModel};
+use metascale_qmd::parallel::threads::ThreadModel;
+use metascale_qmd::parallel::{StrongScalingModel, WeakScalingModel};
+
+#[test]
+fn fig5_weak_scaling_efficiency_0_984() {
+    let model = WeakScalingModel::fig5(100.0);
+    let eff = model.efficiency(786_432, 16);
+    assert!((eff - 0.984).abs() < 0.01, "got {eff}");
+}
+
+#[test]
+fn fig6_strong_scaling_speedup_12_85() {
+    let model = StrongScalingModel::fig6(30.0, 49_152);
+    let s = model.speedup(786_432, 49_152);
+    assert!((s - 12.85).abs() < 1.0, "got {s}");
+    let eff = model.efficiency(786_432, 49_152);
+    assert!((eff - 0.803).abs() < 0.06, "got {eff}");
+}
+
+#[test]
+fn table1_trends() {
+    let m = MachineSpec::bluegene_q(1);
+    let model = ThreadModel::default();
+    // 4-node row within 25% of paper values, monotone in threads.
+    for (t, paper) in [(1usize, 236.0), (2, 343.0), (4, 445.0)] {
+        let got = model.sustained_gflops(&m, 4, 4, t);
+        assert!((got - paper).abs() / paper < 0.25, "threads {t}: {got} vs {paper}");
+    }
+}
+
+#[test]
+fn table2_petaflops() {
+    let model = RackFlopsModel::default();
+    let t48 = model.sustained_tflops(48);
+    assert!((t48 - 5081.0).abs() / 5081.0 < 0.02, "got {t48} TFLOP/s");
+    assert!((model.fraction(48) - 0.5046).abs() < 0.01);
+}
+
+#[test]
+fn s2_time_to_solution_ratios() {
+    assert!((prior_art::LDC_DFT_SC14 / prior_art::HASEGAWA_2011 - 5_800.0).abs() < 100.0);
+    assert!((prior_art::LDC_DFT_SC14 / prior_art::OSEI_KUFFUOR_2014 - 62.0).abs() < 2.0);
+}
+
+#[test]
+fn s31_optimal_domain_and_crossover() {
+    assert_eq!(optimal_core_length(4.0, 2.0), 8.0); // l* = 2b
+    assert_eq!(optimal_core_length(4.0, 3.0), 4.0); // l* = b
+    assert!((crossover_length(3.57, 2.0) - 28.56).abs() < 0.01);
+}
+
+#[test]
+fn s52_speedup_factors() {
+    let l = 11.416;
+    let s2 = CostModel::PRACTICAL.buffer_speedup(l, 4.73, 3.57);
+    let s3 = CostModel::ASYMPTOTIC.buffer_speedup(l, 4.73, 3.57);
+    assert!((s2 - 2.03).abs() < 0.03, "ν=2: {s2}");
+    assert!((s3 - 2.89).abs() < 0.06, "ν=3: {s3}");
+}
+
+#[test]
+fn fig9a_barrier_and_rate() {
+    let (points, fit) = run_fig9a(HodParams::default(), &[300.0, 600.0, 1500.0], 30, 30_000, 3);
+    assert!((0.05..=0.09).contains(&fit.activation_ev), "Ea {}", fit.activation_ev);
+    assert!(
+        (0.4e9..=2.5e9).contains(&points[0].rate_per_pair),
+        "300 K rate {:.3e} (paper 1.04e9)",
+        points[0].rate_per_pair
+    );
+}
+
+#[test]
+fn mira_peak_and_sustained() {
+    let mira = MachineSpec::mira();
+    assert_eq!(mira.total_cores(), 786_432);
+    // 50.5% of peak ≈ 5.08 PFLOP/s.
+    assert!((0.505 * mira.peak_flops() / 1e15 - 5.08).abs() < 0.02);
+}

