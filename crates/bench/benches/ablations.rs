@@ -27,9 +27,14 @@ fn blas_paths(c: &mut Criterion) {
     let np = 1024;
     let nb = 32;
     let a = CMatrix::from_fn(np, np / 8, |i, j| {
-        Complex64::new(((i + j) % 13) as f64 * 0.03, ((i * 3 + j) % 7) as f64 * 0.02)
+        Complex64::new(
+            ((i + j) % 13) as f64 * 0.03,
+            ((i * 3 + j) % 7) as f64 * 0.02,
+        )
     });
-    let x = CMatrix::from_fn(np / 8, nb, |i, j| Complex64::new(i as f64 * 0.01, j as f64 * 0.01));
+    let x = CMatrix::from_fn(np / 8, nb, |i, j| {
+        Complex64::new(i as f64 * 0.01, j as f64 * 0.01)
+    });
     let mut g = c.benchmark_group("ablation_blas2_vs_blas3");
     g.bench_function("blas3_zgemm", |b| {
         b.iter(|| {
@@ -49,7 +54,14 @@ fn nonlocal_paths(c: &mut Criterion) {
     let p = Pseudopotential::for_element(Element::Si);
     let atoms: Vec<(Pseudopotential, Vec3)> = (0..8)
         .map(|i| {
-            (p, Vec3::new(1.0 + (i % 2) as f64 * 4.0, 1.0 + ((i / 2) % 2) as f64 * 4.0, 1.0 + (i / 4) as f64 * 4.0))
+            (
+                p,
+                Vec3::new(
+                    1.0 + (i % 2) as f64 * 4.0,
+                    1.0 + ((i / 2) % 2) as f64 * 4.0,
+                    1.0 + (i / 4) as f64 * 4.0,
+                ),
+            )
         })
         .collect();
     let v = ionic_local_potential(basis.grid(), &atoms);
@@ -57,7 +69,9 @@ fn nonlocal_paths(c: &mut Criterion) {
     let psi = basis.random_bands(16, 9);
     let mut g = c.benchmark_group("ablation_eq4_vs_eq5");
     g.sample_size(20);
-    g.bench_function("eq5_allband_apply", |b| b.iter(|| black_box(h.apply(&psi).data()[0])));
+    g.bench_function("eq5_allband_apply", |b| {
+        b.iter(|| black_box(h.apply(&psi).data()[0]))
+    });
     g.bench_function("eq4_band_by_band_apply", |b| {
         b.iter(|| {
             let mut acc = Complex64::ZERO;
@@ -79,7 +93,9 @@ fn poisson_paths(c: &mut Criterion) {
     let fftp = FftPoisson::new(grid);
     let mut g = c.benchmark_group("ablation_gslf_poisson");
     g.sample_size(20);
-    g.bench_function("multigrid", |b| b.iter(|| black_box(mg.hartree(&rho).unwrap()[0])));
+    g.bench_function("multigrid", |b| {
+        b.iter(|| black_box(mg.hartree(&rho).unwrap()[0]))
+    });
     g.bench_function("fft", |b| b.iter(|| black_box(fftp.hartree(&rho)[0])));
     g.finish();
 }
@@ -90,8 +106,10 @@ fn boundary_modes(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("dc_periodic", |b| {
         b.iter(|| {
-            let mut s =
-                LdcSolver::new(LdcConfig { mode: BoundaryMode::Periodic, ..tiny_ldc_config() });
+            let mut s = LdcSolver::new(LdcConfig {
+                mode: BoundaryMode::Periodic,
+                ..tiny_ldc_config()
+            });
             black_box(s.solve(&sys).map(|st| st.scf_iterations).unwrap_or(0))
         })
     });
@@ -107,5 +125,11 @@ fn boundary_modes(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, blas_paths, nonlocal_paths, poisson_paths, boundary_modes);
+criterion_group!(
+    benches,
+    blas_paths,
+    nonlocal_paths,
+    poisson_paths,
+    boundary_modes
+);
 criterion_main!(benches);

@@ -13,8 +13,10 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("dc_solve_b1", |b| {
         b.iter(|| {
-            let mut s =
-                LdcSolver::new(LdcConfig { mode: BoundaryMode::Periodic, ..tiny_ldc_config() });
+            let mut s = LdcSolver::new(LdcConfig {
+                mode: BoundaryMode::Periodic,
+                ..tiny_ldc_config()
+            });
             black_box(s.solve(&sys).map(|st| st.energy).unwrap_or(f64::NAN))
         })
     });

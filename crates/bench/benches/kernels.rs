@@ -16,8 +16,9 @@ fn bench(c: &mut Criterion) {
     // 3-D FFT, the per-domain hot kernel.
     let fft = Fft3d::cubic(32);
     let mut rng = Xoshiro256pp::seed_from_u64(1);
-    let field: Vec<Complex64> =
-        (0..fft.len()).map(|_| Complex64::new(rng.normal(), rng.normal())).collect();
+    let field: Vec<Complex64> = (0..fft.len())
+        .map(|_| Complex64::new(rng.normal(), rng.normal()))
+        .collect();
     let mut g = c.benchmark_group("kernels");
     g.throughput(Throughput::Elements(fft.len() as u64));
     g.bench_function("fft3d_32cubed", |b| {
@@ -53,9 +54,17 @@ fn bench(c: &mut Criterion) {
     // Ewald on a 64-atom cell.
     let mut rng2 = Xoshiro256pp::seed_from_u64(2);
     let pos: Vec<Vec3> = (0..64)
-        .map(|_| Vec3::new(rng2.uniform_in(0.0, 12.0), rng2.uniform_in(0.0, 12.0), rng2.uniform_in(0.0, 12.0)))
+        .map(|_| {
+            Vec3::new(
+                rng2.uniform_in(0.0, 12.0),
+                rng2.uniform_in(0.0, 12.0),
+                rng2.uniform_in(0.0, 12.0),
+            )
+        })
         .collect();
-    let q: Vec<f64> = (0..64).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+    let q: Vec<f64> = (0..64)
+        .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+        .collect();
     g.bench_function("ewald_64_atoms", |b| {
         b.iter(|| black_box(ewald(Vec3::splat(12.0), &pos, &q, None).energy))
     });

@@ -85,7 +85,12 @@ fn full() -> Setup {
 }
 
 fn energy(setup: &Setup, nd: (usize, usize, usize), buffer: f64, mode: BoundaryMode) -> f64 {
-    let mut solver = LdcSolver::new(LdcConfig { nd, buffer, mode, ..setup.config });
+    let mut solver = LdcSolver::new(LdcConfig {
+        nd,
+        buffer,
+        mode,
+        ..setup.config
+    });
     solver
         .solve(&setup.system)
         .map(|s| s.energy)
@@ -116,9 +121,7 @@ fn main() {
         let d_ldc = (e_ldc - e_ref).abs() / n_atoms;
         dc_err.push((b, d_dc));
         ldc_err.push((b, d_ldc));
-        println!(
-            "{b:<8.2}{e_dc:>18.6}{e_ldc:>18.6}{d_dc:>16.2e}{d_ldc:>16.2e}"
-        );
+        println!("{b:<8.2}{e_dc:>18.6}{e_ldc:>18.6}{d_dc:>16.2e}{d_ldc:>16.2e}");
     }
 
     // §5.2 analysis: buffer needed for each tolerance, and the resulting
@@ -141,9 +144,7 @@ fn main() {
             _ => println!("{tol:<14.0e}{:>10}{:>10}", "n/a", "n/a"),
         }
     }
-    println!(
-        "\npaper (CdSe, 5e-3 Ha): b 4.73 → 3.57 a.u., speedup 2.03 (ν=2) / 2.89 (ν=3)"
-    );
+    println!("\npaper (CdSe, 5e-3 Ha): b 4.73 → 3.57 a.u., speedup 2.03 (ν=2) / 2.89 (ν=3)");
 
     // Crossover point (paper: L = 8b → ~125 atoms for CdSe at ν = 2).
     if let Some(b) = smallest_buffer(&ldc_err, 5e-3) {

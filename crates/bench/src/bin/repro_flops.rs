@@ -26,7 +26,14 @@ fn main() {
         "{}",
         row(
             "nodes",
-            &["1 thr (model)".into(), "paper".into(), "2 thr".into(), "paper".into(), "4 thr".into(), "paper".into()]
+            &[
+                "1 thr (model)".into(),
+                "paper".into(),
+                "2 thr".into(),
+                "paper".into(),
+                "4 thr".into(),
+                "paper".into()
+            ]
         )
     );
     for (nodes, paper_row) in paper_t1 {
@@ -41,10 +48,22 @@ fn main() {
 
     println!("\n== Table 2: sustained TFLOP/s vs racks ==\n");
     let rack_model = RackFlopsModel::default();
-    let paper_t2 = [(1usize, 113.23, 53.99), (2, 226.32, 53.96), (48, 5081.0, 50.46)];
+    let paper_t2 = [
+        (1usize, 113.23, 53.99),
+        (2, 226.32, 53.96),
+        (48, 5081.0, 50.46),
+    ];
     println!(
         "{}",
-        row("racks", &["TFLOP/s".into(), "paper".into(), "%peak".into(), "paper %".into()])
+        row(
+            "racks",
+            &[
+                "TFLOP/s".into(),
+                "paper".into(),
+                "%peak".into(),
+                "paper %".into()
+            ]
+        )
     );
     for (racks, paper_tf, paper_pct) in paper_t2 {
         let tf = rack_model.sustained_tflops(racks);

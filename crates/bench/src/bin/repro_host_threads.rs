@@ -13,7 +13,9 @@ use mqmd_util::flops::take_flops;
 
 fn main() {
     println!("== measured thread scaling of the domain solver on this host ==\n");
-    let max_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let max_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let mut counts = vec![1usize];
     while counts.last().copied().unwrap_or(1) * 2 <= max_threads {
         counts.push(counts.last().unwrap() * 2);

@@ -15,7 +15,10 @@ fn main() {
     println!("== Fig 9(a): H2 production rate vs inverse temperature ==\n");
     let temps = [300.0, 600.0, 1500.0];
     let (points, fit) = run_fig9a(HodParams::default(), &temps, 30, 60_000, 2024);
-    println!("{:<10}{:>14}{:>22}{:>14}", "T (K)", "1000/T", "rate/pair (s⁻¹)", "±1σ");
+    println!(
+        "{:<10}{:>14}{:>22}{:>14}",
+        "T (K)", "1000/T", "rate/pair (s⁻¹)", "±1σ"
+    );
     for p in &points {
         println!(
             "{:<10.0}{:>14.3}{:>22.3e}{:>14.1e}",
@@ -44,11 +47,7 @@ fn main() {
     for p in &fig9b {
         println!(
             "Li{0}Al{0}{1:>10}{2:>14}{3:>24.3e}{4:>12.1e}",
-            p.n_pairs_in_particle,
-            p.n_surface,
-            p.lewis_pairs,
-            p.rate_per_surface_atom,
-            p.error
+            p.n_pairs_in_particle, p.n_surface, p.lewis_pairs, p.rate_per_surface_atom, p.error
         );
     }
     let rates: Vec<f64> = fig9b.iter().map(|p| p.rate_per_surface_atom).collect();
@@ -68,7 +67,10 @@ fn main() {
     );
     // A 50 Bohr box of water, as in the Li30Al30 system.
     let volume = 50.0f64.powi(3);
-    println!("{:<16}{:>10}{:>10}{:>8}", "H2 produced", "OH⁻", "Li left", "pH");
+    println!(
+        "{:<16}{:>10}{:>10}{:>8}",
+        "H2 produced", "OH⁻", "Li left", "pH"
+    );
     for checkpoint in [100usize, 1000, 10_000, 50_000] {
         while sim.state.h2_produced < checkpoint {
             if !sim.step() {

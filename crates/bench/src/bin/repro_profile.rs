@@ -1,0 +1,147 @@
+//! Profiles one small LDC-DFT QMD step under the hierarchical tracer and
+//! writes `BENCH_profile.json` (`mqmd-profile-v1`).
+//!
+//! The profile is the measured half of the DESIGN.md substitution: per-
+//! kernel wall-time and FLOP counts come from running this repository's
+//! real kernels (GEMM, FFT, Poisson, SCF, domain solve), and the scaling
+//! models of `mqmd-parallel` then consume those timings instead of any
+//! hand-entered wall-clock constant (`repro_scaling` reads the file back).
+//!
+//! Usage: `cargo run --release -p mqmd-bench --bin repro_profile [out.json]`
+
+use mqmd_bench::{measure_domain_solve_seconds, row, tiny_ldc_config};
+use mqmd_core::global::LdcSolver;
+use mqmd_core::qmd::QmdDriver;
+use mqmd_md::builders::sic_supercell;
+use mqmd_md::thermostat::Berendsen;
+use mqmd_parallel::collectives::{charge_alltoall, charge_octree_reduce};
+use mqmd_parallel::executor::run_ranks;
+use mqmd_parallel::measured::{MeasuredProfile, PROFILE_PATH};
+use mqmd_parallel::MachineSpec;
+use mqmd_util::metrics::{profile_report, Json};
+use mqmd_util::trace;
+
+/// The spans flattened into the profile's kernel table.
+const KERNELS: &[&str] = &[
+    "qmd_step",
+    "scf_iter",
+    "domain_solve",
+    "hamiltonian",
+    "gemm",
+    "orthonorm",
+    "fft",
+    "poisson",
+    "global_density",
+    "global_reduce",
+    "band_alltoall",
+];
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| PROFILE_PATH.to_string());
+    // Fail fast on an unwritable destination — the measurement below takes
+    // minutes and must not be thrown away on a typo'd path.
+    if let Err(e) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&out_path)
+    {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+
+    trace::set_enabled(true);
+    trace::take(); // discard any prior counters
+
+    // 1. One real QMD step of the 8-atom SiC cell through the full LDC
+    //    pipeline (domain decomposition, SCF, Davidson, Hartree solve) —
+    //    populates the compute spans.
+    println!("== repro_profile: tracing one LDC-DFT QMD step ==\n");
+    let mut sys = sic_supercell((1, 1, 1));
+    let mut solver = LdcSolver::new(tiny_ldc_config());
+    let mut driver: QmdDriver<Berendsen> = QmdDriver::new(10.0, None);
+    let report = driver.run(&mut sys, &mut solver, 1);
+    println!(
+        "QMD step done: {} SCF iterations, {:.2} s wall",
+        report.scf_iterations, report.wall_seconds
+    );
+
+    // 2. One standalone single-domain Kohn–Sham solve on the Fig 5 64-atom
+    //    workload — the `domain_solve` timing the scaling models consume.
+    let t_domain = measure_domain_solve_seconds(2.0, 1.2, 6);
+    println!("standalone Fig 5 domain solve: {t_domain:.2} s");
+
+    // 3. Executed + priced communication: a binomial-tree allreduce over 8
+    //    rank threads (the global-density reduction pattern), plus the
+    //    modelled octree reduction and band↔space all-to-all.
+    {
+        let _span = trace::span("global_reduce");
+        run_ranks(8, |rank, comm| {
+            comm.allreduce_sum(vec![rank as f64; 512]);
+        });
+    }
+    {
+        let _span = trace::span("band_alltoall");
+        let mira = MachineSpec::mira();
+        charge_alltoall(&mira, 4096.0, 64);
+        charge_octree_reduce(&mira, 16.0 * 16.0 * 16.0 * 8.0, 4);
+    }
+
+    // 4. Serialise the hierarchical trace + flattened kernel table.
+    let node = trace::take();
+    trace::set_enabled(false);
+    let extra = vec![
+        ("atoms".to_string(), Json::Num(sys.len() as f64)),
+        (
+            "scf_iterations".to_string(),
+            Json::Num(report.scf_iterations as f64),
+        ),
+        ("domain_solve_fig5_secs".to_string(), Json::Num(t_domain)),
+    ];
+    let doc = profile_report(&node, KERNELS, extra);
+    if let Err(e) = std::fs::write(&out_path, doc.pretty()) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("\nwrote {out_path}\n");
+
+    // 5. Read the file back the same way `repro_scaling` does and show the
+    //    kernel table plus the model predictions it drives.
+    let profile = MeasuredProfile::load(&out_path).expect("reload profile");
+    println!(
+        "{}",
+        row(
+            "kernel",
+            &["calls".into(), "seconds".into(), "GFLOP/s".into()]
+        )
+    );
+    for (name, k) in profile.kernels() {
+        println!(
+            "{}",
+            row(
+                name,
+                &[
+                    format!("{}", k.calls),
+                    format!("{:.4}", k.seconds),
+                    format!("{:.3}", k.gflops()),
+                ]
+            )
+        );
+    }
+
+    let t = profile
+        .domain_solve_seconds()
+        .expect("domain_solve span recorded");
+    println!("\nmeasured domain-solve seconds feeding the machine model: {t:.3}");
+    let weak = profile.weak_scaling_model().expect("weak model");
+    println!(
+        "weak-scaling efficiency at P = 786,432 from this profile: {:.4}",
+        weak.efficiency(786_432, 16)
+    );
+    let strong = profile.strong_scaling_model().expect("strong model");
+    println!(
+        "strong-scaling speedup at 16x cores from this profile: {:.2}",
+        strong.speedup(786_432, 49_152)
+    );
+}

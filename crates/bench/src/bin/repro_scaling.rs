@@ -8,20 +8,41 @@
 //! Usage: `cargo run --release -p mqmd-bench --bin repro_scaling`
 
 use mqmd_bench::{measure_domain_solve_seconds, pct_dev, row};
+use mqmd_parallel::measured::{MeasuredProfile, PROFILE_PATH};
 use mqmd_parallel::{StrongScalingModel, WeakScalingModel};
 
 fn main() {
     println!("== Fig 5: weak scaling (64P-atom SiC on P cores of Blue Gene/Q) ==\n");
-    // Real measurement of the per-core domain solve (3 SCF × 3 CG-like
-    // refinement, as in the paper's benchmark protocol).
-    let t_domain = measure_domain_solve_seconds(2.5, 1.0, 9);
-    println!("measured per-domain solve on this host: {t_domain:.3} s\n");
+    // The per-core domain solve time is always *measured*: preferably read
+    // from the BENCH_profile.json a prior `repro_profile` run wrote, else
+    // measured live here (3 SCF × 3 CG-like refinement, as in the paper's
+    // benchmark protocol).
+    let t_domain = match MeasuredProfile::load(PROFILE_PATH)
+        .ok()
+        .and_then(|p| p.domain_solve_seconds())
+    {
+        Some(t) => {
+            println!("per-domain solve from {PROFILE_PATH}: {t:.3} s\n");
+            t
+        }
+        None => {
+            let t = measure_domain_solve_seconds(2.5, 1.0, 9);
+            println!("measured per-domain solve on this host: {t:.3} s\n");
+            t
+        }
+    };
 
     let model = WeakScalingModel::fig5(t_domain);
-    println!("{}", row("P (cores)", &["s/QMD step".into(), "efficiency".into()]));
+    println!(
+        "{}",
+        row("P (cores)", &["s/QMD step".into(), "efficiency".into()])
+    );
     for (p, t) in model.sweep() {
         let eff = model.efficiency(p, 16);
-        println!("{}", row(&format!("{p}"), &[format!("{t:.3}"), format!("{eff:.4}")]));
+        println!(
+            "{}",
+            row(&format!("{p}"), &[format!("{t:.3}"), format!("{eff:.4}")])
+        );
     }
     let eff_full = model.efficiency(786_432, 16);
     println!(
@@ -31,14 +52,20 @@ fn main() {
     );
 
     println!("== Fig 6: strong scaling (77,889-atom LiAl + water) ==\n");
-    // Reference wall-clock per step at 49,152 cores: scaled from the
-    // measured kernel (the paper does not quote the absolute number; the
-    // *shape* — speedup 12.85 at 16× cores — is the reproduction target).
-    let t_ref = 30.0;
-    let model = StrongScalingModel::fig6(t_ref, 49_152);
+    // Total divisible work comes from the same measured per-domain solve
+    // time — no hand-entered wall-clock enters this path. Our measured
+    // domain is far lighter than the paper's (which implies ~1,900
+    // core-seconds per domain per step on a Blue Gene/Q core), so the
+    // projected curve goes communication-bound earlier; the paper-shape
+    // check (speedup 12.85 at 16× cores for paper-scale work) is the
+    // regression test in `mqmd_parallel::scaling`.
+    let model = StrongScalingModel::fig6_from_measured(t_domain);
     println!(
         "{}",
-        row("P (cores)", &["s/QMD step".into(), "speedup".into(), "efficiency".into()])
+        row(
+            "P (cores)",
+            &["s/QMD step".into(), "speedup".into(), "efficiency".into()]
+        )
     );
     for (p, t) in model.sweep() {
         println!(
@@ -55,14 +82,9 @@ fn main() {
     }
     let s = model.speedup(786_432, 49_152);
     let e = model.efficiency(786_432, 49_152);
+    println!("\nmeasured-workload speedup at 16× cores: {s:.2}, efficiency {e:.3}");
     println!(
-        "\nstrong-scaling speedup at 16× cores: {:.2} (paper: 12.85, dev {})",
-        s,
-        pct_dev(s, 12.85)
-    );
-    println!(
-        "strong-scaling efficiency: {:.3} (paper: 0.803, dev {})",
-        e,
-        pct_dev(e, 0.803)
+        "(paper: 12.85 and 0.803 for its far heavier ~1,900 core-s/domain \
+         workload; that shape is regression-tested in mqmd_parallel::scaling)"
     );
 }

@@ -7,8 +7,8 @@
 //! Usage: `cargo run --release -p mqmd-bench --bin repro_verify`
 
 use mqmd_bench::bench_ldc_config;
-use mqmd_core::global::{BoundaryMode, HartreeSolver, LdcConfig, LdcSolver};
 use mqmd_chem::kinetics::{HodParams, HodSimulation, HodState};
+use mqmd_core::global::{BoundaryMode, HartreeSolver, LdcConfig, LdcSolver};
 use mqmd_dft::{DftConfig, DftSolver};
 use mqmd_md::AtomicSystem;
 use mqmd_util::constants::Element;
@@ -38,7 +38,9 @@ fn main() {
             ..Default::default()
         },
     });
-    let reference = conventional.solve(&sys).expect("conventional DFT converges");
+    let reference = conventional
+        .solve(&sys)
+        .expect("conventional DFT converges");
 
     let mut ldc = LdcSolver::new(LdcConfig {
         nd: (2, 1, 1),
@@ -50,7 +52,10 @@ fn main() {
     let state = ldc.solve(&sys).expect("LDC-DFT converges");
 
     let n = sys.len() as f64;
-    println!("{:<34}{:>16}{:>16}{:>14}", "quantity", "conventional", "LDC-DFT", "Δ/atom");
+    println!(
+        "{:<34}{:>16}{:>16}{:>14}",
+        "quantity", "conventional", "LDC-DFT", "Δ/atom"
+    );
     println!(
         "{:<34}{:>16.6}{:>16.6}{:>14.2e}",
         "total energy (Ha)",
@@ -69,7 +74,10 @@ fn main() {
     for (a, b) in reference.forces.iter().zip(&state.forces) {
         max_force_dev = max_force_dev.max((*a - *b).norm());
     }
-    println!("{:<34}{:>16}{:>16}{:>14.2e}", "max force deviation (Ha/Bohr)", "", "", max_force_dev);
+    println!(
+        "{:<34}{:>16}{:>16}{:>14.2e}",
+        "max force deviation (Ha/Bohr)", "", "", max_force_dev
+    );
     println!(
         "\npaper criterion: energy and forces converged within 1e-3 a.u./atom; \
          this reduced-resolution run targets the same order.\n"

@@ -80,9 +80,17 @@ pub fn measure_domain_solve_seconds(ecut: f64, spacing: f64, davidson_iters: usi
         &global_grid,
         &mqmd_dft::solver::atoms_of(&sys),
     );
-    let setup =
-        DomainSetup::build(&dd.domains()[0], &dd, &sys, spacing, ecut, 4, &global_grid, &v_ion)
-            .expect("SiC block is non-empty");
+    let setup = DomainSetup::build(
+        &dd.domains()[0],
+        &dd,
+        &sys,
+        spacing,
+        ecut,
+        4,
+        &global_grid,
+        &v_ion,
+    )
+    .expect("SiC block is non-empty");
     let zeros = vec![0.0; setup.grid.len()];
     let sw = Stopwatch::start();
     let bands =
@@ -94,7 +102,12 @@ pub fn measure_domain_solve_seconds(ecut: f64, spacing: f64, davidson_iters: usi
 /// Builds an LDC solver with bench settings and the given
 /// decomposition/buffer/mode overrides.
 pub fn ldc_solver(nd: (usize, usize, usize), buffer: f64, mode: BoundaryMode) -> LdcSolver {
-    LdcSolver::new(LdcConfig { nd, buffer, mode, ..bench_ldc_config() })
+    LdcSolver::new(LdcConfig {
+        nd,
+        buffer,
+        mode,
+        ..bench_ldc_config()
+    })
 }
 
 /// Formats a table row of label + values for the repro binaries.

@@ -1,0 +1,93 @@
+//! Smoke test: enabling tracing must cost < 5% on the GEMM and FFT hot
+//! kernels.
+//!
+//! The span guard is one relaxed atomic load when disabled and a handful of
+//! atomic adds when enabled, amortised over whole kernel invocations — so
+//! even the 5% budget is generous. Timing noise is tamed by comparing
+//! min-of-several batch times and allowing a few attempts before declaring
+//! failure.
+
+use mqmd_fft::Fft3d;
+use mqmd_linalg::gemm::dgemm;
+use mqmd_linalg::Matrix;
+use mqmd_util::{trace, Complex64};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Serialises the tests in this binary: both toggle the global tracing
+/// flag, so running them concurrently would corrupt each other's timings.
+static GATE: Mutex<()> = Mutex::new(());
+
+fn min_batch_seconds(mut batch: impl FnMut(), trials: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..trials {
+        let t0 = Instant::now();
+        batch();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Measures `batch` with tracing off then on; true when the enabled run is
+/// within `budget` of the disabled one.
+fn within_overhead_budget(batch: &mut impl FnMut(), budget: f64) -> (bool, f64) {
+    trace::set_enabled(false);
+    batch(); // warm caches outside the timed region
+    let off = min_batch_seconds(&mut *batch, 5);
+    trace::set_enabled(true);
+    let on = min_batch_seconds(&mut *batch, 5);
+    trace::set_enabled(false);
+    trace::take();
+    let ratio = on / off;
+    (ratio <= 1.0 + budget, ratio)
+}
+
+fn assert_overhead_below(mut batch: impl FnMut(), what: &str) {
+    let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    // Timing smoke test: retry a few times so a scheduler hiccup cannot
+    // fail the suite, but a systematic >5% slowdown always does.
+    let mut last = 0.0;
+    for _ in 0..4 {
+        let (ok, ratio) = within_overhead_budget(&mut batch, 0.05);
+        if ok {
+            return;
+        }
+        last = ratio;
+    }
+    panic!("{what}: tracing overhead persisted above 5% (last ratio {last:.3})");
+}
+
+#[test]
+fn gemm_tracing_overhead_below_five_percent() {
+    let n = 96;
+    let a = Matrix::from_fn(n, n, |i, j| ((i * 13 + j * 7) % 17) as f64 * 0.1);
+    let b = Matrix::from_fn(n, n, |i, j| ((i + j * 5) % 11) as f64 * 0.2);
+    let mut c = Matrix::zeros(n, n);
+    assert_overhead_below(
+        || {
+            for _ in 0..6 {
+                dgemm(1.0, &a, &b, 0.0, &mut c);
+            }
+            std::hint::black_box(&c);
+        },
+        "dgemm 96x96x96",
+    );
+}
+
+#[test]
+fn fft_tracing_overhead_below_five_percent() {
+    let plan = Fft3d::cubic(32);
+    let mut field: Vec<Complex64> = (0..plan.len())
+        .map(|i| Complex64::new((i % 7) as f64 * 0.3, (i % 5) as f64 * -0.2))
+        .collect();
+    assert_overhead_below(
+        || {
+            for _ in 0..4 {
+                plan.forward(&mut field);
+                plan.inverse(&mut field);
+            }
+            std::hint::black_box(&field);
+        },
+        "fft 32^3 round trip",
+    );
+}

@@ -116,12 +116,10 @@ pub fn run_fig9b(
             let surf = analyze_surface(&particle);
             let li_surface = (0..particle.len())
                 .filter(|&a| {
-                    surf.is_surface[a]
-                        && particle.species[a] == mqmd_util::constants::Element::Li
+                    surf.is_surface[a] && particle.species[a] == mqmd_util::constants::Element::Li
                 })
                 .count();
-            let state =
-                HodState::new(surf.lewis_pairs.len(), 0, li_surface, usize::MAX / 4);
+            let state = HodState::new(surf.lewis_pairs.len(), 0, li_surface, usize::MAX / 4);
             let mut sim =
                 HodSimulation::new(params, temperature, state, seed.wrapping_add(i as u64));
             sim.run(f64::INFINITY, events_per_run);
@@ -161,19 +159,17 @@ mod tests {
 
     #[test]
     fn fig9a_reproduces_paper_shape() {
-        let (points, fit) = run_fig9a(
-            HodParams::default(),
-            &[300.0, 600.0, 1500.0],
-            30,
-            40_000,
-            7,
-        );
+        let (points, fit) = run_fig9a(HodParams::default(), &[300.0, 600.0, 1500.0], 30, 40_000, 7);
         assert_eq!(points.len(), 3);
         // Rates rise with temperature.
         assert!(points[1].rate_per_pair > points[0].rate_per_pair);
         assert!(points[2].rate_per_pair > points[1].rate_per_pair);
         // Barrier near the paper's 0.068 eV; 300 K rate near 1.04e9.
-        assert!((0.05..=0.09).contains(&fit.activation_ev), "Ea {}", fit.activation_ev);
+        assert!(
+            (0.05..=0.09).contains(&fit.activation_ev),
+            "Ea {}",
+            fit.activation_ev
+        );
         assert!(
             (0.4e9..=2.5e9).contains(&points[0].rate_per_pair),
             "300 K rate {:.3e}",

@@ -122,7 +122,10 @@ impl HodState {
     /// Hydrogen-atom bookkeeping invariant:
     /// `2·water + adsorbed + bridging_OH + OH⁻ + 2·H₂` is conserved.
     pub fn hydrogen_inventory(&self) -> usize {
-        2 * self.water_remaining + self.adsorbed_h + self.bridging_oh + self.oh_minus
+        2 * self.water_remaining
+            + self.adsorbed_h
+            + self.bridging_oh
+            + self.oh_minus
             + 2 * self.h2_produced
     }
 }
@@ -144,7 +147,13 @@ impl HodSimulation {
     /// Creates a simulation.
     pub fn new(params: HodParams, temperature: f64, state: HodState, seed: u64) -> Self {
         assert!(temperature > 0.0);
-        Self { params, temperature, state, rng: Xoshiro256pp::seed_from_u64(seed), h2_events: Vec::new() }
+        Self {
+            params,
+            temperature,
+            state,
+            rng: Xoshiro256pp::seed_from_u64(seed),
+            h2_events: Vec::new(),
+        }
     }
 
     /// Per-channel propensities (total rates, s⁻¹) in the current state.
@@ -163,8 +172,7 @@ impl HodSimulation {
             * water_frac
             * free
             * boost;
-        let r_al =
-            s.al_sites as f64 * arrhenius_rate(p.al_dissociation, t) * water_frac * free;
+        let r_al = s.al_sites as f64 * arrhenius_rate(p.al_dissociation, t) * water_frac * free;
         let h_pairs = (s.adsorbed_h / 2) as f64;
         let r_rec = h_pairs * arrhenius_rate(p.h_recombination, t);
         let li_active = s.li_remaining.min(s.bridging_oh) as f64;
@@ -275,8 +283,7 @@ mod tests {
 
     #[test]
     fn hydrogen_inventory_conserved() {
-        let mut sim =
-            HodSimulation::new(HodParams::default(), 1500.0, fresh(20, 10, 500), 1);
+        let mut sim = HodSimulation::new(HodParams::default(), 1500.0, fresh(20, 10, 500), 1);
         let before = sim.state.hydrogen_inventory();
         sim.run(1e-3, 20_000);
         assert!(sim.state.h2_produced > 0, "events must fire at 1500 K");
@@ -286,8 +293,7 @@ mod tests {
     #[test]
     fn rate_at_300k_matches_paper_magnitude() {
         // Paper: 1.04×10⁹ H₂ s⁻¹ per LiAl pair at 300 K.
-        let mut sim =
-            HodSimulation::new(HodParams::default(), 300.0, fresh(30, 0, 100_000), 2);
+        let mut sim = HodSimulation::new(HodParams::default(), 300.0, fresh(30, 0, 100_000), 2);
         sim.run(f64::INFINITY, 60_000);
         let rate = sim.h2_rate_per_pair();
         assert!(
@@ -322,8 +328,7 @@ mod tests {
     fn lial_vastly_outproduces_pure_al() {
         // §6: alloying gives orders-of-magnitude faster H₂ production.
         let t_end = 1e-5;
-        let mut lial =
-            HodSimulation::new(HodParams::default(), 300.0, fresh(30, 0, 1_000_000), 4);
+        let mut lial = HodSimulation::new(HodParams::default(), 300.0, fresh(30, 0, 1_000_000), 4);
         lial.run(t_end, 10_000_000);
         let mut pure = HodSimulation::new(
             HodParams::default(),
@@ -342,8 +347,12 @@ mod tests {
 
     #[test]
     fn pure_al_passivates_and_stalls() {
-        let mut pure =
-            HodSimulation::new(HodParams::default(), 600.0, HodState::new(0, 40, 0, 100_000), 5);
+        let mut pure = HodSimulation::new(
+            HodParams::default(),
+            600.0,
+            HodState::new(0, 40, 0, 100_000),
+            5,
+        );
         pure.run(f64::INFINITY, 500_000);
         assert!(pure.state.passivated > 0, "oxide layer must form");
         // Once every Al site is passivated nothing can fire.
@@ -355,14 +364,17 @@ mod tests {
 
     #[test]
     fn dissolved_li_raises_oh_and_protects_surface() {
-        let mut sim =
-            HodSimulation::new(HodParams::default(), 600.0, fresh(30, 20, 50_000), 6);
+        let mut sim = HodSimulation::new(HodParams::default(), 600.0, fresh(30, 20, 50_000), 6);
         sim.run(f64::INFINITY, 200_000);
         assert!(sim.state.oh_minus > 0, "Li must dissolve into LiOH");
         // Passivation suppressed relative to a Li-free run with the same Al
         // exposure.
-        let mut no_li =
-            HodSimulation::new(HodParams::default(), 600.0, HodState::new(0, 20, 0, 50_000), 6);
+        let mut no_li = HodSimulation::new(
+            HodParams::default(),
+            600.0,
+            HodState::new(0, 20, 0, 50_000),
+            6,
+        );
         no_li.run(sim.state.time, 200_000);
         assert!(
             sim.state.passivated <= no_li.state.passivated,
@@ -375,8 +387,7 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let run = || {
-            let mut sim =
-                HodSimulation::new(HodParams::default(), 600.0, fresh(10, 5, 1_000), 99);
+            let mut sim = HodSimulation::new(HodParams::default(), 600.0, fresh(10, 5, 1_000), 99);
             sim.run(1e-5, 50_000);
             (sim.state.clone(), sim.h2_events.len())
         };
@@ -391,7 +402,10 @@ mod tests {
         // At identical surface occupancy, a nonzero bridging boost raises
         // the pair-dissociation propensity over the boost-free model.
         let boosted_params = HodParams::default();
-        let flat_params = HodParams { bridging_boost: 0.0, ..HodParams::default() };
+        let flat_params = HodParams {
+            bridging_boost: 0.0,
+            ..HodParams::default()
+        };
         let mut boosted = HodSimulation::new(boosted_params, 300.0, fresh(10, 0, 1000), 1);
         boosted.state.bridging_oh = 10;
         let mut flat = HodSimulation::new(flat_params, 300.0, fresh(10, 0, 1000), 1);

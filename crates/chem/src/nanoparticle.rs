@@ -37,7 +37,10 @@ pub fn lial_nanoparticle(n_pairs: usize, cell: f64) -> AtomicSystem {
     }
     li.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
     al.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
-    assert!(li.len() >= n_pairs && al.len() >= n_pairs, "supercell too small");
+    assert!(
+        li.len() >= n_pairs && al.len() >= n_pairs,
+        "supercell too small"
+    );
 
     let mut species = Vec::with_capacity(2 * n_pairs);
     let mut positions = Vec::with_capacity(2 * n_pairs);
@@ -79,7 +82,10 @@ pub fn water_molecule(origin: Vec3, rng: &mut Xoshiro256pp) -> (Vec<Element>, Ve
     let half = 0.5 * WATER_ANGLE_RAD;
     let h1 = origin + (u * half.cos() + v * half.sin()) * WATER_OH_BOHR;
     let h2 = origin + (u * half.cos() - v * half.sin()) * WATER_OH_BOHR;
-    (vec![Element::O, Element::H, Element::H], vec![origin, h1, h2])
+    (
+        vec![Element::O, Element::H, Element::H],
+        vec![origin, h1, h2],
+    )
 }
 
 fn random_unit(rng: &mut Xoshiro256pp) -> Vec3 {
@@ -137,12 +143,7 @@ pub fn water_box(
 }
 
 /// The paper's solvated-particle workloads: LiₙAlₙ + `n_water` H₂O.
-pub fn solvated_particle(
-    n_pairs: usize,
-    n_water: usize,
-    cell: f64,
-    seed: u64,
-) -> AtomicSystem {
+pub fn solvated_particle(n_pairs: usize, n_water: usize, cell: f64, seed: u64) -> AtomicSystem {
     let mut rng = Xoshiro256pp::seed_from_u64(seed);
     let particle = lial_nanoparticle(n_pairs, cell);
     water_box(&particle, n_water, 4.0, &mut rng)

@@ -49,8 +49,10 @@ pub fn analyze_surface(system: &AtomicSystem) -> SurfaceAnalysis {
     let list = NeighborList::build(&sub, cutoff);
     let coord = list.coordination(sub.len());
 
-    let is_surface_local: Vec<bool> =
-        coord.iter().map(|&z| z < SURFACE_COORDINATION_THRESHOLD).collect();
+    let is_surface_local: Vec<bool> = coord
+        .iter()
+        .map(|&z| z < SURFACE_COORDINATION_THRESHOLD)
+        .collect();
 
     let mut lewis_pairs = Vec::new();
     for &(a, b) in list.pairs() {
@@ -73,7 +75,12 @@ pub fn analyze_surface(system: &AtomicSystem) -> SurfaceAnalysis {
             n_surface += 1;
         }
     }
-    SurfaceAnalysis { is_surface, n_surface, lewis_pairs, n_metal: metal.len() }
+    SurfaceAnalysis {
+        is_surface,
+        n_surface,
+        lewis_pairs,
+        n_metal: metal.len(),
+    }
 }
 
 #[cfg(test)]
@@ -86,15 +93,26 @@ mod tests {
         let p = lial_nanoparticle(5, 40.0);
         let s = analyze_surface(&p);
         assert_eq!(s.n_metal, 10);
-        assert!(s.n_surface >= 9, "a 10-atom cluster is (almost) all surface: {}", s.n_surface);
+        assert!(
+            s.n_surface >= 9,
+            "a 10-atom cluster is (almost) all surface: {}",
+            s.n_surface
+        );
     }
 
     #[test]
     fn large_particle_has_bulk_core() {
         let p = lial_nanoparticle(135, 70.0);
         let s = analyze_surface(&p);
-        assert!(s.n_surface < s.n_metal, "bulk atoms must exist: {}", s.n_surface);
-        assert!(s.n_surface > s.n_metal / 3, "but the surface is substantial");
+        assert!(
+            s.n_surface < s.n_metal,
+            "bulk atoms must exist: {}",
+            s.n_surface
+        );
+        assert!(
+            s.n_surface > s.n_metal / 3,
+            "but the surface is substantial"
+        );
     }
 
     #[test]
@@ -117,13 +135,19 @@ mod tests {
         let ns: Vec<f64> = [30usize, 135, 441]
             .iter()
             .map(|&n| {
-                let p = lial_nanoparticle(n, (crate::nanoparticle::particle_radius(n) * 2.0 + 20.0).max(50.0));
+                let p = lial_nanoparticle(
+                    n,
+                    (crate::nanoparticle::particle_radius(n) * 2.0 + 20.0).max(50.0),
+                );
                 analyze_surface(&p).n_surface as f64
             })
             .collect();
         // Fit N_surf ~ (2n)^α: α should be near 2/3 (within the noise of
         // small discrete clusters).
-        let x: Vec<f64> = [30.0f64, 135.0, 441.0].iter().map(|n| (2.0 * n).ln()).collect();
+        let x: Vec<f64> = [30.0f64, 135.0, 441.0]
+            .iter()
+            .map(|n| (2.0 * n).ln())
+            .collect();
         let y: Vec<f64> = ns.iter().map(|v| v.ln()).collect();
         let fit = mqmd_util::fit::linear_fit(&x, &y);
         assert!(

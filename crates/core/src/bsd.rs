@@ -31,11 +31,18 @@ pub struct BsdPlan {
 impl BsdPlan {
     /// Builds a plan; `total_cores` must be divisible by `n_domains` (the
     /// paper always runs whole communicators per domain).
-    pub fn new(total_cores: usize, n_domains: usize, n_bands: usize, n_grid: usize) -> Result<Self> {
+    pub fn new(
+        total_cores: usize,
+        n_domains: usize,
+        n_bands: usize,
+        n_grid: usize,
+    ) -> Result<Self> {
         if total_cores == 0 || n_domains == 0 {
-            return Err(MqmdError::Invalid("cores and domains must be positive".into()));
+            return Err(MqmdError::Invalid(
+                "cores and domains must be positive".into(),
+            ));
         }
-        if total_cores % n_domains != 0 {
+        if !total_cores.is_multiple_of(n_domains) {
             return Err(MqmdError::Invalid(format!(
                 "{total_cores} cores not divisible into {n_domains} domain communicators"
             )));

@@ -39,7 +39,9 @@ pub fn density_of_states(state: &LdcState, sigma: f64, n_points: usize) -> Densi
     let (lo, hi) = state
         .spectrum
         .iter()
-        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &(e, _)| (lo.min(e), hi.max(e)));
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &(e, _)| {
+            (lo.min(e), hi.max(e))
+        });
     let margin = 4.0 * sigma;
     let (lo, hi) = (lo - margin, hi + margin);
     let de = (hi - lo) / (n_points - 1) as f64;
@@ -58,7 +60,11 @@ pub fn density_of_states(state: &LdcState, sigma: f64, n_points: usize) -> Densi
                 .sum()
         })
         .collect();
-    DensityOfStates { energies, dos, sigma }
+    DensityOfStates {
+        energies,
+        dos,
+        sigma,
+    }
 }
 
 impl DensityOfStates {
@@ -105,7 +111,12 @@ pub fn frontier_orbitals(state: &LdcState, kt: f64) -> FrontierOrbitals {
             lumo = e;
         }
     }
-    FrontierOrbitals { homo, lumo, gap: (lumo - homo).max(0.0), mu: state.mu }
+    FrontierOrbitals {
+        homo,
+        lumo,
+        gap: (lumo - homo).max(0.0),
+        mu: state.mu,
+    }
 }
 
 /// Range-limited inter-domain network for recombine-phase n-tuple
@@ -137,7 +148,10 @@ impl DomainNetwork {
                 }
             }
         }
-        Self { edges, n_domains: n }
+        Self {
+            edges,
+            n_domains: n,
+        }
     }
 
     /// Degree (number of recombine partners) of each domain.
@@ -152,6 +166,7 @@ impl DomainNetwork {
 
     /// Count of connected `n`-tuples (pairs only and triangles) — the
     /// recombine phase's work estimate.
+    #[allow(clippy::needless_range_loop)]
     pub fn triangle_count(&self) -> usize {
         let mut adj = vec![vec![false; self.n_domains]; self.n_domains];
         for &(i, j) in &self.edges {
@@ -228,14 +243,22 @@ mod tests {
             .map(|(_, &d)| d)
             .unwrap();
         let mean = dos.dos.iter().sum::<f64>() / dos.dos.len() as f64;
-        assert!(at_level > mean, "DOS at a level ({at_level}) exceeds the mean ({mean})");
+        assert!(
+            at_level > mean,
+            "DOS at a level ({at_level}) exceeds the mean ({mean})"
+        );
     }
 
     #[test]
     fn frontier_orbitals_bracket_mu() {
         let (state, kt) = solved_h2();
         let f = frontier_orbitals(&state, kt);
-        assert!(f.homo <= f.lumo + 1e-9, "HOMO {} vs LUMO {}", f.homo, f.lumo);
+        assert!(
+            f.homo <= f.lumo + 1e-9,
+            "HOMO {} vs LUMO {}",
+            f.homo,
+            f.lumo
+        );
         assert!(f.homo <= f.mu + 10.0 * kt);
         assert!(f.lumo >= f.mu - 10.0 * kt);
         assert!(f.gap >= 0.0);
@@ -263,7 +286,11 @@ mod tests {
         let far = DomainNetwork::build(&dd, 6.0); // + edge diagonals (5.66)
         assert_eq!(near.edges.len(), 64 * 6 / 2);
         assert!(far.edges.len() > near.edges.len());
-        assert_eq!(near.triangle_count(), 0, "face-only adjacency has no triangles");
+        assert_eq!(
+            near.triangle_count(),
+            0,
+            "face-only adjacency has no triangles"
+        );
         assert!(far.triangle_count() > 0, "diagonals close triangles");
     }
 }

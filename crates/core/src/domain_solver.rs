@@ -45,6 +45,7 @@ pub struct DomainSetup {
 impl DomainSetup {
     /// Builds the setup for one domain, or `None` if the domain box holds no
     /// atoms.
+    #[allow(clippy::too_many_arguments)]
     pub fn build(
         domain: &Domain,
         dd: &DomainDecomposition,
@@ -170,6 +171,7 @@ pub fn solve_domain(
     max_iter: usize,
     tol: f64,
 ) -> Result<DomainBands> {
+    let _span = mqmd_util::trace::span("domain_solve");
     assert_eq!(v_hxc.len(), setup.grid.len());
     assert_eq!(v_bc.len(), setup.grid.len());
     let v_eff: Vec<f64> = setup
@@ -184,7 +186,9 @@ pub fn solve_domain(
 
     let mut psi = match psi0 {
         Some(p) if p.rows() == setup.basis.len() && p.cols() == setup.n_bands => p,
-        _ => setup.basis.random_bands(setup.n_bands, 0xC0DE ^ setup.domain.id as u64),
+        _ => setup
+            .basis
+            .random_bands(setup.n_bands, 0xC0DE ^ setup.domain.id as u64),
     };
     let report = match block_davidson(&h, &mut psi, max_iter, tol) {
         Ok(r) => r,
@@ -203,7 +207,11 @@ pub fn solve_domain(
                 &mut rot,
             );
             psi = rot;
-            mqmd_dft::eigensolver::EigenReport { eigenvalues: vals, iterations, residual: f64::NAN }
+            mqmd_dft::eigensolver::EigenReport {
+                eigenvalues: vals,
+                iterations,
+                residual: f64::NAN,
+            }
         }
         Err(e) => return Err(e),
     };
@@ -217,7 +225,12 @@ pub fn solve_domain(
         let real = setup.basis.to_real(&band);
         let h_real = setup.basis.to_real(&h.apply_band(&band));
         let dens: Vec<f64> = real.iter().map(|z| z.norm_sqr()).collect();
-        let w: f64 = dens.iter().zip(&setup.p_alpha).map(|(d, p)| d * p).sum::<f64>() * dv;
+        let w: f64 = dens
+            .iter()
+            .zip(&setup.p_alpha)
+            .map(|(d, p)| d * p)
+            .sum::<f64>()
+            * dv;
         let hw: f64 = real
             .iter()
             .zip(&h_real)
@@ -247,10 +260,8 @@ mod tests {
     /// Builds the global grid + V_ion pair the production path supplies.
     fn global_ionic(sys: &AtomicSystem, spacing: f64) -> (UniformGrid3, Vec<f64>) {
         let grid = mqmd_dft::solver::grid_for_cell(sys.cell, spacing);
-        let v = mqmd_dft::hamiltonian::ionic_local_potential(
-            &grid,
-            &mqmd_dft::solver::atoms_of(sys),
-        );
+        let v =
+            mqmd_dft::hamiltonian::ionic_local_potential(&grid, &mqmd_dft::solver::atoms_of(sys));
         (grid, v)
     }
 
@@ -268,7 +279,8 @@ mod tests {
         let sys = h2_system(8.0);
         let dd = DomainDecomposition::new(sys.cell, (1, 1, 1), 0.0);
         let (gg, vion) = global_ionic(&sys, 0.9);
-        let setup = DomainSetup::build(&dd.domains()[0], &dd, &sys, 0.9, 3.0, 3, &gg, &vion).unwrap();
+        let setup =
+            DomainSetup::build(&dd.domains()[0], &dd, &sys, 0.9, 3.0, 3, &gg, &vion).unwrap();
         assert_eq!(setup.atoms.len(), 2);
         assert!((setup.core_electrons - 2.0).abs() < 1e-12);
         // pα ≡ 1 for a single domain.
@@ -308,7 +320,8 @@ mod tests {
         let sys = h2_system(8.0);
         let dd = DomainDecomposition::new(sys.cell, (1, 1, 1), 0.0);
         let (gg, vion) = global_ionic(&sys, 0.9);
-        let setup = DomainSetup::build(&dd.domains()[0], &dd, &sys, 0.9, 3.0, 2, &gg, &vion).unwrap();
+        let setup =
+            DomainSetup::build(&dd.domains()[0], &dd, &sys, 0.9, 3.0, 2, &gg, &vion).unwrap();
         let zeros = vec![0.0; setup.grid.len()];
         let bands = solve_domain(&setup, &zeros, &zeros, None, 60, 1e-6).unwrap();
         for dens in &bands.band_densities {
@@ -351,7 +364,8 @@ mod tests {
         let sys = h2_system(8.0);
         let dd = DomainDecomposition::new(sys.cell, (2, 1, 1), 1.0);
         let (gg, vion) = global_ionic(&sys, 0.9);
-        let setup = DomainSetup::build(&dd.domains()[0], &dd, &sys, 0.9, 2.5, 1, &gg, &vion).unwrap();
+        let setup =
+            DomainSetup::build(&dd.domains()[0], &dd, &sys, 0.9, 2.5, 1, &gg, &vion).unwrap();
         let global = UniformGrid3::cubic(16, 8.0);
         let field = global.sample(|r| (0.3 * r.x).sin() + 0.1 * r.y);
         let sampled = setup.sample_global_field(&global, &field);
@@ -366,11 +380,7 @@ mod tests {
     fn empty_domain_returns_none() {
         // All atoms in one octant; far domain sees nothing with a small
         // buffer.
-        let sys = AtomicSystem::new(
-            Vec3::splat(16.0),
-            vec![Element::H],
-            vec![Vec3::splat(1.0)],
-        );
+        let sys = AtomicSystem::new(Vec3::splat(16.0), vec![Element::H], vec![Vec3::splat(1.0)]);
         let dd = DomainDecomposition::new(sys.cell, (4, 4, 4), 0.5);
         // Domain with lattice (2,2,2) is centred at 10,10,10 — far from the
         // atom.

@@ -32,9 +32,9 @@ use mqmd_linalg::CMatrix;
 use mqmd_md::{AtomicSystem, ForceField, ForceResult};
 use mqmd_multigrid::{FftPoisson, PoissonMultigrid};
 use mqmd_util::{MqmdError, Result, Vec3};
-use parking_lot::Mutex;
 use rayon::prelude::*;
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// Treatment of the artificial domain boundary.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -184,12 +184,20 @@ pub fn weighted_mu(levels: &[(f64, f64)], n_electrons: f64, kt: f64) -> f64 {
         // weights of unconverged high bands are unpredictable). Fill every
         // band; the density assembly rescales ∫ρ = N, and the deficit
         // shrinks as the bands converge.
-        let e_max = levels.iter().map(|&(e, _)| e).fold(f64::NEG_INFINITY, f64::max);
+        let e_max = levels
+            .iter()
+            .map(|&(e, _)| e)
+            .fold(f64::NEG_INFINITY, f64::max);
         return e_max + 20.0 * kt;
     }
     let count = |mu: f64| -> f64 { levels.iter().map(|&(e, w)| w * fermi(e, mu, kt)).sum() };
     let mut lo = levels.iter().map(|&(e, _)| e).fold(f64::INFINITY, f64::min) - 20.0 * kt - 1.0;
-    let mut hi = levels.iter().map(|&(e, _)| e).fold(f64::NEG_INFINITY, f64::max) + 20.0 * kt + 1.0;
+    let mut hi = levels
+        .iter()
+        .map(|&(e, _)| e)
+        .fold(f64::NEG_INFINITY, f64::max)
+        + 20.0 * kt
+        + 1.0;
     let mut mu = 0.5 * (lo + hi);
     for _ in 0..200 {
         let err = count(mu) - n_electrons;
@@ -224,7 +232,11 @@ pub fn weighted_mu(levels: &[(f64, f64)], n_electrons: f64, kt: f64) -> f64 {
 impl LdcSolver {
     /// Creates a solver.
     pub fn new(config: LdcConfig) -> Self {
-        Self { config, psi_cache: HashMap::new(), total_scf_iterations: 0 }
+        Self {
+            config,
+            psi_cache: HashMap::new(),
+            total_scf_iterations: 0,
+        }
     }
 
     /// Drops cached wave functions (needed when changing domain topology or
@@ -278,18 +290,32 @@ impl LdcSolver {
 
         let ion_positions: Vec<Vec3> = atoms_global.iter().map(|(_, r)| *r).collect();
         let ion_charges: Vec<f64> = atoms_global.iter().map(|(p, _)| p.z_val).collect();
-        let ew = ewald(global_grid.lengths_vec(), &ion_positions, &ion_charges, None);
+        let ew = ewald(
+            global_grid.lengths_vec(),
+            &ion_positions,
+            &ion_charges,
+            None,
+        );
 
         let mut rho = initial_density(&global_grid, &atoms_global, n_electrons);
         // Previous-iteration domain densities, for the LDC boundary potential.
         let mut rho_domains: HashMap<usize, Vec<f64>> = HashMap::new();
         let psi_cache = Mutex::new(std::mem::take(&mut self.psi_cache));
 
-        let mut outcome: Option<(f64, f64, Vec<f64>, f64, Vec<(f64, f64)>, usize, LdcBreakdown)> =
-            None;
+        #[allow(clippy::type_complexity)]
+        let mut outcome: Option<(
+            f64,
+            f64,
+            Vec<f64>,
+            f64,
+            Vec<(f64, f64)>,
+            usize,
+            LdcBreakdown,
+        )> = None;
         let mut alpha = cfg.mix_alpha;
         let mut prev_residual = f64::INFINITY;
         for iter in 1..=cfg.max_scf {
+            let _span = mqmd_util::trace::span("scf_iter");
             let v_h = hartree(&rho)?;
             let mut v_xc = vec![0.0; rho.len()];
             xc::vxc_field(&rho, &mut v_xc);
@@ -307,8 +333,7 @@ impl LdcSolver {
                             // potential acts where the artificial-BC density
                             // error lives and vanishes deep in the core
                             // (where the lagged Δρ is noise, not signal).
-                            let rho_global_local =
-                                setup.sample_global_field(&global_grid, &rho);
+                            let rho_global_local = setup.sample_global_field(&global_grid, &rho);
                             rho_prev
                                 .iter()
                                 .zip(&rho_global_local)
@@ -318,7 +343,10 @@ impl LdcSolver {
                         }
                         _ => vec![0.0; setup.grid.len()],
                     };
-                    let psi0 = psi_cache.lock().remove(&setup.domain.id);
+                    let psi0 = psi_cache
+                        .lock()
+                        .expect("psi cache lock")
+                        .remove(&setup.domain.id);
                     let bands = solve_domain(
                         setup,
                         &v_hxc_local,
@@ -345,8 +373,8 @@ impl LdcSolver {
             let mut entropy = 0.0;
             let mut e_bc_dc = 0.0;
             {
-                let mut cache = psi_cache.lock();
-                for (setup, (id, bands)) in setups.iter().zip(solved.into_iter()) {
+                let mut cache = psi_cache.lock().expect("psi cache lock");
+                for (setup, (id, bands)) in setups.iter().zip(solved) {
                     debug_assert_eq!(setup.domain.id, id);
                     let mut rho_a = vec![0.0; setup.grid.len()];
                     for (n, dens) in bands.band_densities.iter().enumerate() {
@@ -363,8 +391,7 @@ impl LdcSolver {
                         band_energy += f * bands.h_weights[n];
                         let x: f64 = f / 2.0;
                         if x > 1e-12 && x < 1.0 - 1e-12 {
-                            entropy +=
-                                2.0 * cfg.kt * w * (x * x.ln() + (1.0 - x) * (1.0 - x).ln());
+                            entropy += 2.0 * cfg.kt * w * (x * x.ln() + (1.0 - x) * (1.0 - x).ln());
                         }
                     }
                     // v_bc double-counting correction: ∫ pα·ρα·v_bc with
@@ -391,7 +418,14 @@ impl LdcSolver {
             }
 
             // Recombine: assemble ρ_out = Σα pα·ρα on the global grid.
+            // Count the logical communication of the GSLF tree reduction:
+            // one upward message per domain carrying its density payload
+            // (cost pricing happens in mqmd-parallel's machine model).
+            let _gd_span = mqmd_util::trace::span("global_density");
+            let comm_bytes: u64 = rho_domains.values().map(|r| 8 * r.len() as u64).sum();
+            mqmd_util::trace::add_comm(rho_domains.len() as u64, comm_bytes, 0.0);
             let rho_out = assemble_density(&global_grid, &dd, &setups, &rho_domains, n_electrons);
+            drop(_gd_span);
 
             let residual: f64 = rho
                 .iter()
@@ -403,15 +437,27 @@ impl LdcSolver {
 
             // Total energy with the standard double-counting corrections.
             let hartree_dc: f64 = global_grid.integrate(
-                &rho_out.iter().zip(&v_h).map(|(r, v)| r * v).collect::<Vec<_>>(),
+                &rho_out
+                    .iter()
+                    .zip(&v_h)
+                    .map(|(r, v)| r * v)
+                    .collect::<Vec<_>>(),
             );
             let vxc_rho: f64 = global_grid.integrate(
-                &rho_out.iter().zip(&v_xc).map(|(r, v)| r * v).collect::<Vec<_>>(),
+                &rho_out
+                    .iter()
+                    .zip(&v_xc)
+                    .map(|(r, v)| r * v)
+                    .collect::<Vec<_>>(),
             );
             let v_h_out = hartree(&rho_out)?;
             let e_h = 0.5
                 * global_grid.integrate(
-                    &rho_out.iter().zip(&v_h_out).map(|(r, v)| r * v).collect::<Vec<_>>(),
+                    &rho_out
+                        .iter()
+                        .zip(&v_h_out)
+                        .map(|(r, v)| r * v)
+                        .collect::<Vec<_>>(),
                 );
             let e_xc = xc::exc_energy(&rho_out, global_grid.dv());
             let total =
@@ -431,7 +477,15 @@ impl LdcSolver {
                 outcome = Some((total, mu, rho_out, residual, spectrum, iter, breakdown));
                 break;
             }
-            outcome = Some((total, mu, rho_out.clone(), residual, spectrum, iter, breakdown));
+            outcome = Some((
+                total,
+                mu,
+                rho_out.clone(),
+                residual,
+                spectrum,
+                iter,
+                breakdown,
+            ));
             // Adaptive linear mixing: back off on charge sloshing, recover
             // slowly while converging.
             if residual > prev_residual {
@@ -445,7 +499,7 @@ impl LdcSolver {
             }
         }
 
-        self.psi_cache = psi_cache.into_inner();
+        self.psi_cache = psi_cache.into_inner().expect("psi cache lock");
         let (energy, mu, density, residual, spectrum, iters, breakdown) =
             outcome.expect("at least one SCF iteration ran");
         if residual >= cfg.tol_density {
@@ -553,8 +607,7 @@ pub fn assemble_density(
     rho_domains: &HashMap<usize, Vec<f64>>,
     n_electrons: f64,
 ) -> Vec<f64> {
-    let by_id: HashMap<usize, &DomainSetup> =
-        setups.iter().map(|s| (s.domain.id, s)).collect();
+    let by_id: HashMap<usize, &DomainSetup> = setups.iter().map(|s| (s.domain.id, s)).collect();
     let (nx, ny, nz) = global_grid.dims();
     let mut rho_out: Vec<f64> = (0..nx * ny * nz)
         .into_par_iter()
@@ -587,7 +640,10 @@ impl ForceField for LdcSolver {
         let state = self
             .solve(system)
             .expect("LDC-DFT SCF failed to converge inside the MD loop");
-        ForceResult { energy: state.energy, forces: state.forces }
+        ForceResult {
+            energy: state.energy,
+            forces: state.forces,
+        }
     }
 }
 
@@ -645,7 +701,10 @@ mod tests {
         let mut conv = mqmd_dft::DftSolver::new(mqmd_dft::DftConfig {
             grid_spacing: 0.9,
             ecut: 3.0,
-            scf: mqmd_dft::scf::ScfConfig { tol_density: 1e-5, ..Default::default() },
+            scf: mqmd_dft::scf::ScfConfig {
+                tol_density: 1e-5,
+                ..Default::default()
+            },
         });
         let ref_state = conv.solve(&sys).unwrap();
         assert!(
@@ -688,14 +747,22 @@ mod tests {
         let state = split.solve(&sys).unwrap();
         assert_eq!(state.n_domains, 2);
         let per_atom = (state.energy - e_ref).abs() / 2.0;
-        assert!(per_atom < 1.5e-2, "DC error {per_atom} Ha/atom (E {} vs {})", state.energy, e_ref);
+        assert!(
+            per_atom < 1.5e-2,
+            "DC error {per_atom} Ha/atom (E {} vs {})",
+            state.energy,
+            e_ref
+        );
     }
 
     #[test]
     fn multigrid_and_fft_hartree_agree() {
         let sys = h2(8.0);
         let mut a = LdcSolver::new(base_cfg());
-        let mut b = LdcSolver::new(LdcConfig { hartree: HartreeSolver::Multigrid, ..base_cfg() });
+        let mut b = LdcSolver::new(LdcConfig {
+            hartree: HartreeSolver::Multigrid,
+            ..base_cfg()
+        });
         let ea = a.solve(&sys).unwrap().energy;
         let eb = b.solve(&sys).unwrap().energy;
         // 7-point multigrid vs spectral FFT differ by O(h²) discretisation.

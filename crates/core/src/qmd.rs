@@ -70,7 +70,10 @@ impl<T: Thermostat> QmdDriver<T> {
     /// Creates a driver with time step `dt` (a.u.; the paper's 0.242 fs is
     /// dt ≈ 10) and an optional thermostat.
     pub fn new(dt: f64, thermostat: Option<T>) -> Self {
-        Self { integrator: VelocityVerlet::new(dt), thermostat }
+        Self {
+            integrator: VelocityVerlet::new(dt),
+            thermostat,
+        }
     }
 
     /// Runs `steps` QMD steps.
@@ -85,6 +88,7 @@ impl<T: Thermostat> QmdDriver<T> {
         let mut energies = Vec::with_capacity(steps);
         let mut temperatures = Vec::with_capacity(steps);
         for _ in 0..steps {
+            let _span = mqmd_util::trace::span("qmd_step");
             let e_pot = self.integrator.step(system, solver);
             if let Some(t) = &mut self.thermostat {
                 t.apply(system, self.integrator.dt);
@@ -162,7 +166,10 @@ mod tests {
         // τ = dt makes the Berendsen rescale exact: every recorded
         // temperature (sampled right after the thermostat) must be the
         // target to machine precision, whatever the DFT forces do.
-        let thermo = Berendsen { t_target: 300.0, tau: 10.0 };
+        let thermo = Berendsen {
+            t_target: 300.0,
+            tau: 10.0,
+        };
         let mut driver = QmdDriver::new(10.0, Some(thermo));
         let report = driver.run(&mut sys, &mut solver, 3);
         for (i, &t) in report.temperatures.iter().enumerate() {

@@ -1,0 +1,75 @@
+//! The observability layer must be *inert*: enabling phase tracing may
+//! count and time, but must never change a single bit of the physics.
+//!
+//! This runs the full LDC-DFT pipeline (domain decomposition → SCF →
+//! Davidson → Hartree → forces) twice — tracing off, then tracing on — and
+//! demands bitwise-identical energies and forces, while also checking the
+//! traced run actually populated the span hierarchy.
+
+use mqmd_core::global::{BoundaryMode, HartreeSolver, LdcConfig, LdcSolver};
+use mqmd_md::forcefield::{ForceField, ForceResult};
+use mqmd_md::AtomicSystem;
+use mqmd_util::constants::Element;
+use mqmd_util::{trace, Vec3};
+
+fn h2() -> AtomicSystem {
+    AtomicSystem::new(
+        Vec3::splat(8.0),
+        vec![Element::H, Element::H],
+        vec![Vec3::new(3.3, 4.0, 4.0), Vec3::new(4.7, 4.0, 4.0)],
+    )
+}
+
+fn solve_once() -> ForceResult {
+    let sys = h2();
+    let mut solver = LdcSolver::new(LdcConfig {
+        nd: (1, 1, 1),
+        buffer: 0.0,
+        mode: BoundaryMode::Periodic,
+        hartree: HartreeSolver::Fft,
+        ..Default::default()
+    });
+    solver.compute(&sys)
+}
+
+#[test]
+fn tracing_is_bitwise_inert_on_the_full_ldc_pipeline() {
+    trace::set_enabled(false);
+    let off = solve_once();
+
+    trace::set_enabled(true);
+    trace::take(); // start from an empty registry
+    let on = solve_once();
+    let node = trace::take();
+    trace::set_enabled(false);
+
+    assert_eq!(
+        off.energy.to_bits(),
+        on.energy.to_bits(),
+        "energy changed under tracing: {} vs {}",
+        off.energy,
+        on.energy
+    );
+    assert_eq!(off.forces.len(), on.forces.len());
+    for (i, (a, b)) in off.forces.iter().zip(&on.forces).enumerate() {
+        for (ca, cb) in [(a.x, b.x), (a.y, b.y), (a.z, b.z)] {
+            assert_eq!(
+                ca.to_bits(),
+                cb.to_bits(),
+                "force on atom {i} changed under tracing"
+            );
+        }
+    }
+
+    // The traced run must have recorded the pipeline's phases — otherwise
+    // "inert" would be vacuous.
+    for name in ["scf_iter", "domain_solve", "hamiltonian", "fft", "poisson"] {
+        let agg = node
+            .aggregate(name)
+            .unwrap_or_else(|| panic!("span {name} never opened"));
+        assert!(agg.calls > 0, "span {name} never opened");
+        assert!(agg.wall_secs >= 0.0);
+    }
+    let fft = node.aggregate("fft").expect("fft span");
+    assert!(fft.flops > 0, "fft span recorded no FLOPs");
+}

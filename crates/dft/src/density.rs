@@ -86,7 +86,11 @@ pub fn fermi_occupations(eigenvalues: &[f64], n_electrons: f64, kt: f64) -> Occu
 
     // Bracket μ.
     let mut lo = eigenvalues.iter().cloned().fold(f64::INFINITY, f64::min) - 10.0 * kt.max(1.0);
-    let mut hi = eigenvalues.iter().cloned().fold(f64::NEG_INFINITY, f64::max) + 10.0 * kt.max(1.0);
+    let mut hi = eigenvalues
+        .iter()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max)
+        + 10.0 * kt.max(1.0);
     let mut mu = 0.5 * (lo + hi);
     for _ in 0..200 {
         let n = count(mu);
@@ -118,7 +122,10 @@ pub fn fermi_occupations(eigenvalues: &[f64], n_electrons: f64, kt: f64) -> Occu
         }
         mu = 0.5 * (lo + hi);
     }
-    Occupations { mu, f: eigenvalues.iter().map(|&e| fermi(e, mu, kt)).collect() }
+    Occupations {
+        mu,
+        f: eigenvalues.iter().map(|&e| fermi(e, mu, kt)).collect(),
+    }
 }
 
 /// Electronic entropy contribution `−T·S` of a Fermi–Dirac occupation set
@@ -186,7 +193,11 @@ mod tests {
         assert!((occ.f[0] - 2.0).abs() < 1e-9);
         assert!((occ.f[1] - 2.0).abs() < 1e-9);
         assert!(occ.f[2] < 1e-9);
-        assert!(occ.mu > -0.5 && occ.mu < 0.5, "μ between HOMO and LUMO: {}", occ.mu);
+        assert!(
+            occ.mu > -0.5 && occ.mu < 0.5,
+            "μ between HOMO and LUMO: {}",
+            occ.mu
+        );
     }
 
     #[test]
@@ -203,15 +214,26 @@ mod tests {
         let eps = vec![-0.1, 0.0, 0.1];
         let cold = fermi_occupations(&eps, 2.0, 0.001);
         let hot = fermi_occupations(&eps, 2.0, 0.5);
-        assert!(hot.f[2] > cold.f[2], "hot tail {} vs cold {}", hot.f[2], cold.f[2]);
+        assert!(
+            hot.f[2] > cold.f[2],
+            "hot tail {} vs cold {}",
+            hot.f[2],
+            cold.f[2]
+        );
         assert!(hot.f[0] < cold.f[0]);
     }
 
     #[test]
     fn entropy_zero_for_integer_occupations() {
-        let occ = Occupations { mu: 0.0, f: vec![2.0, 2.0, 0.0] };
+        let occ = Occupations {
+            mu: 0.0,
+            f: vec![2.0, 2.0, 0.0],
+        };
         assert_eq!(entropy_term(&occ, 0.01), 0.0);
-        let frac = Occupations { mu: 0.0, f: vec![2.0, 1.0, 1.0] };
+        let frac = Occupations {
+            mu: 0.0,
+            f: vec![2.0, 1.0, 1.0],
+        };
         assert!(entropy_term(&frac, 0.01) < 0.0, "−T·S is negative");
     }
 

@@ -80,7 +80,11 @@ pub fn block_davidson(
         *psi = psi_rot.clone();
         last_res = max_res;
         if max_res < tol {
-            return Ok(EigenReport { eigenvalues, iterations: iter, residual: max_res });
+            return Ok(EigenReport {
+                eigenvalues,
+                iterations: iter,
+                residual: max_res,
+            });
         }
 
         // TPA-precondition the residuals band-wise.
@@ -132,6 +136,7 @@ pub fn block_davidson(
 /// band at a time in ascending order, each by `steps` two-dimensional
 /// subspace rotations along the preconditioned residual, holding lower bands
 /// fixed. Returns the final Rayleigh quotients.
+#[allow(clippy::needless_range_loop)]
 pub fn band_by_band(h: &KsHamiltonian, psi: &mut CMatrix, sweeps: usize, steps: usize) -> Vec<f64> {
     let np = psi.rows();
     let nb = psi.cols();
@@ -146,7 +151,11 @@ pub fn band_by_band(h: &KsHamiltonian, psi: &mut CMatrix, sweeps: usize, steps: 
 
             for _ in 0..steps {
                 let h_band = h.apply_band(&band);
-                let theta: f64 = band.iter().zip(&h_band).map(|(c, h)| (c.conj() * *h).re).sum();
+                let theta: f64 = band
+                    .iter()
+                    .zip(&h_band)
+                    .map(|(c, h)| (c.conj() * *h).re)
+                    .sum();
                 // Residual, preconditioned, orthogonalised to current band
                 // and lower bands.
                 let ke = h.basis().kinetic_expectation(&band).max(1e-6);
@@ -172,7 +181,11 @@ pub fn band_by_band(h: &KsHamiltonian, psi: &mut CMatrix, sweeps: usize, steps: 
                 // Exact minimisation in the 2-D subspace {band, dir}.
                 let h_dir = h.apply_band(&dir);
                 let a = theta;
-                let b2: f64 = dir.iter().zip(&h_dir).map(|(c, h)| (c.conj() * *h).re).sum();
+                let b2: f64 = dir
+                    .iter()
+                    .zip(&h_dir)
+                    .map(|(c, h)| (c.conj() * *h).re)
+                    .sum();
                 let c: Complex64 = band.iter().zip(&h_dir).map(|(c, h)| c.conj() * *h).sum();
                 // Lowest eigenvector of [[a, c], [c*, b2]].
                 let diff = 0.5 * (b2 - a);
@@ -196,7 +209,11 @@ pub fn band_by_band(h: &KsHamiltonian, psi: &mut CMatrix, sweeps: usize, steps: 
                 normalize(&mut band);
             }
             let h_band = h.apply_band(&band);
-            eps[n] = band.iter().zip(&h_band).map(|(c, h)| (c.conj() * *h).re).sum();
+            eps[n] = band
+                .iter()
+                .zip(&h_band)
+                .map(|(c, h)| (c.conj() * *h).re)
+                .sum();
             psi.set_col(n, &band);
         }
     }

@@ -24,7 +24,8 @@ pub fn erfc(x: f64) -> f64 {
     }
     let t = 1.0 / (1.0 + 0.3275911 * x);
     let poly = t
-        * (0.254829592 + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
     poly * (-x * x).exp()
 }
 
@@ -39,7 +40,12 @@ pub fn erf(x: f64) -> f64 {
 /// `eta` is chosen internally so both sums converge to ~1e-8 with modest
 /// cutoffs; pass `Some(eta)` to override (the η-independence of the result
 /// is a unit test).
-pub fn ewald(cell: Vec3, positions: &[Vec3], charges: &[f64], eta_override: Option<f64>) -> EwaldResult {
+pub fn ewald(
+    cell: Vec3,
+    positions: &[Vec3],
+    charges: &[f64],
+    eta_override: Option<f64>,
+) -> EwaldResult {
     assert_eq!(positions.len(), charges.len());
     let n = positions.len();
     let volume = cell.x * cell.y * cell.z;
@@ -64,7 +70,8 @@ pub fn ewald(cell: Vec3, positions: &[Vec3], charges: &[f64], eta_override: Opti
                         if i == j && ax == 0 && ay == 0 && az == 0 {
                             continue;
                         }
-                        let shift = Vec3::new(ax as f64 * cell.x, ay as f64 * cell.y, az as f64 * cell.z);
+                        let shift =
+                            Vec3::new(ax as f64 * cell.x, ay as f64 * cell.y, az as f64 * cell.z);
                         let d = positions[i] - positions[j] + shift;
                         let r = d.norm();
                         if r > reach {
@@ -73,8 +80,9 @@ pub fn ewald(cell: Vec3, positions: &[Vec3], charges: &[f64], eta_override: Opti
                         let qq = charges[i] * charges[j];
                         // ½ factor via double loop over ordered pairs.
                         energy += 0.5 * qq * erfc(eta * r) / r;
-                        let dvdr =
-                            -qq * (erfc(eta * r) / (r * r) + 2.0 * eta / sqrt_pi * (-eta * eta * r * r).exp() / r);
+                        let dvdr = -qq
+                            * (erfc(eta * r) / (r * r)
+                                + 2.0 * eta / sqrt_pi * (-eta * eta * r * r).exp() / r);
                         // force on i along +d direction
                         forces[i] -= d * (dvdr / r);
                     }
@@ -98,7 +106,11 @@ pub fn ewald(cell: Vec3, positions: &[Vec3], charges: &[f64], eta_override: Opti
                 if nx == 0 && ny == 0 && nz == 0 {
                     continue;
                 }
-                let g = Vec3::new(tau * nx as f64 / cell.x, tau * ny as f64 / cell.y, tau * nz as f64 / cell.z);
+                let g = Vec3::new(
+                    tau * nx as f64 / cell.x,
+                    tau * ny as f64 / cell.y,
+                    tau * nz as f64 / cell.z,
+                );
                 let g2 = g.norm_sqr();
                 if g2 > g_max * g_max {
                     continue;
@@ -149,7 +161,12 @@ mod tests {
         let cell = Vec3::splat(a);
         let mut pos = Vec::new();
         let mut q = Vec::new();
-        for f in [[0.0, 0.0, 0.0], [0.0, 0.5, 0.5], [0.5, 0.0, 0.5], [0.5, 0.5, 0.0]] {
+        for f in [
+            [0.0, 0.0, 0.0],
+            [0.0, 0.5, 0.5],
+            [0.5, 0.0, 0.5],
+            [0.5, 0.5, 0.0],
+        ] {
             pos.push(Vec3::new(f[0], f[1], f[2]) * a);
             q.push(1.0);
             pos.push(Vec3::new(f[0] + 0.5, f[1] + 0.5, f[2] + 0.5) * a);
@@ -223,7 +240,11 @@ mod tests {
     #[test]
     fn forces_sum_to_zero() {
         let cell = Vec3::splat(7.0);
-        let pos = vec![Vec3::new(0.5, 0.5, 0.5), Vec3::new(3.0, 4.0, 2.0), Vec3::new(6.0, 6.0, 1.0)];
+        let pos = vec![
+            Vec3::new(0.5, 0.5, 0.5),
+            Vec3::new(3.0, 4.0, 2.0),
+            Vec3::new(6.0, 6.0, 1.0),
+        ];
         let q = vec![2.0, -1.0, -1.0];
         let out = ewald(cell, &pos, &q, None);
         let total: Vec3 = out.forces.iter().copied().sum();

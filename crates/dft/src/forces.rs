@@ -146,7 +146,13 @@ mod tests {
     use mqmd_util::constants::Element;
 
     fn tight_cfg() -> ScfConfig {
-        ScfConfig { tol_density: 1e-8, davidson_tol: 1e-9, davidson_iters: 25, max_scf: 120, ..Default::default() }
+        ScfConfig {
+            tol_density: 1e-8,
+            davidson_tol: 1e-9,
+            davidson_iters: 25,
+            max_scf: 120,
+            ..Default::default()
+        }
     }
 
     fn scf_energy_and_forces(
@@ -163,12 +169,7 @@ mod tests {
     fn hf_force_matches_numerical_gradient_h2() {
         let basis = PlaneWaveBasis::new(UniformGrid3::cubic(10, 8.0), 3.0);
         let p = Pseudopotential::for_element(Element::H);
-        let make = |x: f64| {
-            vec![
-                (p, Vec3::new(3.3, 4.0, 4.0)),
-                (p, Vec3::new(x, 4.0, 4.0)),
-            ]
-        };
+        let make = |x: f64| vec![(p, Vec3::new(3.3, 4.0, 4.0)), (p, Vec3::new(x, 4.0, 4.0))];
         let x0 = 4.9;
         let (_, forces) = scf_energy_and_forces(&basis, &make(x0), 2.0);
         let h = 0.02;
@@ -187,12 +188,7 @@ mod tests {
         // Li has an active nonlocal channel: exercises the projector force.
         let basis = PlaneWaveBasis::new(UniformGrid3::cubic(10, 9.0), 3.0);
         let p = Pseudopotential::for_element(Element::Li);
-        let make = |x: f64| {
-            vec![
-                (p, Vec3::new(3.5, 4.5, 4.5)),
-                (p, Vec3::new(x, 4.5, 4.5)),
-            ]
-        };
+        let make = |x: f64| vec![(p, Vec3::new(3.5, 4.5, 4.5)), (p, Vec3::new(x, 4.5, 4.5))];
         let x0 = 6.0;
         let (_, forces) = scf_energy_and_forces(&basis, &make(x0), 2.0);
         let h = 0.02;
@@ -210,12 +206,13 @@ mod tests {
     fn symmetric_dimer_forces_opposite() {
         let basis = PlaneWaveBasis::new(UniformGrid3::cubic(10, 8.0), 3.0);
         let p = Pseudopotential::for_element(Element::H);
-        let atoms = vec![
-            (p, Vec3::new(3.0, 4.0, 4.0)),
-            (p, Vec3::new(5.0, 4.0, 4.0)),
-        ];
+        let atoms = vec![(p, Vec3::new(3.0, 4.0, 4.0)), (p, Vec3::new(5.0, 4.0, 4.0))];
         let (_, forces) = scf_energy_and_forces(&basis, &atoms, 2.0);
-        assert!((forces[0] + forces[1]).norm() < 1e-3, "sum {:?}", forces[0] + forces[1]);
+        assert!(
+            (forces[0] + forces[1]).norm() < 1e-3,
+            "sum {:?}",
+            forces[0] + forces[1]
+        );
         // Transverse components vanish by symmetry.
         assert!(forces[0].y.abs() < 1e-3 && forces[0].z.abs() < 1e-3);
     }

@@ -47,7 +47,11 @@ impl<'a> KsHamiltonian<'a> {
     /// nonlocal projectors).
     pub fn new(basis: &'a PlaneWaveBasis, v_local: Vec<f64>, nonlocal: Option<Nonlocal>) -> Self {
         assert_eq!(v_local.len(), basis.grid().len());
-        Self { basis, v_local, nonlocal }
+        Self {
+            basis,
+            v_local,
+            nonlocal,
+        }
     }
 
     /// The basis this Hamiltonian acts on.
@@ -57,6 +61,7 @@ impl<'a> KsHamiltonian<'a> {
 
     /// All-band application `H·Ψ` (BLAS3 path, paper Eq. (5)).
     pub fn apply(&self, psi: &CMatrix) -> CMatrix {
+        let _span = mqmd_util::trace::span("hamiltonian");
         let np = self.basis.len();
         let nb = psi.cols();
         assert_eq!(psi.rows(), np);
@@ -93,7 +98,9 @@ impl<'a> KsHamiltonian<'a> {
     }
 
     /// Single-band application `H·ψ` (BLAS2 path).
+    #[allow(clippy::needless_range_loop)] // lockstep walk of b, band, out
     pub fn apply_band(&self, band: &[Complex64]) -> Vec<Complex64> {
+        let _span = mqmd_util::trace::span("hamiltonian");
         let np = self.basis.len();
         assert_eq!(band.len(), np);
         let mut out: Vec<Complex64> = band
@@ -147,9 +154,15 @@ impl<'a> KsHamiltonian<'a> {
     /// Approximate diagonal of H in the plane-wave basis (kinetic + mean
     /// local potential + nonlocal diagonal), used by preconditioners and
     /// diagnostics.
+    #[allow(clippy::needless_range_loop)]
     pub fn diagonal_estimate(&self) -> Vec<f64> {
         let v_mean = self.v_local.iter().sum::<f64>() / self.v_local.len() as f64;
-        let mut diag: Vec<f64> = self.basis.g2().iter().map(|&g2| 0.5 * g2 + v_mean).collect();
+        let mut diag: Vec<f64> = self
+            .basis
+            .g2()
+            .iter()
+            .map(|&g2| 0.5 * g2 + v_mean)
+            .collect();
         if let Some(nl) = &self.nonlocal {
             for (p_idx, &dp) in nl.d.iter().enumerate() {
                 for g in 0..self.basis.len() {
@@ -203,7 +216,10 @@ pub fn ionic_local_potential(
 /// p columns `b_m(G) ∝ G_m·exp(−G²r²/4)·e^{−iG·R}` per atom with `d1 ≠ 0`
 /// — the multi-angular-momentum structure of the paper's Eq. (4) packed
 /// into Eq. (5)'s matrix form.
-pub fn build_projectors(basis: &PlaneWaveBasis, atoms: &[(Pseudopotential, Vec3)]) -> Option<Nonlocal> {
+pub fn build_projectors(
+    basis: &PlaneWaveBasis,
+    atoms: &[(Pseudopotential, Vec3)],
+) -> Option<Nonlocal> {
     let n_cols: usize = atoms.iter().map(|(p, _)| p.n_projectors()).sum();
     if n_cols == 0 {
         return None;
@@ -300,7 +316,10 @@ mod tests {
         let h_phi = h.apply_band(&phi);
         let lhs: Complex64 = phi.iter().zip(&h_chi).map(|(a, b)| a.conj() * *b).sum();
         let rhs: Complex64 = h_phi.iter().zip(&chi).map(|(a, b)| a.conj() * *b).sum();
-        assert!((lhs - rhs).abs() < 1e-10, "⟨φ|Hχ⟩ = {lhs} vs ⟨Hφ|χ⟩ = {rhs}");
+        assert!(
+            (lhs - rhs).abs() < 1e-10,
+            "⟨φ|Hχ⟩ = {lhs} vs ⟨Hφ|χ⟩ = {rhs}"
+        );
     }
 
     #[test]
@@ -353,7 +372,10 @@ mod tests {
             .iter()
             .map(|(_, r)| (rmin - *r).min_image(grid.lengths_vec()).norm())
             .fold(f64::INFINITY, f64::min);
-        assert!(dist < 3.0, "potential minimum {dist} Bohr from nearest atom");
+        assert!(
+            dist < 3.0,
+            "potential minimum {dist} Bohr from nearest atom"
+        );
     }
 
     #[test]

@@ -52,7 +52,14 @@ impl PlaneWaveBasis {
                 }
             }
         }
-        Self { grid, fft, ecut, grid_index, g_vectors, g2: g2s }
+        Self {
+            grid,
+            fft,
+            ecut,
+            grid_index,
+            g_vectors,
+            g2: g2s,
+        }
     }
 
     /// The real-space grid.
@@ -110,7 +117,10 @@ impl PlaneWaveBasis {
         let mut data = real.to_vec();
         self.fft.forward(&mut data);
         let scale = self.grid.volume().sqrt() / self.grid.len() as f64;
-        self.grid_index.iter().map(|&gi| data[gi].scale(scale)).collect()
+        self.grid_index
+            .iter()
+            .map(|&gi| data[gi].scale(scale))
+            .collect()
     }
 
     /// Random normalised starting bands (deterministic given the seed), with
@@ -145,7 +155,10 @@ impl PlaneWaveBasis {
 
     /// Kinetic energy expectation `Σ_G ½|G|²·|c_G|²` of one band.
     pub fn kinetic_expectation(&self, band: &[Complex64]) -> f64 {
-        band.iter().zip(&self.g2).map(|(c, &g2)| 0.5 * g2 * c.norm_sqr()).sum()
+        band.iter()
+            .zip(&self.g2)
+            .map(|(c, &g2)| 0.5 * g2 * c.norm_sqr())
+            .sum()
     }
 }
 
@@ -162,7 +175,7 @@ mod tests {
         let b = basis();
         assert!(b.len() > 1);
         assert!(b.len() < b.grid().len(), "cutoff must prune the grid");
-        assert!(b.g2().iter().any(|&g| g == 0.0), "G = 0 present");
+        assert!(b.g2().contains(&0.0), "G = 0 present");
         for &g2 in b.g2() {
             assert!(0.5 * g2 <= b.ecut() + 1e-12);
         }
@@ -172,8 +185,9 @@ mod tests {
     fn round_trip_real_recip() {
         let b = basis();
         let mut rng = mqmd_util::Xoshiro256pp::seed_from_u64(4);
-        let coeffs: Vec<Complex64> =
-            (0..b.len()).map(|_| Complex64::new(rng.normal(), rng.normal())).collect();
+        let coeffs: Vec<Complex64> = (0..b.len())
+            .map(|_| Complex64::new(rng.normal(), rng.normal()))
+            .collect();
         let real = b.to_real(&coeffs);
         let back = b.to_recip(&real);
         for (a, c) in back.iter().zip(&coeffs) {
@@ -189,8 +203,7 @@ mod tests {
         let g0 = b.g2().iter().position(|&g| g == 0.0).unwrap();
         coeffs[g0] = Complex64::ONE;
         let real = b.to_real(&coeffs);
-        let norm: f64 =
-            real.iter().map(|z| z.norm_sqr()).sum::<f64>() * b.grid().dv();
+        let norm: f64 = real.iter().map(|z| z.norm_sqr()).sum::<f64>() * b.grid().dv();
         assert!((norm - 1.0).abs() < 1e-10);
         let expect = 1.0 / b.grid().volume().sqrt();
         for z in &real {
@@ -202,8 +215,9 @@ mod tests {
     fn coefficient_norm_equals_real_space_norm() {
         let b = basis();
         let mut rng = mqmd_util::Xoshiro256pp::seed_from_u64(8);
-        let coeffs: Vec<Complex64> =
-            (0..b.len()).map(|_| Complex64::new(rng.normal(), rng.normal())).collect();
+        let coeffs: Vec<Complex64> = (0..b.len())
+            .map(|_| Complex64::new(rng.normal(), rng.normal()))
+            .collect();
         let c_norm: f64 = coeffs.iter().map(|z| z.norm_sqr()).sum();
         let real = b.to_real(&coeffs);
         let r_norm: f64 = real.iter().map(|z| z.norm_sqr()).sum::<f64>() * b.grid().dv();

@@ -175,6 +175,7 @@ pub fn run_scf(
     let mut alpha = config.mix_alpha;
     let mut prev_residual = f64::INFINITY;
     for iter in 1..=config.max_scf {
+        let _span = mqmd_util::trace::span("scf_iter");
         let (v_eff, v_h, v_xc_f) = effective_potential(&v_ion, &rho, &poisson);
         let h = KsHamiltonian::new(basis, v_eff, nl_template());
         let report = match block_davidson(&h, &mut psi, config.davidson_iters, config.davidson_tol)
@@ -195,7 +196,11 @@ pub fn run_scf(
                     &mut rot,
                 );
                 psi = rot;
-                crate::eigensolver::EigenReport { eigenvalues: vals, iterations: config.davidson_iters, residual: f64::NAN }
+                crate::eigensolver::EigenReport {
+                    eigenvalues: vals,
+                    iterations: config.davidson_iters,
+                    residual: f64::NAN,
+                }
             }
             Err(e) => return Err(e),
         };
@@ -213,12 +218,25 @@ pub fn run_scf(
             / n_electrons;
 
         // Total energy with the output density.
-        let band: f64 = report.eigenvalues.iter().zip(&occ.f).map(|(e, f)| e * f).sum();
+        let band: f64 = report
+            .eigenvalues
+            .iter()
+            .zip(&occ.f)
+            .map(|(e, f)| e * f)
+            .sum();
         let hartree_dc: f64 = grid.integrate(
-            &rho_out.iter().zip(&v_h).map(|(r, v)| r * v).collect::<Vec<_>>(),
+            &rho_out
+                .iter()
+                .zip(&v_h)
+                .map(|(r, v)| r * v)
+                .collect::<Vec<_>>(),
         );
         let vxc_rho: f64 = grid.integrate(
-            &rho_out.iter().zip(&v_xc_f).map(|(r, v)| r * v).collect::<Vec<_>>(),
+            &rho_out
+                .iter()
+                .zip(&v_xc_f)
+                .map(|(r, v)| r * v)
+                .collect::<Vec<_>>(),
         );
         let e_h = poisson.hartree_energy(&rho_out);
         let e_xc = xc::exc_energy(&rho_out, grid.dv());
@@ -247,7 +265,14 @@ pub fn run_scf(
                 density_residual: residual,
             });
         }
-        last = Some((total, breakdown, report.eigenvalues, occ, rho_out.clone(), residual));
+        last = Some((
+            total,
+            breakdown,
+            report.eigenvalues,
+            occ,
+            rho_out.clone(),
+            residual,
+        ));
 
         // Adaptive linear mixing: back off when the residual grows (charge
         // sloshing), recover slowly while it shrinks.
@@ -291,8 +316,14 @@ mod tests {
     #[test]
     fn h2_scf_converges() {
         let basis = small_basis();
-        let out = run_scf(&basis, &h2_atoms(Vec3::ZERO), 2.0, &ScfConfig::default(), None)
-            .expect("H2 SCF must converge");
+        let out = run_scf(
+            &basis,
+            &h2_atoms(Vec3::ZERO),
+            2.0,
+            &ScfConfig::default(),
+            None,
+        )
+        .expect("H2 SCF must converge");
         assert!(out.density_residual < 1e-5);
         assert!(out.energy.is_finite());
         // Density integrates to N_e.
@@ -308,7 +339,14 @@ mod tests {
         let basis = small_basis();
         let cfg = ScfConfig::default();
         let out1 = run_scf(&basis, &h2_atoms(Vec3::ZERO), 2.0, &cfg, None).unwrap();
-        let out2 = run_scf(&basis, &h2_atoms(Vec3::ZERO), 2.0, &cfg, Some(out1.psi.clone())).unwrap();
+        let out2 = run_scf(
+            &basis,
+            &h2_atoms(Vec3::ZERO),
+            2.0,
+            &cfg,
+            Some(out1.psi.clone()),
+        )
+        .unwrap();
         assert!(out2.scf_iterations <= out1.scf_iterations);
         assert!((out1.energy - out2.energy).abs() < 1e-5);
     }
@@ -317,12 +355,23 @@ mod tests {
     fn energy_is_translation_invariant() {
         let basis = small_basis();
         let cfg = ScfConfig::default();
-        let e0 = run_scf(&basis, &h2_atoms(Vec3::ZERO), 2.0, &cfg, None).unwrap().energy;
-        // Shift by a non-trivial fraction of the grid spacing.
-        let e1 = run_scf(&basis, &h2_atoms(Vec3::new(0.31, 0.17, -0.23)), 2.0, &cfg, None)
+        let e0 = run_scf(&basis, &h2_atoms(Vec3::ZERO), 2.0, &cfg, None)
             .unwrap()
             .energy;
-        assert!((e0 - e1).abs() < 2e-3, "translation changed E: {e0} vs {e1}");
+        // Shift by a non-trivial fraction of the grid spacing.
+        let e1 = run_scf(
+            &basis,
+            &h2_atoms(Vec3::new(0.31, 0.17, -0.23)),
+            2.0,
+            &cfg,
+            None,
+        )
+        .unwrap()
+        .energy;
+        assert!(
+            (e0 - e1).abs() < 2e-3,
+            "translation changed E: {e0} vs {e1}"
+        );
     }
 
     #[test]
@@ -339,12 +388,24 @@ mod tests {
     #[test]
     fn breakdown_sums_to_total() {
         let basis = small_basis();
-        let out = run_scf(&basis, &h2_atoms(Vec3::ZERO), 2.0, &ScfConfig::default(), None).unwrap();
+        let out = run_scf(
+            &basis,
+            &h2_atoms(Vec3::ZERO),
+            2.0,
+            &ScfConfig::default(),
+            None,
+        )
+        .unwrap();
         let b = out.breakdown;
-        let recomputed = b.band - 2.0 * b.hartree - b.vxc_rho + b.hartree + b.xc + b.ewald + b.entropy;
+        let recomputed =
+            b.band - 2.0 * b.hartree - b.vxc_rho + b.hartree + b.xc + b.ewald + b.entropy;
         // total = band − ∫ρV_H − ∫ρv_xc + E_H + E_xc + E_II − TS, and
         // ∫ρV_H = 2·E_H at self-consistency.
-        assert!((recomputed - b.total).abs() < 1e-6, "{recomputed} vs {}", b.total);
+        assert!(
+            (recomputed - b.total).abs() < 1e-6,
+            "{recomputed} vs {}",
+            b.total
+        );
     }
 
     #[test]
@@ -354,7 +415,10 @@ mod tests {
             &basis,
             &h2_atoms(Vec3::ZERO),
             200.0,
-            &ScfConfig { extra_bands: 200, ..Default::default() },
+            &ScfConfig {
+                extra_bands: 200,
+                ..Default::default()
+            },
             None,
         );
         assert!(matches!(out, Err(MqmdError::Invalid(_))));

@@ -30,7 +30,11 @@ pub struct DftConfig {
 
 impl Default for DftConfig {
     fn default() -> Self {
-        Self { grid_spacing: 0.9, ecut: 4.0, scf: ScfConfig::default() }
+        Self {
+            grid_spacing: 0.9,
+            ecut: 4.0,
+            scf: ScfConfig::default(),
+        }
     }
 }
 
@@ -66,7 +70,10 @@ pub struct DftSolver {
 /// Builds the power-of-two grid covering `cell` at the target spacing.
 pub fn grid_for_cell(cell: Vec3, spacing: f64) -> UniformGrid3 {
     let pick = |l: f64| ((l / spacing).ceil() as usize).next_power_of_two().max(8);
-    UniformGrid3::new((pick(cell.x), pick(cell.y), pick(cell.z)), (cell.x, cell.y, cell.z))
+    UniformGrid3::new(
+        (pick(cell.x), pick(cell.y), pick(cell.z)),
+        (cell.x, cell.y, cell.z),
+    )
 }
 
 /// Converts an [`AtomicSystem`] to the `(pseudopotential, position)` pairs
@@ -83,7 +90,11 @@ pub fn atoms_of(system: &AtomicSystem) -> Vec<(Pseudopotential, Vec3)> {
 impl DftSolver {
     /// Creates a solver with the given configuration.
     pub fn new(config: DftConfig) -> Self {
-        Self { config, psi_cache: None, total_scf_iterations: 0 }
+        Self {
+            config,
+            psi_cache: None,
+            total_scf_iterations: 0,
+        }
     }
 
     /// Creates a solver with default parameters.
@@ -133,7 +144,10 @@ impl ForceField for DftSolver {
         let state = self
             .solve(system)
             .expect("DFT SCF failed to converge inside the MD loop");
-        ForceResult { energy: state.energy, forces: state.forces }
+        ForceResult {
+            energy: state.energy,
+            forces: state.forces,
+        }
     }
 }
 
@@ -156,7 +170,10 @@ mod tests {
         DftConfig {
             grid_spacing: 0.9,
             ecut: 3.0,
-            scf: ScfConfig { tol_density: 1e-5, ..Default::default() },
+            scf: ScfConfig {
+                tol_density: 1e-5,
+                ..Default::default()
+            },
         }
     }
 

@@ -61,7 +61,16 @@ impl Pseudopotential {
             Element::Cd => (1.60, 3.0, 1.30, 0.60, 0.30, 1.40),
             Element::Se => (1.20, 8.0, 1.00, 1.10, 0.50, 1.00),
         };
-        Self { element: e, z_val: e.valence() as f64, r_core, a_core, r_gauss, d0, d1, r_nl }
+        Self {
+            element: e,
+            z_val: e.valence() as f64,
+            r_core,
+            a_core,
+            r_gauss,
+            d0,
+            d1,
+            r_nl,
+        }
     }
 
     /// Local form factor `v̂_loc(G)` at squared wavevector `g2 = |G|²`
@@ -126,8 +135,8 @@ mod tests {
         let p = Pseudopotential::for_element(Element::Al);
         let g2 = 1e-4;
         let bare = -4.0 * std::f64::consts::PI * p.z_val / g2;
-        let ratio = (p.vloc_g(g2) - p.a_core * std::f64::consts::PI.powf(1.5) * p.r_gauss.powi(3))
-            / bare;
+        let ratio =
+            (p.vloc_g(g2) - p.a_core * std::f64::consts::PI.powf(1.5) * p.r_gauss.powi(3)) / bare;
         assert!((ratio - 1.0).abs() < 1e-3, "ratio {ratio}");
     }
 

@@ -63,7 +63,9 @@ pub fn vc(rho: f64) -> f64 {
         // PZ's closed form for the potential in the low-density branch.
         ec * (1.0 + 7.0 / 6.0 * PZ_BETA1 * sq + 4.0 / 3.0 * PZ_BETA2 * r) / denom
     } else {
-        PZ_A * r.ln() + (PZ_B - PZ_A / 3.0) + 2.0 / 3.0 * PZ_C * r * r.ln()
+        PZ_A * r.ln()
+            + (PZ_B - PZ_A / 3.0)
+            + 2.0 / 3.0 * PZ_C * r * r.ln()
             + (2.0 * PZ_D - PZ_C) / 3.0 * r
     }
 }
@@ -123,7 +125,11 @@ mod tests {
         for rho in [0.01, 0.1, 0.2, 0.3, 1.0] {
             let f = |r: f64| r * ec_per_electron(r);
             let num = (f(rho + h) - f(rho - h)) / (2.0 * h);
-            assert!((num - vc(rho)).abs() < 1e-5, "rho = {rho}: {num} vs {}", vc(rho));
+            assert!(
+                (num - vc(rho)).abs() < 1e-5,
+                "rho = {rho}: {num} vs {}",
+                vc(rho)
+            );
         }
     }
 

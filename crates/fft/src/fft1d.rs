@@ -44,7 +44,10 @@ impl Fft1d {
                 stages.push(tw);
                 len = m;
             }
-            Self { n, kind: Kind::Pow2 { stages } }
+            Self {
+                n,
+                kind: Kind::Pow2 { stages },
+            }
         } else {
             // Bluestein: need a circular convolution of length ≥ 2n − 1.
             let m = (2 * n - 1).next_power_of_two();
@@ -66,7 +69,15 @@ impl Fft1d {
                 }
             }
             inner.forward(&mut kernel);
-            Self { n, kind: Kind::Bluestein { m, inner, chirp, kernel_hat: kernel } }
+            Self {
+                n,
+                kind: Kind::Bluestein {
+                    m,
+                    inner,
+                    chirp,
+                    kernel_hat: kernel,
+                },
+            }
         }
     }
 
@@ -92,7 +103,12 @@ impl Fft1d {
                 let mut scratch = vec![Complex64::ZERO; self.n];
                 stockham(x, &mut scratch, stages);
             }
-            Kind::Bluestein { m, inner, chirp, kernel_hat } => {
+            Kind::Bluestein {
+                m,
+                inner,
+                chirp,
+                kernel_hat,
+            } => {
                 let n = self.n;
                 let mut a = vec![Complex64::ZERO; *m];
                 for k in 0..n {
@@ -100,7 +116,7 @@ impl Fft1d {
                 }
                 inner.forward(&mut a);
                 for (ai, ki) in a.iter_mut().zip(kernel_hat) {
-                    *ai = *ai * *ki;
+                    *ai *= *ki;
                 }
                 inner.inverse(&mut a);
                 for k in 0..n {
@@ -129,6 +145,7 @@ impl Fft1d {
 /// Self-sorting Stockham radix-2 driver. `x` holds the input and receives the
 /// output; `y` is same-length scratch. `stages[t]` holds the twiddles
 /// `exp(−2πi·p/len_t)` for stage `t` with `len_t = n >> t`.
+#[allow(clippy::needless_range_loop)] // twiddle index doubles as output base
 fn stockham(x: &mut [Complex64], y: &mut [Complex64], stages: &[Vec<Complex64>]) {
     let n = x.len();
     if n == 1 {
@@ -139,8 +156,11 @@ fn stockham(x: &mut [Complex64], y: &mut [Complex64], stages: &[Vec<Complex64>])
     let mut src_is_x = true;
     for tw in stages {
         let m = len / 2;
-        let (src, dst): (&[Complex64], &mut [Complex64]) =
-            if src_is_x { (&*x, &mut *y) } else { (&*y, &mut *x) };
+        let (src, dst): (&[Complex64], &mut [Complex64]) = if src_is_x {
+            (&*x, &mut *y)
+        } else {
+            (&*y, &mut *x)
+        };
         for p in 0..m {
             let w = tw[p];
             let base0 = s * p;
@@ -173,7 +193,8 @@ mod tests {
             .map(|k| {
                 let mut s = Complex64::ZERO;
                 for (j, &xj) in x.iter().enumerate() {
-                    s += xj * Complex64::cis(-std::f64::consts::TAU * (j * k % n) as f64 / n as f64);
+                    s +=
+                        xj * Complex64::cis(-std::f64::consts::TAU * (j * k % n) as f64 / n as f64);
                 }
                 s
             })
@@ -182,11 +203,16 @@ mod tests {
 
     fn random_signal(n: usize, seed: u64) -> Vec<Complex64> {
         let mut rng = mqmd_util::Xoshiro256pp::seed_from_u64(seed);
-        (0..n).map(|_| Complex64::new(rng.normal(), rng.normal())).collect()
+        (0..n)
+            .map(|_| Complex64::new(rng.normal(), rng.normal()))
+            .collect()
     }
 
     fn max_err(a: &[Complex64], b: &[Complex64]) -> f64 {
-        a.iter().zip(b).map(|(x, y)| (*x - *y).abs()).fold(0.0, f64::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (*x - *y).abs())
+            .fold(0.0, f64::max)
     }
 
     #[test]
@@ -274,7 +300,11 @@ mod tests {
         plan.forward(&mut fb);
         let mut sum: Vec<Complex64> = a.iter().zip(&b).map(|(&x, &y)| x + y.scale(2.0)).collect();
         plan.forward(&mut sum);
-        let expect: Vec<Complex64> = fa.iter().zip(&fb).map(|(&x, &y)| x + y.scale(2.0)).collect();
+        let expect: Vec<Complex64> = fa
+            .iter()
+            .zip(&fb)
+            .map(|(&x, &y)| x + y.scale(2.0))
+            .collect();
         assert!(max_err(&sum, &expect) < 1e-9);
     }
 

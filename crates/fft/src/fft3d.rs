@@ -25,7 +25,14 @@ impl Fft3d {
     /// Plans a transform for an `(nx, ny, nz)` grid.
     pub fn new(nx: usize, ny: usize, nz: usize) -> Self {
         assert!(nx >= 1 && ny >= 1 && nz >= 1);
-        Self { nx, ny, nz, plan_x: Fft1d::new(nx), plan_y: Fft1d::new(ny), plan_z: Fft1d::new(nz) }
+        Self {
+            nx,
+            ny,
+            nz,
+            plan_x: Fft1d::new(nx),
+            plan_y: Fft1d::new(ny),
+            plan_z: Fft1d::new(nz),
+        }
     }
 
     /// Creates a plan for a cubic grid.
@@ -64,8 +71,12 @@ impl Fft3d {
         self.transform(data, false);
     }
 
+    #[allow(clippy::needless_range_loop)] // strided pencil gather/scatter
     fn transform(&self, data: &mut [Complex64], fwd: bool) {
+        let _span = mqmd_util::trace::span("fft");
         assert_eq!(data.len(), self.len(), "buffer length mismatch");
+        // Three axis sweeps, each streaming the field once in and once out.
+        mqmd_util::trace::add_bytes(6 * 16 * data.len() as u64);
         let (nx, ny, nz) = (self.nx, self.ny, self.nz);
 
         // Axis z: contiguous lines of length nz.
@@ -144,11 +155,16 @@ mod tests {
 
     fn random_field(n: usize, seed: u64) -> Vec<Complex64> {
         let mut rng = mqmd_util::Xoshiro256pp::seed_from_u64(seed);
-        (0..n).map(|_| Complex64::new(rng.normal(), rng.normal())).collect()
+        (0..n)
+            .map(|_| Complex64::new(rng.normal(), rng.normal()))
+            .collect()
     }
 
     fn max_err(a: &[Complex64], b: &[Complex64]) -> f64 {
-        a.iter().zip(b).map(|(x, y)| (*x - *y).abs()).fold(0.0, f64::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (*x - *y).abs())
+            .fold(0.0, f64::max)
     }
 
     #[test]

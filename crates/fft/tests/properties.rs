@@ -7,7 +7,9 @@ use proptest::prelude::*;
 
 fn random_signal(n: usize, seed: u64) -> Vec<Complex64> {
     let mut rng = Xoshiro256pp::seed_from_u64(seed);
-    (0..n).map(|_| Complex64::new(rng.normal(), rng.normal())).collect()
+    (0..n)
+        .map(|_| Complex64::new(rng.normal(), rng.normal()))
+        .collect()
 }
 
 proptest! {

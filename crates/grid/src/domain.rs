@@ -92,7 +92,11 @@ impl Domain {
             None => 0.0,
             Some(loc) => {
                 // support::profile_1d uses core-relative coordinates.
-                let x = [loc.x - self.buffer.x, loc.y - self.buffer.y, loc.z - self.buffer.z];
+                let x = [
+                    loc.x - self.buffer.x,
+                    loc.y - self.buffer.y,
+                    loc.z - self.buffer.z,
+                ];
                 weight_3d(x, self.core_len.to_array(), self.buffer.to_array())
             }
         }
@@ -103,7 +107,11 @@ impl Domain {
     /// (so the local FFT solver always hits the fast radix-2 path).
     pub fn local_grid(&self, target_spacing: f64) -> UniformGrid3 {
         let d = self.domain_len();
-        let pick = |len: f64| ((len / target_spacing).ceil() as usize).next_power_of_two().max(4);
+        let pick = |len: f64| {
+            ((len / target_spacing).ceil() as usize)
+                .next_power_of_two()
+                .max(4)
+        };
         UniformGrid3::new((pick(d.x), pick(d.y), pick(d.z)), (d.x, d.y, d.z))
     }
 }
@@ -127,9 +135,16 @@ impl DomainDecomposition {
     /// covers that axis periodically).
     pub fn new(cell: Vec3, nd: (usize, usize, usize), buffer: f64) -> Self {
         let (ndx, ndy, ndz) = nd;
-        assert!(ndx > 0 && ndy > 0 && ndz > 0, "need at least one domain per axis");
+        assert!(
+            ndx > 0 && ndy > 0 && ndz > 0,
+            "need at least one domain per axis"
+        );
         assert!(buffer >= 0.0, "buffer must be non-negative");
-        let core = Vec3::new(cell.x / ndx as f64, cell.y / ndy as f64, cell.z / ndz as f64);
+        let core = Vec3::new(
+            cell.x / ndx as f64,
+            cell.y / ndy as f64,
+            cell.z / ndz as f64,
+        );
         let buffer_vec = Vec3::new(
             buffer.min(0.5 * (cell.x - core.x)),
             buffer.min(0.5 * (cell.y - core.y)),
@@ -155,7 +170,12 @@ impl DomainDecomposition {
                 }
             }
         }
-        Self { domains, nd, cell, buffer }
+        Self {
+            domains,
+            nd,
+            cell,
+            buffer,
+        }
     }
 
     /// The domains, ordered by flat lattice index.
@@ -233,7 +253,10 @@ impl DomainDecomposition {
             .filter(|&(_, w)| w > 0.0)
             .collect();
         let total: f64 = weights.iter().map(|&(_, w)| w).sum();
-        debug_assert!(total > 0.0, "cores tile space, so some weight must be positive");
+        debug_assert!(
+            total > 0.0,
+            "cores tile space, so some weight must be positive"
+        );
         for (_, w) in &mut weights {
             *w /= total;
         }
@@ -336,7 +359,9 @@ mod tests {
                 rng.uniform_in(0.0, dl.z - 1e-9),
             );
             let g = d.to_global(local);
-            let back = d.to_local(g).expect("global point must map back into the domain");
+            let back = d
+                .to_local(g)
+                .expect("global point must map back into the domain");
             assert!((back - local).norm() < 1e-9);
         }
     }

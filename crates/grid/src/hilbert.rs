@@ -36,7 +36,7 @@ pub fn morton_decode(m: u64, bits: u32) -> (u32, u32, u32) {
 /// Hilbert-curve index of a 3-D cell coordinate with `bits` bits per axis
 /// (Skilling's transpose algorithm, n = 3 dimensions).
 pub fn hilbert_encode(x: u32, y: u32, z: u32, bits: u32) -> u64 {
-    debug_assert!(bits >= 1 && bits <= 21);
+    debug_assert!((1..=21).contains(&bits));
     let mut xs = [x, y, z];
     axes_to_transpose(&mut xs, bits);
     // Interleave the transposed form: bit j of xs[i] lands at Hilbert bit

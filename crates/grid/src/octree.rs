@@ -22,8 +22,14 @@ impl Octree {
     /// # Panics
     /// Panics unless `n` is a power of two.
     pub fn new(n: usize) -> Self {
-        assert!(n.is_power_of_two(), "octree lattice must be a power of two, got {n}");
-        Self { n, levels: n.trailing_zeros() as usize }
+        assert!(
+            n.is_power_of_two(),
+            "octree lattice must be a power of two, got {n}"
+        );
+        Self {
+            n,
+            levels: n.trailing_zeros() as usize,
+        }
     }
 
     /// Lattice side length.
@@ -92,7 +98,10 @@ impl Octree {
                 })
                 .collect();
         }
-        level.into_iter().next().expect("octree has at least one node")
+        level
+            .into_iter()
+            .next()
+            .expect("octree has at least one node")
     }
 
     /// Number of point-to-point messages a full up-sweep (reduction) sends:

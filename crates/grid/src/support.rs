@@ -25,7 +25,11 @@ pub fn smoothstep(t: f64) -> f64 {
 #[inline]
 pub fn profile_1d(x: f64, core_len: f64, buffer: f64) -> f64 {
     if buffer == 0.0 {
-        return if (0.0..core_len).contains(&x) { 1.0 } else { 0.0 };
+        return if (0.0..core_len).contains(&x) {
+            1.0
+        } else {
+            0.0
+        };
     }
     if x < 0.0 {
         smoothstep((x + buffer) / buffer)

@@ -24,8 +24,18 @@ impl UniformGrid3 {
     /// Panics on zero dimensions or non-positive cell lengths.
     pub fn new((nx, ny, nz): (usize, usize, usize), (lx, ly, lz): (f64, f64, f64)) -> Self {
         assert!(nx > 0 && ny > 0 && nz > 0, "grid dims must be positive");
-        assert!(lx > 0.0 && ly > 0.0 && lz > 0.0, "cell lengths must be positive");
-        Self { nx, ny, nz, lx, ly, lz }
+        assert!(
+            lx > 0.0 && ly > 0.0 && lz > 0.0,
+            "cell lengths must be positive"
+        );
+        Self {
+            nx,
+            ny,
+            nz,
+            lx,
+            ly,
+            lz,
+        }
     }
 
     /// Creates a cubic grid of `n³` points over an `l³` cell.
@@ -50,7 +60,11 @@ impl UniformGrid3 {
 
     /// Grid spacings `(hx, hy, hz)`.
     pub fn spacing(&self) -> (f64, f64, f64) {
-        (self.lx / self.nx as f64, self.ly / self.ny as f64, self.lz / self.nz as f64)
+        (
+            self.lx / self.nx as f64,
+            self.ly / self.ny as f64,
+            self.lz / self.nz as f64,
+        )
     }
 
     /// Total number of points.

@@ -96,7 +96,10 @@ mod tests {
 
     fn hpd(n: usize) -> CMatrix {
         let m = CMatrix::from_fn(n, n, |i, j| {
-            Complex64::new(((i + 2 * j) % 5) as f64 * 0.2, ((3 * i + j) % 7) as f64 * 0.1)
+            Complex64::new(
+                ((i + 2 * j) % 5) as f64 * 0.2,
+                ((3 * i + j) % 7) as f64 * 0.1,
+            )
         });
         let mut a = CMatrix::zeros(n, n);
         zgemm(Complex64::ONE, &m.dagger(), &m, Complex64::ZERO, &mut a);

@@ -21,7 +21,11 @@ pub struct CMatrix {
 impl CMatrix {
     /// Creates a zero-filled matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![Complex64::ZERO; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![Complex64::ZERO; rows * cols],
+        }
     }
 
     /// Creates the identity matrix.

@@ -23,7 +23,9 @@ const MAX_SWEEPS: usize = 64;
 pub fn dsyev(a: &Matrix) -> Result<(Vec<f64>, Matrix)> {
     let n = a.rows();
     if a.cols() != n {
-        return Err(MqmdError::Invalid("eigensolver needs a square matrix".into()));
+        return Err(MqmdError::Invalid(
+            "eigensolver needs a square matrix".into(),
+        ));
     }
     if !a.is_symmetric(1e-9 * (1.0 + a.frobenius_norm())) {
         return Err(MqmdError::Invalid("dsyev needs a symmetric matrix".into()));
@@ -115,7 +117,9 @@ fn sorted_real(m: Matrix, v: Matrix) -> (Vec<f64>, Matrix) {
 pub fn zheev(a: &CMatrix) -> Result<(Vec<f64>, CMatrix)> {
     let n = a.rows();
     if a.cols() != n {
-        return Err(MqmdError::Invalid("eigensolver needs a square matrix".into()));
+        return Err(MqmdError::Invalid(
+            "eigensolver needs a square matrix".into(),
+        ));
     }
     if !a.is_hermitian(1e-9 * (1.0 + a.frobenius_norm())) {
         return Err(MqmdError::Invalid("zheev needs a Hermitian matrix".into()));
@@ -166,7 +170,15 @@ fn off_diag_norm_complex(m: &CMatrix) -> f64 {
 
 /// Applies the unitary plane rotation G (G_pp = c, G_pq = s·u, G_qp = −s·ū,
 /// G_qq = c) as `A ← G†·A·G`, `V ← V·G`.
-fn rotate_complex(m: &mut CMatrix, v: &mut CMatrix, p: usize, q: usize, c: f64, s: f64, u: Complex64) {
+fn rotate_complex(
+    m: &mut CMatrix,
+    v: &mut CMatrix,
+    p: usize,
+    q: usize,
+    c: f64,
+    s: f64,
+    u: Complex64,
+) {
     let n = m.rows();
     let su = u.scale(s);
     let su_conj = u.conj().scale(s);
@@ -234,7 +246,10 @@ mod tests {
         dgemm(1.0, &a, &v, 0.0, &mut av);
         for j in 0..n {
             for i in 0..n {
-                assert!((av[(i, j)] - vals[j] * v[(i, j)]).abs() < 1e-9, "column {j}");
+                assert!(
+                    (av[(i, j)] - vals[j] * v[(i, j)]).abs() < 1e-9,
+                    "column {j}"
+                );
             }
         }
         // V orthogonal
@@ -252,7 +267,10 @@ mod tests {
     fn zheev_hermitian_reconstructs() {
         let n = 8;
         let b = CMatrix::from_fn(n, n, |i, j| {
-            Complex64::new(((i + 3 * j) % 5) as f64 * 0.2, ((2 * i + j) % 7) as f64 * 0.15)
+            Complex64::new(
+                ((i + 3 * j) % 5) as f64 * 0.2,
+                ((2 * i + j) % 7) as f64 * 0.15,
+            )
         });
         let mut a = CMatrix::zeros(n, n);
         zgemm(Complex64::ONE, &b.dagger(), &b, Complex64::ZERO, &mut a);

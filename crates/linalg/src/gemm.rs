@@ -30,12 +30,14 @@ const ROW_BLOCK: usize = 32;
 /// # Panics
 /// Panics on dimension mismatch.
 pub fn dgemm(alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Matrix) {
+    let _span = mqmd_util::trace::span("gemm");
     let (m, k) = (a.rows(), a.cols());
     let n = b.cols();
     assert_eq!(b.rows(), k, "inner dimension mismatch");
     assert_eq!(c.rows(), m, "C row mismatch");
     assert_eq!(c.cols(), n, "C col mismatch");
     count_flops(gemm_flops(m as u64, n as u64, k as u64));
+    mqmd_util::trace::add_bytes(8 * (m * k + k * n + 2 * m * n) as u64);
 
     let a_data = a.data();
     let b_data = b.data();
@@ -69,6 +71,7 @@ pub fn dgemm(alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Matrix) {
 }
 
 /// Dense real GEMV: `y ← α·A·x + β·y` (the BLAS2 band-by-band path).
+#[allow(clippy::needless_range_loop)]
 pub fn dgemv(alpha: f64, a: &Matrix, x: &[f64], beta: f64, y: &mut [f64]) {
     let (m, k) = (a.rows(), a.cols());
     assert_eq!(x.len(), k);
@@ -86,12 +89,14 @@ pub fn dgemv(alpha: f64, a: &Matrix, x: &[f64], beta: f64, y: &mut [f64]) {
 
 /// Dense complex GEMM: `C ← α·A·B + β·C`.
 pub fn zgemm(alpha: Complex64, a: &CMatrix, b: &CMatrix, beta: Complex64, c: &mut CMatrix) {
+    let _span = mqmd_util::trace::span("gemm");
     let (m, k) = (a.rows(), a.cols());
     let n = b.cols();
     assert_eq!(b.rows(), k, "inner dimension mismatch");
     assert_eq!(c.rows(), m, "C row mismatch");
     assert_eq!(c.cols(), n, "C col mismatch");
     count_flops(zgemm_flops(m as u64, n as u64, k as u64));
+    mqmd_util::trace::add_bytes(16 * (m * k + k * n + 2 * m * n) as u64);
 
     let a_data = a.data();
     let b_data = b.data();
@@ -125,6 +130,7 @@ pub fn zgemm(alpha: Complex64, a: &CMatrix, b: &CMatrix, beta: Complex64, c: &mu
 }
 
 /// Dense complex GEMV: `y ← α·A·x + β·y`.
+#[allow(clippy::needless_range_loop)]
 pub fn zgemv(alpha: Complex64, a: &CMatrix, x: &[Complex64], beta: Complex64, y: &mut [Complex64]) {
     let (m, k) = (a.rows(), a.cols());
     assert_eq!(x.len(), k);
@@ -136,7 +142,12 @@ pub fn zgemv(alpha: Complex64, a: &CMatrix, x: &[Complex64], beta: Complex64, y:
         for (&aij, &xj) in row.iter().zip(x) {
             acc = acc.mul_add(aij, xj);
         }
-        y[i] = alpha * acc + if beta == Complex64::ZERO { Complex64::ZERO } else { beta * y[i] };
+        y[i] = alpha * acc
+            + if beta == Complex64::ZERO {
+                Complex64::ZERO
+            } else {
+                beta * y[i]
+            };
     }
 }
 
@@ -144,6 +155,7 @@ pub fn zgemv(alpha: Complex64, a: &CMatrix, x: &[Complex64], beta: Complex64, y:
 /// the band overlap matrix `S = Ψ†Ψ` that feeds the Cholesky
 /// orthonormalisation.
 pub fn zgemm_dagger_a(a: &CMatrix, b: &CMatrix) -> CMatrix {
+    let _span = mqmd_util::trace::span("gemm");
     let (np, na) = (a.rows(), a.cols());
     let nb = b.cols();
     assert_eq!(b.rows(), np, "row mismatch");
@@ -258,7 +270,9 @@ mod tests {
 
     #[test]
     fn zgemm_matches_via_gemv() {
-        let a = CMatrix::from_fn(13, 7, |i, j| Complex64::new(i as f64 * 0.1, j as f64 * -0.2));
+        let a = CMatrix::from_fn(13, 7, |i, j| {
+            Complex64::new(i as f64 * 0.1, j as f64 * -0.2)
+        });
         let b = CMatrix::from_fn(7, 11, |i, j| Complex64::new((i + j) as f64 * 0.05, 0.3));
         let mut c = CMatrix::zeros(13, 11);
         zgemm(Complex64::ONE, &a, &b, Complex64::ZERO, &mut c);
@@ -269,14 +283,23 @@ mod tests {
     #[test]
     fn dagger_a_is_overlap() {
         let psi = CMatrix::from_fn(40, 5, |i, j| {
-            Complex64::new(((i * 3 + j) % 7) as f64 * 0.1, ((i + 2 * j) % 5) as f64 * -0.1)
+            Complex64::new(
+                ((i * 3 + j) % 7) as f64 * 0.1,
+                ((i + 2 * j) % 5) as f64 * -0.1,
+            )
         });
         let s = zgemm_dagger_a(&psi, &psi);
         assert_eq!(s.rows(), 5);
         assert!(s.is_hermitian(1e-12), "overlap must be Hermitian");
         // Compare against dagger+zgemm.
         let mut s2 = CMatrix::zeros(5, 5);
-        zgemm(Complex64::ONE, &psi.dagger(), &psi, Complex64::ZERO, &mut s2);
+        zgemm(
+            Complex64::ONE,
+            &psi.dagger(),
+            &psi,
+            Complex64::ZERO,
+            &mut s2,
+        );
         assert!(s.max_abs_diff(&s2) < 1e-12);
     }
 

@@ -18,7 +18,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a zero-filled matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates the identity matrix of size `n`.

@@ -20,12 +20,17 @@ use mqmd_util::{Complex64, Result};
 /// (the paper's §3.3 kernel). Returns the overlap matrix's departure from
 /// identity before the update, `‖S − I‖_F`, a useful convergence diagnostic.
 pub fn cholesky_orthonormalize(psi: &mut CMatrix) -> Result<f64> {
+    let _span = mqmd_util::trace::span("orthonorm");
     let nb = psi.cols();
     let s = zgemm_dagger_a(psi, psi);
     let mut dev = 0.0;
     for i in 0..nb {
         for j in 0..nb {
-            let target = if i == j { Complex64::ONE } else { Complex64::ZERO };
+            let target = if i == j {
+                Complex64::ONE
+            } else {
+                Complex64::ZERO
+            };
             dev += (s[(i, j)] - target).norm_sqr();
         }
     }
@@ -41,6 +46,7 @@ pub fn cholesky_orthonormalize(psi: &mut CMatrix) -> Result<f64> {
 
 /// Modified Gram–Schmidt orthonormalisation of the columns of `psi`.
 pub fn mgs_orthonormalize(psi: &mut CMatrix) {
+    let _span = mqmd_util::trace::span("orthonorm");
     let (np, nb) = (psi.rows(), psi.cols());
     for j in 0..nb {
         // Project out previous columns.
@@ -73,7 +79,11 @@ pub fn orthonormality_defect(psi: &CMatrix) -> f64 {
     let mut dev = 0.0;
     for i in 0..nb {
         for j in 0..nb {
-            let target = if i == j { Complex64::ONE } else { Complex64::ZERO };
+            let target = if i == j {
+                Complex64::ONE
+            } else {
+                Complex64::ZERO
+            };
             dev += (s[(i, j)] - target).norm_sqr();
         }
     }
@@ -115,7 +125,10 @@ mod tests {
             for i in 0..4 {
                 norm += coeffs[(i, j)].norm_sqr();
             }
-            assert!((norm - 1.0).abs() < 1e-10, "band {j} leaked out of the span: {norm}");
+            assert!(
+                (norm - 1.0).abs() < 1e-10,
+                "band {j} leaked out of the span: {norm}"
+            );
         }
     }
 

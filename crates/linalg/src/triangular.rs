@@ -65,7 +65,11 @@ pub fn ztrtri_lower(l: &CMatrix) -> CMatrix {
     // Solve L·X = I column by column; X is lower triangular too.
     for j in 0..n {
         for i in j..n {
-            let mut s = if i == j { Complex64::ONE } else { Complex64::ZERO };
+            let mut s = if i == j {
+                Complex64::ONE
+            } else {
+                Complex64::ZERO
+            };
             for k in j..i {
                 s -= l[(i, k)] * inv[(k, j)];
             }

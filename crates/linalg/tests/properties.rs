@@ -2,7 +2,7 @@
 
 use mqmd_linalg::cholesky::{dpotrf, zpotrf};
 use mqmd_linalg::eigen::{dsyev, zheev};
-use mqmd_linalg::gemm::{dgemm, zgemm, zgemm_dagger_a};
+use mqmd_linalg::gemm::{dgemm, dgemv, zgemm, zgemm_dagger_a, zgemv};
 use mqmd_linalg::orthonorm::{cholesky_orthonormalize, orthonormality_defect};
 use mqmd_linalg::{CMatrix, Matrix};
 use mqmd_util::{Complex64, Xoshiro256pp};
@@ -102,5 +102,84 @@ proptest! {
         let mut psi = random_cmatrix(np, nb, seed);
         cholesky_orthonormalize(&mut psi).unwrap();
         prop_assert!(orthonormality_defect(&psi) < 1e-8);
+    }
+
+    // §3.4 BLAS2 → BLAS3 refactoring safety: the all-band GEMM path must
+    // agree with the band-by-band GEMV path it replaced, for arbitrary
+    // shapes including the parallel ROW_BLOCK split.
+    #[test]
+    fn dgemm_matches_band_by_band_dgemv(m in 1usize..70, k in 1usize..20, n in 1usize..10, seed in any::<u64>()) {
+        let a = random_matrix(m, k, seed);
+        let b = random_matrix(k, n, seed ^ 11);
+        let mut c = Matrix::zeros(m, n);
+        dgemm(1.0, &a, &b, 0.0, &mut c);
+        for j in 0..n {
+            let x: Vec<f64> = (0..k).map(|i| b[(i, j)]).collect();
+            let mut y = vec![0.0; m];
+            dgemv(1.0, &a, &x, 0.0, &mut y);
+            for i in 0..m {
+                prop_assert!((c[(i, j)] - y[i]).abs() < 1e-12 * (1.0 + y[i].abs()));
+            }
+        }
+    }
+
+    #[test]
+    fn zgemm_matches_band_by_band_zgemv(m in 1usize..70, k in 1usize..16, n in 1usize..8, seed in any::<u64>()) {
+        let a = random_cmatrix(m, k, seed);
+        let b = random_cmatrix(k, n, seed ^ 13);
+        let mut c = CMatrix::zeros(m, n);
+        zgemm(Complex64::ONE, &a, &b, Complex64::ZERO, &mut c);
+        for j in 0..n {
+            let x = b.col(j);
+            let mut y = vec![Complex64::ZERO; m];
+            zgemv(Complex64::ONE, &a, &x, Complex64::ZERO, &mut y);
+            for i in 0..m {
+                prop_assert!((c[(i, j)] - y[i]).abs() < 1e-12 * (1.0 + y[i].abs()));
+            }
+        }
+    }
+
+    #[test]
+    fn dagger_a_matches_explicit_conjugate_transpose(np in 1usize..90, na in 1usize..9, nb in 1usize..9, seed in any::<u64>()) {
+        let a = random_cmatrix(np, na, seed);
+        let b = random_cmatrix(np, nb, seed ^ 17);
+        let s = zgemm_dagger_a(&a, &b);
+        let mut expect = CMatrix::zeros(na, nb);
+        zgemm(Complex64::ONE, &a.dagger(), &b, Complex64::ZERO, &mut expect);
+        prop_assert!(s.max_abs_diff(&expect) < 1e-12 * (1.0 + expect.frobenius_norm()));
+    }
+}
+
+/// The parallel GEMM splits C into ROW_BLOCK(=32)-row tasks; the sizes that
+/// straddle that boundary are where a blocking bug would live.
+#[test]
+fn gemm_row_block_boundaries_match_band_by_band() {
+    for m in [1usize, 31, 32, 33, 63, 64, 65] {
+        let (k, n) = (13usize, 7usize);
+        let a = random_matrix(m, k, 1000 + m as u64);
+        let b = random_matrix(k, n, 2000 + m as u64);
+        let mut c = Matrix::zeros(m, n);
+        dgemm(1.0, &a, &b, 0.0, &mut c);
+        for j in 0..n {
+            let x: Vec<f64> = (0..k).map(|i| b[(i, j)]).collect();
+            let mut y = vec![0.0; m];
+            dgemv(1.0, &a, &x, 0.0, &mut y);
+            for i in 0..m {
+                assert!((c[(i, j)] - y[i]).abs() < 1e-12, "m={m} ({i},{j})");
+            }
+        }
+
+        let az = random_cmatrix(m, k, 3000 + m as u64);
+        let bz = random_cmatrix(k, n, 4000 + m as u64);
+        let mut cz = CMatrix::zeros(m, n);
+        zgemm(Complex64::ONE, &az, &bz, Complex64::ZERO, &mut cz);
+        for j in 0..n {
+            let x = bz.col(j);
+            let mut y = vec![Complex64::ZERO; m];
+            zgemv(Complex64::ONE, &az, &x, Complex64::ZERO, &mut y);
+            for i in 0..m {
+                assert!((cz[(i, j)] - y[i]).abs() < 1e-12, "zgemm m={m} ({i},{j})");
+            }
+        }
     }
 }

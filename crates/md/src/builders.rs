@@ -23,7 +23,12 @@ pub const CDSE_LATTICE_BOHR: f64 = 11.416;
 pub const LIAL_LATTICE_BOHR: f64 = 12.037;
 
 /// FCC basis sites in fractional coordinates.
-const FCC: [[f64; 3]; 4] = [[0.0, 0.0, 0.0], [0.0, 0.5, 0.5], [0.5, 0.0, 0.5], [0.5, 0.5, 0.0]];
+const FCC: [[f64; 3]; 4] = [
+    [0.0, 0.0, 0.0],
+    [0.0, 0.5, 0.5],
+    [0.5, 0.0, 0.5],
+    [0.5, 0.5, 0.0],
+];
 
 /// Builds an `ncx × ncy × ncz` supercell of a zinc-blende AB crystal with
 /// conventional lattice constant `a` (8 atoms per conventional cell).
@@ -89,14 +94,16 @@ pub fn lial_b32(nc: (usize, usize, usize)) -> AtomicSystem {
                     // Diamond sublattice A (Li): fcc + fcc offset by ¼¼¼.
                     for off in [[0.0, 0.0, 0.0], [0.25, 0.25, 0.25]] {
                         species.push(Element::Li);
-                        positions
-                            .push(origin + Vec3::new(f[0] + off[0], f[1] + off[1], f[2] + off[2]) * a);
+                        positions.push(
+                            origin + Vec3::new(f[0] + off[0], f[1] + off[1], f[2] + off[2]) * a,
+                        );
                     }
                     // Diamond sublattice B (Al): shifted by ½½½.
                     for off in [[0.5, 0.5, 0.5], [0.75, 0.75, 0.75]] {
                         species.push(Element::Al);
-                        positions
-                            .push(origin + Vec3::new(f[0] + off[0], f[1] + off[1], f[2] + off[2]) * a);
+                        positions.push(
+                            origin + Vec3::new(f[0] + off[0], f[1] + off[1], f[2] + off[2]) * a,
+                        );
                     }
                 }
             }
@@ -177,7 +184,11 @@ mod tests {
         let s = lial_b32((1, 1, 1));
         for i in 0..s.len() {
             for j in (i + 1)..s.len() {
-                assert!(s.distance(i, j) > 1.0, "atoms {i},{j} too close: {}", s.distance(i, j));
+                assert!(
+                    s.distance(i, j) > 1.0,
+                    "atoms {i},{j} too close: {}",
+                    s.distance(i, j)
+                );
             }
         }
     }

@@ -134,7 +134,11 @@ mod tests {
 
     #[test]
     fn lj_minimum_at_sigma_2_to_sixth() {
-        let lj = LennardJones { epsilon: 0.01, sigma: 3.0, cutoff: 9.0 };
+        let lj = LennardJones {
+            epsilon: 0.01,
+            sigma: 3.0,
+            cutoff: 9.0,
+        };
         let r_min = 3.0 * 2f64.powf(1.0 / 6.0);
         // Force vanishes at the minimum.
         assert!(lj.pair_dvdr(r_min).abs() < 1e-12);
@@ -145,7 +149,11 @@ mod tests {
 
     #[test]
     fn forces_are_newtons_third_law() {
-        let mut lj = LennardJones { epsilon: 0.01, sigma: 3.0, cutoff: 9.0 };
+        let mut lj = LennardJones {
+            epsilon: 0.01,
+            sigma: 3.0,
+            cutoff: 9.0,
+        };
         let s = dimer(3.2);
         let out = lj.compute(&s);
         assert!((out.forces[0] + out.forces[1]).norm() < 1e-14);
@@ -153,7 +161,11 @@ mod tests {
 
     #[test]
     fn force_matches_numerical_gradient() {
-        let mut lj = LennardJones { epsilon: 0.02, sigma: 3.0, cutoff: 8.0 };
+        let mut lj = LennardJones {
+            epsilon: 0.02,
+            sigma: 3.0,
+            cutoff: 8.0,
+        };
         let h = 1e-6;
         for r in [2.9, 3.37, 4.5, 6.0] {
             let e_plus = lj.compute(&dimer(r + h)).energy;
@@ -166,7 +178,11 @@ mod tests {
 
     #[test]
     fn repulsive_inside_attractive_outside() {
-        let mut lj = LennardJones { epsilon: 0.01, sigma: 3.0, cutoff: 9.0 };
+        let mut lj = LennardJones {
+            epsilon: 0.01,
+            sigma: 3.0,
+            cutoff: 9.0,
+        };
         let r_min = 3.0 * 2f64.powf(1.0 / 6.0);
         let inside = lj.compute(&dimer(r_min * 0.8));
         let outside = lj.compute(&dimer(r_min * 1.2));
@@ -176,7 +192,11 @@ mod tests {
 
     #[test]
     fn energy_zero_beyond_cutoff() {
-        let mut lj = LennardJones { epsilon: 0.01, sigma: 3.0, cutoff: 6.0 };
+        let mut lj = LennardJones {
+            epsilon: 0.01,
+            sigma: 3.0,
+            cutoff: 6.0,
+        };
         let out = lj.compute(&dimer(6.5));
         assert_eq!(out.energy, 0.0);
         assert_eq!(out.forces[1], Vec3::ZERO);
@@ -184,7 +204,11 @@ mod tests {
 
     #[test]
     fn harmonic_dimer_force() {
-        let mut hp = HarmonicPair { k: 0.5, r0: 2.0, cutoff: 8.0 };
+        let mut hp = HarmonicPair {
+            k: 0.5,
+            r0: 2.0,
+            cutoff: 8.0,
+        };
         let out = hp.compute(&dimer(3.0));
         assert!((out.energy - 0.25).abs() < 1e-12); // ½·0.5·1²
         assert!((out.forces[1].x + 0.5).abs() < 1e-12); // −k(r−r₀)

@@ -42,7 +42,8 @@ impl VelocityVerlet {
         for i in 0..n {
             let a = forces_old.forces[i] / system.mass(i);
             system.velocities[i] += a * (0.5 * dt);
-            system.positions[i] = (system.positions[i] + system.velocities[i] * dt).wrap(system.cell);
+            system.positions[i] =
+                (system.positions[i] + system.velocities[i] * dt).wrap(system.cell);
         }
         // v(t+dt)
         let forces_new = field.compute(system);
@@ -102,14 +103,23 @@ mod tests {
         // A small FCC-ish cluster of "argon-like" LJ atoms near equilibrium.
         // Cutoff stays below half the (2a ≈ 19 Bohr) cell.
         let sigma = 6.0;
-        let lj = LennardJones { epsilon: 4e-4, sigma, cutoff: 9.0 };
+        let lj = LennardJones {
+            epsilon: 4e-4,
+            sigma,
+            cutoff: 9.0,
+        };
         let a = sigma * 2f64.powf(1.0 / 6.0) * 2f64.sqrt();
         let mut species = Vec::new();
         let mut positions = Vec::new();
         for cx in 0..2 {
             for cy in 0..2 {
                 for cz in 0..2 {
-                    for f in [[0.0, 0.0, 0.0], [0.0, 0.5, 0.5], [0.5, 0.0, 0.5], [0.5, 0.5, 0.0]] {
+                    for f in [
+                        [0.0, 0.0, 0.0],
+                        [0.0, 0.5, 0.5],
+                        [0.5, 0.0, 0.5],
+                        [0.5, 0.5, 0.0],
+                    ] {
                         species.push(Element::Al);
                         positions.push(Vec3::new(
                             (cx as f64 + f[0]) * a,
@@ -129,7 +139,11 @@ mod tests {
         // Two equal masses on a spring: ω = √(2k/m) (reduced mass m/2).
         let k = 0.1;
         let m = Element::H.mass_au();
-        let mut field = HarmonicPair { k, r0: 2.0, cutoff: 8.0 };
+        let mut field = HarmonicPair {
+            k,
+            r0: 2.0,
+            cutoff: 8.0,
+        };
         let mut sys = AtomicSystem::new(
             Vec3::splat(20.0),
             vec![Element::H, Element::H],
@@ -187,10 +201,14 @@ mod tests {
         let (mut sys, mut lj) = lj_crystal();
         let mut rng = mqmd_util::Xoshiro256pp::seed_from_u64(17);
         sys.thermalize(80.0, &mut rng);
-        let p0: Vec3 = (0..sys.len()).map(|i| sys.velocities[i] * sys.mass(i)).sum();
+        let p0: Vec3 = (0..sys.len())
+            .map(|i| sys.velocities[i] * sys.mass(i))
+            .sum();
         let mut vv = VelocityVerlet::new(20.0);
         vv.run(&mut sys, &mut lj, 200);
-        let p1: Vec3 = (0..sys.len()).map(|i| sys.velocities[i] * sys.mass(i)).sum();
+        let p1: Vec3 = (0..sys.len())
+            .map(|i| sys.velocities[i] * sys.mass(i))
+            .sum();
         assert!((p1 - p0).norm() < 1e-9);
     }
 

@@ -11,8 +11,8 @@
 
 use crate::structure::AtomicSystem;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use mqmd_util::{MqmdError, Result, Vec3};
 use mqmd_grid::hilbert::{hilbert_decode, hilbert_encode};
+use mqmd_util::{MqmdError, Result, Vec3};
 
 /// Maximum quantisation bits per axis (3·21 = 63 curve bits fit in u64).
 pub const MAX_BITS: u32 = 21;
@@ -67,7 +67,7 @@ impl CompressedFrame {
     /// Compresses positions with `bits` bits per axis (quantisation error
     /// ≤ cell/2^bits per component).
     pub fn compress(system: &AtomicSystem, bits: u32) -> Self {
-        assert!(bits >= 1 && bits <= MAX_BITS);
+        assert!((1..=MAX_BITS).contains(&bits));
         let n_side = 1u64 << bits;
         let cell = system.cell;
         let mut keyed: Vec<(u64, u32)> = system
@@ -91,7 +91,12 @@ impl CompressedFrame {
             write_varint(&mut payload, id as u64);
             prev = h;
         }
-        Self { bits, cell, n_atoms: keyed.len(), payload: payload.freeze() }
+        Self {
+            bits,
+            cell,
+            n_atoms: keyed.len(),
+            payload: payload.freeze(),
+        }
     }
 
     /// Decompresses to positions in original atom order (cell-centre of each
@@ -163,13 +168,17 @@ pub struct Trajectory {
 impl Trajectory {
     /// Creates an empty trajectory with the given quantisation.
     pub fn new(bits: u32) -> Self {
-        assert!(bits >= 1 && bits <= MAX_BITS);
-        Self { bits, frames: Vec::new() }
+        assert!((1..=MAX_BITS).contains(&bits));
+        Self {
+            bits,
+            frames: Vec::new(),
+        }
     }
 
     /// Appends a snapshot of the system at `step`.
     pub fn push(&mut self, step: u64, system: &AtomicSystem) {
-        self.frames.push((step, CompressedFrame::compress(system, self.bits)));
+        self.frames
+            .push((step, CompressedFrame::compress(system, self.bits)));
     }
 
     /// Serialises the container to bytes.
@@ -214,7 +223,15 @@ impl Trajectory {
                 return Err(MqmdError::Io("truncated trajectory payload".into()));
             }
             let payload = data.split_to(len);
-            frames.push((step, CompressedFrame { bits, cell, n_atoms, payload }));
+            frames.push((
+                step,
+                CompressedFrame {
+                    bits,
+                    cell,
+                    n_atoms,
+                    payload,
+                },
+            ));
         }
         Ok(Self { bits, frames })
     }
@@ -251,7 +268,17 @@ mod tests {
 
     #[test]
     fn varint_round_trip() {
-        let values = [0u64, 1, 127, 128, 300, 16383, 16384, u32::MAX as u64, u64::MAX];
+        let values = [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16383,
+            16384,
+            u32::MAX as u64,
+            u64::MAX,
+        ];
         let mut buf = BytesMut::new();
         for &v in &values {
             write_varint(&mut buf, v);

@@ -83,7 +83,11 @@ impl NeighborList {
                                 if other_idx == home_idx {
                                     for (a, &i) in home.iter().enumerate() {
                                         for &j in &home[a + 1..] {
-                                            if system.displacement(i as usize, j as usize).norm_sqr() <= c2 {
+                                            if system
+                                                .displacement(i as usize, j as usize)
+                                                .norm_sqr()
+                                                <= c2
+                                            {
                                                 pairs.push((i.min(j), i.max(j)));
                                             }
                                         }
@@ -91,7 +95,11 @@ impl NeighborList {
                                 } else {
                                     for &i in home {
                                         for &j in other {
-                                            if system.displacement(i as usize, j as usize).norm_sqr() <= c2 {
+                                            if system
+                                                .displacement(i as usize, j as usize)
+                                                .norm_sqr()
+                                                <= c2
+                                            {
                                                 pairs.push((i.min(j), i.max(j)));
                                             }
                                         }

@@ -2,12 +2,11 @@
 
 use mqmd_util::constants::{Element, KB_HARTREE_PER_K};
 use mqmd_util::{Vec3, Xoshiro256pp};
-use serde::{Deserialize, Serialize};
 
 /// A periodic collection of atoms in an orthorhombic cell, in Hartree atomic
 /// units (positions in Bohr, velocities in Bohr per a.u. of time, masses in
 /// electron masses).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct AtomicSystem {
     /// Cell side lengths (Bohr).
     pub cell: Vec3,
@@ -23,11 +22,23 @@ impl AtomicSystem {
     /// Creates a system with zero velocities, wrapping positions into the
     /// cell.
     pub fn new(cell: Vec3, species: Vec<Element>, positions: Vec<Vec3>) -> Self {
-        assert_eq!(species.len(), positions.len(), "species/position length mismatch");
+        assert_eq!(
+            species.len(),
+            positions.len(),
+            "species/position length mismatch"
+        );
         assert!(cell.x > 0.0 && cell.y > 0.0 && cell.z > 0.0);
-        let positions = positions.into_iter().map(|r| r.wrap(cell)).collect::<Vec<_>>();
+        let positions = positions
+            .into_iter()
+            .map(|r| r.wrap(cell))
+            .collect::<Vec<_>>();
         let n = species.len();
-        Self { cell, species, positions, velocities: vec![Vec3::ZERO; n] }
+        Self {
+            cell,
+            species,
+            positions,
+            velocities: vec![Vec3::ZERO; n],
+        }
     }
 
     /// Number of atoms.

@@ -32,7 +32,9 @@ impl Thermostat for Berendsen {
         if t_now <= 0.0 {
             return;
         }
-        let lambda = (1.0 + dt / self.tau * (self.t_target / t_now - 1.0)).max(0.0).sqrt();
+        let lambda = (1.0 + dt / self.tau * (self.t_target / t_now - 1.0))
+            .max(0.0)
+            .sqrt();
         for v in &mut system.velocities {
             *v *= lambda;
         }
@@ -60,7 +62,11 @@ impl NoseHoover {
     /// `Q = 3·N·k_B·T·τ²` for relaxation time `tau`.
     pub fn new(t_target: f64, n_atoms: usize, tau: f64) -> Self {
         let q = 3.0 * n_atoms as f64 * KB_HARTREE_PER_K * t_target.max(1.0) * tau * tau;
-        Self { t_target, q, xi: 0.0 }
+        Self {
+            t_target,
+            q,
+            xi: 0.0,
+        }
     }
 }
 
@@ -107,7 +113,11 @@ mod tests {
                 }
             }
         }
-        AtomicSystem::new(Vec3::splat(n_side as f64 * spacing), vec![Element::Al; n], positions)
+        AtomicSystem::new(
+            Vec3::splat(n_side as f64 * spacing),
+            vec![Element::Al; n],
+            positions,
+        )
     }
 
     #[test]
@@ -115,9 +125,16 @@ mod tests {
         let mut sys = gas(4, 7.0);
         let mut rng = Xoshiro256pp::seed_from_u64(3);
         sys.thermalize(100.0, &mut rng);
-        let mut lj = LennardJones { epsilon: 3e-4, sigma: 5.0, cutoff: 12.0 };
+        let mut lj = LennardJones {
+            epsilon: 3e-4,
+            sigma: 5.0,
+            cutoff: 12.0,
+        };
         let mut vv = VelocityVerlet::new(20.0);
-        let mut thermo = Berendsen { t_target: 600.0, tau: 400.0 };
+        let mut thermo = Berendsen {
+            t_target: 600.0,
+            tau: 400.0,
+        };
         for _ in 0..300 {
             vv.step(&mut sys, &mut lj);
             thermo.apply(&mut sys, vv.dt);
@@ -131,7 +148,10 @@ mod tests {
         let mut sys = gas(3, 8.0);
         let mut rng = Xoshiro256pp::seed_from_u64(7);
         sys.thermalize(2000.0, &mut rng);
-        let mut thermo = Berendsen { t_target: 300.0, tau: 100.0 };
+        let mut thermo = Berendsen {
+            t_target: 300.0,
+            tau: 100.0,
+        };
         // Pure rescaling (no dynamics): converges geometrically.
         for _ in 0..200 {
             thermo.apply(&mut sys, 10.0);
@@ -144,7 +164,11 @@ mod tests {
         let mut sys = gas(4, 7.0);
         let mut rng = Xoshiro256pp::seed_from_u64(11);
         sys.thermalize(900.0, &mut rng);
-        let mut lj = LennardJones { epsilon: 3e-4, sigma: 5.0, cutoff: 12.0 };
+        let mut lj = LennardJones {
+            epsilon: 3e-4,
+            sigma: 5.0,
+            cutoff: 12.0,
+        };
         let mut vv = VelocityVerlet::new(20.0);
         let mut thermo = NoseHoover::new(600.0, sys.len(), 500.0);
         let mut temps = Vec::new();
@@ -166,6 +190,9 @@ mod tests {
         sys.thermalize(1200.0, &mut rng);
         let mut thermo = NoseHoover::new(300.0, sys.len(), 200.0);
         thermo.apply(&mut sys, 10.0);
-        assert!(thermo.xi > 0.0, "hot system must push ξ positive (friction)");
+        assert!(
+            thermo.xi > 0.0,
+            "hot system must push ξ positive (friction)"
+        );
     }
 }

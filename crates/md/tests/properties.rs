@@ -14,7 +14,13 @@ use proptest::prelude::*;
 fn random_gas(n: usize, l: f64, seed: u64) -> AtomicSystem {
     let mut rng = Xoshiro256pp::seed_from_u64(seed);
     let positions: Vec<Vec3> = (0..n)
-        .map(|_| Vec3::new(rng.uniform_in(0.0, l), rng.uniform_in(0.0, l), rng.uniform_in(0.0, l)))
+        .map(|_| {
+            Vec3::new(
+                rng.uniform_in(0.0, l),
+                rng.uniform_in(0.0, l),
+                rng.uniform_in(0.0, l),
+            )
+        })
         .collect();
     AtomicSystem::new(Vec3::splat(l), vec![Element::Al; n], positions)
 }

@@ -22,7 +22,10 @@ impl FftPoisson {
     /// Plans a solver for the given grid.
     pub fn new(grid: UniformGrid3) -> Self {
         let (nx, ny, nz) = grid.dims();
-        Self { grid, fft: Fft3d::new(nx, ny, nz) }
+        Self {
+            grid,
+            fft: Fft3d::new(nx, ny, nz),
+        }
     }
 
     /// The grid this solver is bound to.
@@ -32,6 +35,7 @@ impl FftPoisson {
 
     /// Solves `∇²V = −4πρ` for the Hartree potential `V` (zero mean).
     pub fn hartree(&self, rho: &[f64]) -> Vec<f64> {
+        let _span = mqmd_util::trace::span("poisson");
         assert_eq!(rho.len(), self.grid.len());
         let mut data: Vec<Complex64> = rho.iter().map(|&x| Complex64::from_re(x)).collect();
         self.fft.forward(&mut data);

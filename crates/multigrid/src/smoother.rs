@@ -6,31 +6,34 @@ use rayon::prelude::*;
 /// One weighted-Jacobi sweep for `∇²u = f` with weight `omega`
 /// (2/3 is the classical choice that damps the high-frequency error modes
 /// multigrid relies on).
-pub fn jacobi_sweep(grid: &UniformGrid3, u: &mut Vec<f64>, f: &[f64], omega: f64) {
+pub fn jacobi_sweep(grid: &UniformGrid3, u: &mut [f64], f: &[f64], omega: f64) {
     let (nx, ny, nz) = grid.dims();
     let (hx, hy, hz) = grid.spacing();
     let (cx, cy, cz) = (1.0 / (hx * hx), 1.0 / (hy * hy), 1.0 / (hz * hz));
     let diag = -2.0 * (cx + cy + cz);
 
-    let u_old = u.clone();
-    u.par_chunks_mut(ny * nz).enumerate().for_each(|(ix, plane)| {
-        let xm = (ix + nx - 1) % nx;
-        let xp = (ix + 1) % nx;
-        for iy in 0..ny {
-            let ym = (iy + ny - 1) % ny;
-            let yp = (iy + 1) % ny;
-            for iz in 0..nz {
-                let zm = (iz + nz - 1) % nz;
-                let zp = (iz + 1) % nz;
-                let nb = cx * (u_old[(xm * ny + iy) * nz + iz] + u_old[(xp * ny + iy) * nz + iz])
-                    + cy * (u_old[(ix * ny + ym) * nz + iz] + u_old[(ix * ny + yp) * nz + iz])
-                    + cz * (u_old[(ix * ny + iy) * nz + zm] + u_old[(ix * ny + iy) * nz + zp]);
-                let idx = iy * nz + iz;
-                let new = (f[(ix * ny + iy) * nz + iz] - nb) / diag;
-                plane[idx] = (1.0 - omega) * u_old[(ix * ny + iy) * nz + iz] + omega * new;
+    let u_old = u.to_vec();
+    u.par_chunks_mut(ny * nz)
+        .enumerate()
+        .for_each(|(ix, plane)| {
+            let xm = (ix + nx - 1) % nx;
+            let xp = (ix + 1) % nx;
+            for iy in 0..ny {
+                let ym = (iy + ny - 1) % ny;
+                let yp = (iy + 1) % ny;
+                for iz in 0..nz {
+                    let zm = (iz + nz - 1) % nz;
+                    let zp = (iz + 1) % nz;
+                    let nb = cx
+                        * (u_old[(xm * ny + iy) * nz + iz] + u_old[(xp * ny + iy) * nz + iz])
+                        + cy * (u_old[(ix * ny + ym) * nz + iz] + u_old[(ix * ny + yp) * nz + iz])
+                        + cz * (u_old[(ix * ny + iy) * nz + zm] + u_old[(ix * ny + iy) * nz + zp]);
+                    let idx = iy * nz + iz;
+                    let new = (f[(ix * ny + iy) * nz + iz] - nb) / diag;
+                    plane[idx] = (1.0 - omega) * u_old[(ix * ny + iy) * nz + iz] + omega * new;
+                }
             }
-        }
-    });
+        });
 }
 
 /// One red-black Gauss–Seidel sweep (both colours) for `∇²u = f`.
@@ -79,7 +82,8 @@ pub fn rbgs_sweep(grid: &UniformGrid3, u: &mut [f64], f: &[f64]) {
                             // neighbours), so no written cell is read by a
                             // concurrent task within this half-sweep.
                             unsafe {
-                                let at = |a: usize, b: usize, c: usize| *p.0.add((a * ny + b) * nz + c);
+                                let at =
+                                    |a: usize, b: usize, c: usize| *p.0.add((a * ny + b) * nz + c);
                                 let nb = cx * (at(xm, iy, iz) + at(xp, iy, iz))
                                     + cy * (at(ix, ym, iz) + at(ix, yp, iz))
                                     + cz * (at(ix, iy, zm) + at(ix, iy, zp));

@@ -13,23 +13,25 @@ pub fn apply_laplacian(grid: &UniformGrid3, u: &[f64], out: &mut [f64]) {
     let (cx, cy, cz) = (1.0 / (hx * hx), 1.0 / (hy * hy), 1.0 / (hz * hz));
     let diag = -2.0 * (cx + cy + cz);
 
-    out.par_chunks_mut(ny * nz).enumerate().for_each(|(ix, plane)| {
-        let xm = (ix + nx - 1) % nx;
-        let xp = (ix + 1) % nx;
-        for iy in 0..ny {
-            let ym = (iy + ny - 1) % ny;
-            let yp = (iy + 1) % ny;
-            for iz in 0..nz {
-                let zm = (iz + nz - 1) % nz;
-                let zp = (iz + 1) % nz;
-                let idx = iy * nz + iz;
-                plane[idx] = diag * u[(ix * ny + iy) * nz + iz]
-                    + cx * (u[(xm * ny + iy) * nz + iz] + u[(xp * ny + iy) * nz + iz])
-                    + cy * (u[(ix * ny + ym) * nz + iz] + u[(ix * ny + yp) * nz + iz])
-                    + cz * (u[(ix * ny + iy) * nz + zm] + u[(ix * ny + iy) * nz + zp]);
+    out.par_chunks_mut(ny * nz)
+        .enumerate()
+        .for_each(|(ix, plane)| {
+            let xm = (ix + nx - 1) % nx;
+            let xp = (ix + 1) % nx;
+            for iy in 0..ny {
+                let ym = (iy + ny - 1) % ny;
+                let yp = (iy + 1) % ny;
+                for iz in 0..nz {
+                    let zm = (iz + nz - 1) % nz;
+                    let zp = (iz + 1) % nz;
+                    let idx = iy * nz + iz;
+                    plane[idx] = diag * u[(ix * ny + iy) * nz + iz]
+                        + cx * (u[(xm * ny + iy) * nz + iz] + u[(xp * ny + iy) * nz + iz])
+                        + cy * (u[(ix * ny + ym) * nz + iz] + u[(ix * ny + yp) * nz + iz])
+                        + cz * (u[(ix * ny + iy) * nz + zm] + u[(ix * ny + iy) * nz + zp]);
+                }
             }
-        }
-    });
+        });
 }
 
 /// Computes the residual `r = f − ∇²u`.

@@ -37,7 +37,11 @@ pub fn restrict(fine_grid: &UniformGrid3, fine: &[f64], coarse_grid: &UniformGri
                     for dy in -1i64..=1 {
                         for dz in -1i64..=1 {
                             let w = (2 - dx.abs()) * (2 - dy.abs()) * (2 - dz.abs());
-                            let idx = fine_grid.index_wrapped(fx as i64 + dx, fy as i64 + dy, fz as i64 + dz);
+                            let idx = fine_grid.index_wrapped(
+                                fx as i64 + dx,
+                                fy as i64 + dy,
+                                fz as i64 + dz,
+                            );
                             acc += w as f64 * fine[idx];
                         }
                     }
@@ -51,7 +55,12 @@ pub fn restrict(fine_grid: &UniformGrid3, fine: &[f64], coarse_grid: &UniformGri
 
 /// Trilinear prolongation: interpolates a coarse field onto the fine grid
 /// and *adds* it into `fine` (the coarse-grid correction step).
-pub fn prolong_add(coarse_grid: &UniformGrid3, coarse: &[f64], fine_grid: &UniformGrid3, fine: &mut [f64]) {
+pub fn prolong_add(
+    coarse_grid: &UniformGrid3,
+    coarse: &[f64],
+    fine_grid: &UniformGrid3,
+    fine: &mut [f64],
+) {
     let (nx, ny, nz) = fine_grid.dims();
     let (cx, cy, cz) = coarse_grid.dims();
     assert_eq!((cx, cy, cz), (nx / 2, ny / 2, nz / 2));
@@ -92,7 +101,7 @@ pub fn prolong_add(coarse_grid: &UniformGrid3, coarse: &[f64], fine_grid: &Unifo
 /// coarse indices and the interpolation weight of the upper one.
 #[inline]
 fn split(i: usize, nc: usize) -> (usize, usize, f64) {
-    if i % 2 == 0 {
+    if i.is_multiple_of(2) {
         (i / 2, i / 2, 0.0)
     } else {
         (i / 2, (i / 2 + 1) % nc, 0.5)

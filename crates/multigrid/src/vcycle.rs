@@ -25,7 +25,14 @@ pub struct MgConfig {
 
 impl Default for MgConfig {
     fn default() -> Self {
-        Self { pre_smooth: 2, post_smooth: 2, coarse_sweeps: 60, min_dim: 4, tol: 1e-8, max_cycles: 40 }
+        Self {
+            pre_smooth: 2,
+            post_smooth: 2,
+            coarse_sweeps: 60,
+            min_dim: 4,
+            tol: 1e-8,
+            max_cycles: 40,
+        }
     }
 }
 
@@ -76,7 +83,7 @@ impl PoissonMultigrid {
 
     /// Solves `∇²u = f` (periodic, `f` projected to zero mean), writing the
     /// zero-mean solution into `u` (used as the initial guess).
-    pub fn solve(&self, u: &mut Vec<f64>, f: &[f64]) -> Result<MgReport> {
+    pub fn solve(&self, u: &mut [f64], f: &[f64]) -> Result<MgReport> {
         let fine = &self.levels[0];
         assert_eq!(u.len(), fine.len());
         assert_eq!(f.len(), fine.len());
@@ -101,7 +108,11 @@ impl PoissonMultigrid {
             prev = cur;
             if cur / f_norm < self.config.tol {
                 let contraction = geometric_mean(&factors, first, cur);
-                return Ok(MgReport { cycles: cycle, rel_residual: cur / f_norm, contraction });
+                return Ok(MgReport {
+                    cycles: cycle,
+                    rel_residual: cur / f_norm,
+                    contraction,
+                });
             }
         }
         Err(MqmdError::Convergence {
@@ -113,13 +124,17 @@ impl PoissonMultigrid {
 
     /// Convenience wrapper solving the Hartree problem `∇²V = −4πρ`.
     pub fn hartree(&self, rho: &[f64]) -> Result<Vec<f64>> {
-        let rhs: Vec<f64> = rho.iter().map(|&x| -4.0 * std::f64::consts::PI * x).collect();
+        let _span = mqmd_util::trace::span("poisson");
+        let rhs: Vec<f64> = rho
+            .iter()
+            .map(|&x| -4.0 * std::f64::consts::PI * x)
+            .collect();
         let mut v = vec![0.0; self.levels[0].len()];
         self.solve(&mut v, &rhs)?;
         Ok(v)
     }
 
-    fn vcycle(&self, level: usize, u: &mut Vec<f64>, f: &[f64]) {
+    fn vcycle(&self, level: usize, u: &mut [f64], f: &[f64]) {
         let grid = &self.levels[level];
         if level + 1 == self.levels.len() {
             for _ in 0..self.config.coarse_sweeps {
@@ -152,7 +167,10 @@ fn geometric_mean(factors: &[f64], first: f64, last: f64) -> f64 {
     if first > 0.0 && last > 0.0 {
         (last / first).powf(1.0 / factors.len() as f64)
     } else {
-        factors.iter().product::<f64>().powf(1.0 / factors.len() as f64)
+        factors
+            .iter()
+            .product::<f64>()
+            .powf(1.0 / factors.len() as f64)
     }
 }
 
@@ -178,7 +196,11 @@ mod tests {
         let mut u = vec![0.0; f.len()];
         let report = mg.solve(&mut u, &f).expect("must converge");
         assert!(report.rel_residual < 1e-8);
-        assert!(report.contraction < 0.35, "textbook MG contraction, got {}", report.contraction);
+        assert!(
+            report.contraction < 0.35,
+            "textbook MG contraction, got {}",
+            report.contraction
+        );
         assert!(report.cycles < 25);
     }
 
@@ -243,6 +265,9 @@ mod tests {
         let mut warm = cold.clone();
         let r2 = mg.solve(&mut warm, &f).unwrap();
         assert!(r2.cycles <= r1.cycles);
-        assert_eq!(r2.cycles, 1, "already-converged start needs one confirming cycle");
+        assert_eq!(
+            r2.cycles, 1,
+            "already-converged start needs one confirming cycle"
+        );
     }
 }

@@ -40,6 +40,44 @@ pub fn alltoall_time(m: &MachineSpec, bytes_per_pair: f64, p: usize) -> f64 {
     (p - 1) as f64 * (m.mpi_latency + bytes_per_pair / m.link_bandwidth)
 }
 
+/// [`allreduce_time`], additionally recording the collective's message
+/// count (`2·(p−1)`, the binomial reduce+broadcast), total bytes, and
+/// modelled (hop-weighted) cost to the ambient [`mqmd_util::trace`] span.
+pub fn charge_allreduce(m: &MachineSpec, bytes: f64, p: usize) -> f64 {
+    let t = allreduce_time(m, bytes, p);
+    if p > 1 {
+        let msgs = 2 * (p as u64 - 1);
+        mqmd_util::trace::add_comm(msgs, msgs * bytes as u64, t);
+    }
+    t
+}
+
+/// [`alltoall_time`], additionally recording the `p·(p−1)` pairwise
+/// messages, total bytes, and modelled cost to the ambient trace span.
+pub fn charge_alltoall(m: &MachineSpec, bytes_per_pair: f64, p: usize) -> f64 {
+    let t = alltoall_time(m, bytes_per_pair, p);
+    if p > 1 {
+        let msgs = (p * (p - 1)) as u64;
+        mqmd_util::trace::add_comm(msgs, msgs * bytes_per_pair as u64, t);
+    }
+    t
+}
+
+/// [`octree_reduce_time`], additionally recording one upward message per
+/// tree level (with the geometrically coarsening payload) and the modelled
+/// cost to the ambient trace span.
+pub fn charge_octree_reduce(m: &MachineSpec, leaf_bytes: f64, levels: usize) -> f64 {
+    let t = octree_reduce_time(m, leaf_bytes, levels);
+    let mut bytes_total = 0.0;
+    let mut bytes = leaf_bytes;
+    for _ in 0..levels {
+        bytes_total += bytes;
+        bytes /= 8.0;
+    }
+    mqmd_util::trace::add_comm(levels as u64, bytes_total as u64, t);
+    t
+}
+
 /// Hierarchical (octree) reduction of a field that coarsens by `8×` per
 /// level — the global-density assembly of the GSLF scheme. `leaf_bytes` is
 /// the per-domain payload, `levels` the tree depth.

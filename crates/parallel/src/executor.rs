@@ -8,17 +8,72 @@
 //! not just priced by the cost model. The `MPI_COMM_SPLIT` of the domain
 //! decomposition corresponds to constructing one executor per domain
 //! group.
+//!
+//! Every `send` is metered: the executor counts messages and payload
+//! bytes, prices each message with the Hockney point-to-point model of a
+//! [`MachineSpec`](crate::machine::MachineSpec), and reports all three to
+//! both a per-executor [`CommStats`] (exact, test-friendly) and the
+//! ambient [`mqmd_util::trace`] span (so profiles attribute communication
+//! to the phase that performed it).
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use std::sync::{Arc, Barrier};
+use crate::collectives::p2p_time;
+use crate::machine::MachineSpec;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Barrier, Mutex};
+
+/// Message/byte/cost tally shared by every rank of one executor run.
+#[derive(Debug, Default)]
+pub struct CommStats {
+    msgs: AtomicU64,
+    bytes: AtomicU64,
+    cost_bits: AtomicU64, // f64 seconds, CAS-accumulated
+}
+
+impl CommStats {
+    /// Total point-to-point messages sent.
+    pub fn messages(&self) -> u64 {
+        self.msgs.load(Ordering::Relaxed)
+    }
+
+    /// Total payload bytes sent.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Total modelled communication time (seconds, summed over messages).
+    pub fn modelled_seconds(&self) -> f64 {
+        f64::from_bits(self.cost_bits.load(Ordering::Relaxed))
+    }
+
+    fn record(&self, bytes: u64, cost: f64) {
+        self.msgs.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+        let mut cur = self.cost_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + cost).to_bits();
+            match self.cost_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+}
 
 /// The per-rank communicator handle.
 pub struct Comm {
     rank: usize,
     size: usize,
     senders: Vec<Sender<Vec<f64>>>,
-    receiver: Receiver<Vec<f64>>,
+    receiver: Mutex<Receiver<Vec<f64>>>,
     barrier: Arc<Barrier>,
+    model: Arc<MachineSpec>,
+    stats: Arc<CommStats>,
 }
 
 impl Comm {
@@ -32,14 +87,29 @@ impl Comm {
         self.size
     }
 
+    /// The shared message/byte/cost tally for this executor run.
+    pub fn stats(&self) -> &CommStats {
+        &self.stats
+    }
+
     /// Sends a message to `dest` (non-blocking, unbounded buffering).
     pub fn send(&self, dest: usize, data: Vec<f64>) {
-        self.senders[dest].send(data).expect("receiver alive for the run's duration");
+        let bytes = (data.len() * std::mem::size_of::<f64>()) as u64;
+        let cost = p2p_time(&self.model, bytes as f64, 1);
+        self.stats.record(bytes, cost);
+        mqmd_util::trace::add_comm(1, bytes, cost);
+        self.senders[dest]
+            .send(data)
+            .expect("receiver alive for the run's duration");
     }
 
     /// Receives the next message addressed to this rank (blocking).
     pub fn recv(&self) -> Vec<f64> {
-        self.receiver.recv().expect("senders alive for the run's duration")
+        self.receiver
+            .lock()
+            .expect("receiver lock")
+            .recv()
+            .expect("senders alive for the run's duration")
     }
 
     /// Blocks until every rank reaches the barrier.
@@ -47,35 +117,68 @@ impl Comm {
         self.barrier.wait();
     }
 
-    /// Element-wise sum allreduce over all ranks (naive gather-to-0 +
-    /// broadcast — the semantics, not the tree optimisation, which the cost
-    /// model prices separately).
+    /// Element-wise sum allreduce over all ranks, as a binomial-tree
+    /// reduction to rank 0 followed by a binomial-tree broadcast — the
+    /// same structure the cost model prices in
+    /// [`allreduce_time`](crate::collectives::allreduce_time). Exactly
+    /// `2·(p−1)` point-to-point messages per call.
     pub fn allreduce_sum(&self, mut data: Vec<f64>) -> Vec<f64> {
         if self.size == 1 {
             return data;
         }
-        if self.rank == 0 {
-            for _ in 1..self.size {
-                let other = self.recv();
-                assert_eq!(other.len(), data.len(), "allreduce length mismatch");
-                for (a, b) in data.iter_mut().zip(other) {
-                    *a += b;
-                }
+        // Reduce up the binomial tree: each rank folds in all children,
+        // then sends the partial sum to its parent (clear lowest set bit).
+        for child in self.children() {
+            debug_assert!(child < self.size);
+            let other = self.recv();
+            assert_eq!(other.len(), data.len(), "allreduce length mismatch");
+            for (a, b) in data.iter_mut().zip(other) {
+                *a += b;
             }
-            for dest in 1..self.size {
-                self.send(dest, data.clone());
-            }
-            data
-        } else {
-            self.send(0, data);
-            self.recv()
         }
+        if self.rank != 0 {
+            self.send(self.parent(), data);
+            data = self.recv();
+        }
+        // Broadcast down the same tree.
+        for child in self.children() {
+            self.send(child, data.clone());
+        }
+        data
+    }
+
+    fn parent(&self) -> usize {
+        self.rank & (self.rank - 1)
+    }
+
+    /// Binomial-tree children of this rank: `rank + 2^j` for each `j`
+    /// below the rank's lowest set bit (rank 0: every power of two).
+    fn children(&self) -> Vec<usize> {
+        let lsb = if self.rank == 0 {
+            usize::BITS
+        } else {
+            self.rank.trailing_zeros()
+        };
+        (0..lsb)
+            .map(|j| self.rank + (1usize << j))
+            .take_while(|&c| c < self.size)
+            .collect()
     }
 }
 
-/// Runs `f(rank, comm)` on `n` rank threads and returns the per-rank
-/// results in rank order. Panics in any rank propagate.
+/// Runs `f(rank, comm)` on `n` rank threads (message costs priced for one
+/// Blue Gene/Q node card) and returns the per-rank results in rank order.
+/// Panics in any rank propagate.
 pub fn run_ranks<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, &Comm) -> T + Sync,
+{
+    run_ranks_on(n, MachineSpec::bluegene_q(1), f)
+}
+
+/// [`run_ranks`] with an explicit machine model for message pricing.
+pub fn run_ranks_on<T, F>(n: usize, model: MachineSpec, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize, &Comm) -> T + Sync,
@@ -84,11 +187,13 @@ where
     let mut senders = Vec::with_capacity(n);
     let mut receivers = Vec::with_capacity(n);
     for _ in 0..n {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = channel();
         senders.push(tx);
         receivers.push(rx);
     }
     let barrier = Arc::new(Barrier::new(n));
+    let model = Arc::new(model);
+    let stats = Arc::new(CommStats::default());
 
     let mut comms: Vec<Comm> = receivers
         .into_iter()
@@ -97,24 +202,37 @@ where
             rank,
             size: n,
             senders: senders.clone(),
-            receiver,
+            receiver: Mutex::new(receiver),
             barrier: barrier.clone(),
+            model: model.clone(),
+            stats: stats.clone(),
         })
         .collect();
     drop(senders);
 
-    crossbeam::thread::scope(|scope| {
+    // Propagate the caller's open trace span into the rank threads so
+    // communication counters land in the right phase.
+    let ctx = mqmd_util::trace::current_ctx();
+    std::thread::scope(|scope| {
         let handles: Vec<_> = comms
             .drain(..)
             .enumerate()
             .map(|(rank, comm)| {
                 let f = &f;
-                scope.spawn(move |_| f(rank, &comm))
+                scope.spawn(move || {
+                    let _g = mqmd_util::trace::ContextGuard::enter(ctx);
+                    f(rank, &comm)
+                })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                Err(e) => std::panic::resume_unwind(e),
+            })
+            .collect()
     })
-    .expect("executor scope")
 }
 
 #[cfg(test)]
@@ -148,9 +266,7 @@ mod tests {
     #[test]
     fn allreduce_sums_across_ranks() {
         let n = 6;
-        let out = run_ranks(n, |rank, comm| {
-            comm.allreduce_sum(vec![rank as f64, 1.0])
-        });
+        let out = run_ranks(n, |rank, comm| comm.allreduce_sum(vec![rank as f64, 1.0]));
         let expect = vec![(0..6).sum::<usize>() as f64, 6.0];
         for o in out {
             assert_eq!(o, expect);
@@ -169,8 +285,9 @@ mod tests {
             }
             acc
         });
-        // Σ_round Σ_rank (rank + round) = Σ_round (3 + 3·round) = 30 + 3·45·...
-        let expect: f64 = (0..10).map(|round| (0..3).map(|r| (r + round) as f64).sum::<f64>()).sum();
+        let expect: f64 = (0..10)
+            .map(|round| (0..3).map(|r| (r + round) as f64).sum::<f64>())
+            .sum();
         for o in out {
             assert_eq!(o, expect);
         }
@@ -194,5 +311,30 @@ mod tests {
     fn single_rank_degenerates_gracefully() {
         let out = run_ranks(1, |_, comm| comm.allreduce_sum(vec![7.0]));
         assert_eq!(out, vec![vec![7.0]]);
+    }
+
+    #[test]
+    fn binomial_tree_is_consistent() {
+        // Every nonzero rank appears exactly once among its parent's
+        // children, for assorted non-power-of-two sizes.
+        for n in [1usize, 2, 3, 5, 7, 8, 13, 16] {
+            let mk = |rank| Comm {
+                rank,
+                size: n,
+                senders: Vec::new(),
+                receiver: Mutex::new(channel().1),
+                barrier: Arc::new(Barrier::new(1)),
+                model: Arc::new(MachineSpec::bluegene_q(1)),
+                stats: Arc::new(CommStats::default()),
+            };
+            for rank in 1..n {
+                let parent = mk(rank).parent();
+                assert!(parent < rank);
+                assert!(mk(parent).children().contains(&rank), "rank {rank} of {n}");
+            }
+            let mut reachable: Vec<usize> = (0..n).flat_map(|r| mk(r).children()).collect();
+            reachable.sort_unstable();
+            assert_eq!(reachable, (1..n).collect::<Vec<_>>());
+        }
     }
 }

@@ -24,14 +24,18 @@
 //! * [`scaling`] — the weak-scaling (Fig 5), strong-scaling (Fig 6) and
 //!   FLOP/s (Table 2) predictors;
 //! * [`io`] — the collective-I/O aggregation model of §4.4;
-//! * [`executor`] — a crossbeam-backed rank executor (MPI-style
-//!   send/recv/allreduce on threads) so the BSD communication patterns can
-//!   be executed locally, not just priced.
+//! * [`executor`] — a thread-backed rank executor (MPI-style
+//!   send/recv/allreduce with metered messages) so the BSD communication
+//!   patterns can be executed locally, not just priced;
+//! * [`measured`] — kernel timings read back from `BENCH_profile.json`
+//!   (written by the `repro_profile` binary) so the scaling models consume
+//!   measured domain-solve times instead of hand-entered constants.
 
 pub mod collectives;
 pub mod executor;
 pub mod io;
 pub mod machine;
+pub mod measured;
 pub mod scaling;
 pub mod threads;
 pub mod topology;

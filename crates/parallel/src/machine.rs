@@ -1,9 +1,7 @@
 //! Machine specifications (paper §4.1).
 
-use serde::{Deserialize, Serialize};
-
 /// Static description of one machine configuration.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct MachineSpec {
     /// Human-readable name.
     pub name: String,
@@ -33,7 +31,10 @@ impl MachineSpec {
     pub fn bluegene_q(racks: usize) -> Self {
         assert!(racks >= 1);
         Self {
-            name: format!("Blue Gene/Q ({racks} rack{})", if racks == 1 { "" } else { "s" }),
+            name: format!(
+                "Blue Gene/Q ({racks} rack{})",
+                if racks == 1 { "" } else { "s" }
+            ),
             nodes: racks * 1024,
             cores_per_node: 16,
             threads_per_core: 4,
@@ -60,7 +61,7 @@ impl MachineSpec {
             nodes: 1,
             cores_per_node: 16,
             threads_per_core: 2,
-            clock_hz: 3.1e9, // turbo
+            clock_hz: 3.1e9,           // turbo
             flops_per_core_cycle: 8.0, // AVX: 4-wide add + 4-wide mul
             link_bandwidth: 8.0e9,
             torus_links: 1,

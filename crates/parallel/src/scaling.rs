@@ -119,6 +119,23 @@ impl StrongScalingModel {
         model
     }
 
+    /// The Fig 6 configuration driven by a *measured* per-domain solve time
+    /// (seconds per QMD step for one of the 768 domains on one core), as
+    /// produced by the `repro_profile` binary. Total divisible work is then
+    /// `t_domain × n_domains` core-seconds — no hand-entered wall-clock
+    /// constant enters the model.
+    pub fn fig6_from_measured(t_domain: f64) -> Self {
+        assert!(t_domain > 0.0, "measured domain time must be positive");
+        Self {
+            machine: MachineSpec::mira(),
+            work_core_seconds: t_domain * 768.0,
+            n_domains: 768,
+            bands: 128,
+            grid: 32 * 32 * 32,
+            alltoalls_per_step: 180,
+        }
+    }
+
     /// Communicator size per domain at `p` cores.
     pub fn cores_per_domain(&self, p: usize) -> usize {
         (p / self.n_domains).max(1)
@@ -176,7 +193,10 @@ impl Default for RackFlopsModel {
     fn default() -> Self {
         // 0.0126/doubling reproduces Table 2's 54% → 50.5% over 1 → 48
         // racks.
-        Self { base_fraction: 0.54, overhead_per_doubling: 0.0126 }
+        Self {
+            base_fraction: 0.54,
+            overhead_per_doubling: 0.0126,
+        }
     }
 }
 
@@ -242,7 +262,10 @@ mod tests {
         let s = model.speedup(786_432, 49_152);
         assert!((s - 12.85).abs() < 1.0, "speedup {s} (paper: 12.85)");
         let eff = model.efficiency(786_432, 49_152);
-        assert!((eff - 0.803).abs() < 0.06, "efficiency {eff} (paper: 0.803)");
+        assert!(
+            (eff - 0.803).abs() < 0.06,
+            "efficiency {eff} (paper: 0.803)"
+        );
     }
 
     #[test]
@@ -260,7 +283,10 @@ mod tests {
         let model = StrongScalingModel::fig6(30.0, 49_152);
         let f0 = model.comm_time(49_152) / model.time_per_step(49_152);
         let f1 = model.comm_time(786_432) / model.time_per_step(786_432);
-        assert!(f1 > f0, "communication share must grow under strong scaling");
+        assert!(
+            f1 > f0,
+            "communication share must grow under strong scaling"
+        );
         assert!(f0 < 0.05, "but start small: {f0}");
     }
 

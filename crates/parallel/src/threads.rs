@@ -119,7 +119,10 @@ mod tests {
         // A streaming kernel (low arithmetic intensity) hits the bandwidth
         // ceiling: 4 threads stop helping — the paper's observed effect.
         let m = MachineSpec::bluegene_q(1);
-        let model = ThreadModel { arithmetic_intensity: 1.5, ..Default::default() };
+        let model = ThreadModel {
+            arithmetic_intensity: 1.5,
+            ..Default::default()
+        };
         let e2 = model.sustained_fraction(&m, 4, 4, 2);
         let e4 = model.sustained_fraction(&m, 4, 4, 4);
         assert!((e4 - e2).abs() < 1e-12, "both pinned at the ceiling");

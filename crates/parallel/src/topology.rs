@@ -16,7 +16,9 @@ impl Torus {
     pub fn new(dims: &[usize]) -> Self {
         assert!(!dims.is_empty());
         assert!(dims.iter().all(|&d| d >= 1));
-        Self { dims: dims.to_vec() }
+        Self {
+            dims: dims.to_vec(),
+        }
     }
 
     /// Mira's 48-rack 5-D torus.
@@ -77,7 +79,7 @@ impl Torus {
             .map(|&d| {
                 let d = d as f64;
                 // Exact mean of min(k, d−k) over k = 0..d.
-                if d as usize % 2 == 0 {
+                if (d as usize).is_multiple_of(2) {
                     d / 4.0
                 } else {
                     (d * d - 1.0) / (4.0 * d)

@@ -49,7 +49,10 @@ impl Complex64 {
     /// Complex conjugate.
     #[inline(always)]
     pub fn conj(self) -> Self {
-        Self { re: self.re, im: -self.im }
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Squared modulus `|z|² = re² + im²`.
@@ -75,13 +78,19 @@ impl Complex64 {
     #[inline(always)]
     pub fn inv(self) -> Self {
         let d = self.norm_sqr();
-        Self { re: self.re / d, im: -self.im / d }
+        Self {
+            re: self.re / d,
+            im: -self.im / d,
+        }
     }
 
     /// Scales by a real factor.
     #[inline(always)]
     pub fn scale(self, s: f64) -> Self {
-        Self { re: self.re * s, im: self.im * s }
+        Self {
+            re: self.re * s,
+            im: self.im * s,
+        }
     }
 
     /// Fused multiply-add: `self + a*b`, the inner-loop primitive of the
@@ -103,9 +112,15 @@ impl Complex64 {
     /// Principal square root.
     pub fn sqrt(self) -> Self {
         let r = self.abs();
-        let half = Self { re: (0.5 * (r + self.re)).max(0.0).sqrt(), im: (0.5 * (r - self.re)).max(0.0).sqrt() };
+        let half = Self {
+            re: (0.5 * (r + self.re)).max(0.0).sqrt(),
+            im: (0.5 * (r - self.re)).max(0.0).sqrt(),
+        };
         if self.im < 0.0 {
-            Self { re: half.re, im: -half.im }
+            Self {
+                re: half.re,
+                im: -half.im,
+            }
         } else {
             half
         }
@@ -135,7 +150,10 @@ impl Add for Complex64 {
     type Output = Self;
     #[inline(always)]
     fn add(self, o: Self) -> Self {
-        Self { re: self.re + o.re, im: self.im + o.im }
+        Self {
+            re: self.re + o.re,
+            im: self.im + o.im,
+        }
     }
 }
 
@@ -143,7 +161,10 @@ impl Sub for Complex64 {
     type Output = Self;
     #[inline(always)]
     fn sub(self, o: Self) -> Self {
-        Self { re: self.re - o.re, im: self.im - o.im }
+        Self {
+            re: self.re - o.re,
+            im: self.im - o.im,
+        }
     }
 }
 
@@ -177,6 +198,7 @@ impl Mul<Complex64> for f64 {
 impl Div for Complex64 {
     type Output = Self;
     #[inline(always)]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z/w computed as z·w⁻¹
     fn div(self, o: Self) -> Self {
         self * o.inv()
     }
@@ -186,7 +208,10 @@ impl Div<f64> for Complex64 {
     type Output = Self;
     #[inline(always)]
     fn div(self, s: f64) -> Self {
-        Self { re: self.re / s, im: self.im / s }
+        Self {
+            re: self.re / s,
+            im: self.im / s,
+        }
     }
 }
 
@@ -194,7 +219,10 @@ impl Neg for Complex64 {
     type Output = Self;
     #[inline(always)]
     fn neg(self) -> Self {
-        Self { re: -self.re, im: -self.im }
+        Self {
+            re: -self.re,
+            im: -self.im,
+        }
     }
 }
 

@@ -33,18 +33,7 @@ pub const PAPER_TIMESTEP_FS: f64 = 0.242;
 /// Atomic numbers, valence charges and masses for the species used in the
 /// paper's workloads (SiC scaling runs, CdSe convergence runs, LiAl + water
 /// science runs).
-#[derive(
-    Clone,
-    Copy,
-    Debug,
-    PartialEq,
-    Eq,
-    Hash,
-    PartialOrd,
-    Ord,
-    serde::Serialize,
-    serde::Deserialize,
-)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Element {
     H,
     Li,
@@ -94,7 +83,7 @@ impl Element {
             Element::O => 6,
             Element::Al => 3,
             Element::Si => 4,
-            Element::Cd => 2,  // 5s² treated as valence; 4d frozen in core
+            Element::Cd => 2, // 5s² treated as valence; 4d frozen in core
             Element::Se => 6,
         }
     }

@@ -18,18 +18,25 @@ pub enum MqmdError {
     Numerical(String),
     /// I/O failure (trajectory reading/writing).
     Io(String),
+    /// Malformed structured input (JSON profiles, metrics documents).
+    Parse(String),
 }
 
 impl fmt::Display for MqmdError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MqmdError::Convergence { what, iterations, residual } => write!(
+            MqmdError::Convergence {
+                what,
+                iterations,
+                residual,
+            } => write!(
                 f,
                 "{what} failed to converge after {iterations} iterations (residual {residual:.3e})"
             ),
             MqmdError::Invalid(msg) => write!(f, "invalid input: {msg}"),
             MqmdError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
             MqmdError::Io(msg) => write!(f, "i/o failure: {msg}"),
+            MqmdError::Parse(msg) => write!(f, "parse failure: {msg}"),
         }
     }
 }
@@ -51,7 +58,11 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        let e = MqmdError::Convergence { what: "SCF".into(), iterations: 100, residual: 1e-3 };
+        let e = MqmdError::Convergence {
+            what: "SCF".into(),
+            iterations: 100,
+            residual: 1e-3,
+        };
         let s = e.to_string();
         assert!(s.contains("SCF") && s.contains("100"));
         assert!(MqmdError::Invalid("bad".into()).to_string().contains("bad"));

@@ -31,7 +31,11 @@ pub fn linear_fit(x: &[f64], y: &[f64]) -> LineFit {
     let mx = x.iter().sum::<f64>() / n;
     let my = y.iter().sum::<f64>() / n;
     let sxx: f64 = x.iter().map(|&xi| (xi - mx) * (xi - mx)).sum();
-    let sxy: f64 = x.iter().zip(y).map(|(&xi, &yi)| (xi - mx) * (yi - my)).sum();
+    let sxy: f64 = x
+        .iter()
+        .zip(y)
+        .map(|(&xi, &yi)| (xi - mx) * (yi - my))
+        .sum();
     assert!(sxx > 0.0, "degenerate fit: all x equal");
     let slope = sxy / sxx;
     let intercept = my - slope * mx;
@@ -44,10 +48,19 @@ pub fn linear_fit(x: &[f64], y: &[f64]) -> LineFit {
             e * e
         })
         .sum();
-    let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    let r2 = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
     let dof = (x.len() as f64 - 2.0).max(1.0);
     let slope_se = (ss_res / dof / sxx).sqrt();
-    LineFit { intercept, slope, r2, slope_se }
+    LineFit {
+        intercept,
+        slope,
+        r2,
+        slope_se,
+    }
 }
 
 /// Result of an Arrhenius fit `k(T) = A · exp(−Eₐ / k_B T)`.
@@ -143,7 +156,11 @@ mod tests {
             .map(|&t| a * (-ea / (KB_HARTREE_PER_K * t)).exp())
             .collect();
         let fit = arrhenius_fit(&temps, &rates);
-        assert!((fit.activation_ev - 0.068).abs() < 1e-6, "Ea = {}", fit.activation_ev);
+        assert!(
+            (fit.activation_ev - 0.068).abs() < 1e-6,
+            "Ea = {}",
+            fit.activation_ev
+        );
         assert!((fit.prefactor / a - 1.0).abs() < 1e-6);
         assert!(fit.r2 > 0.999999);
     }

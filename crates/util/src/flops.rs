@@ -19,7 +19,9 @@ pub struct FlopCounter {
 impl FlopCounter {
     /// Creates a zeroed counter.
     pub const fn new() -> Self {
-        Self { flops: AtomicU64::new(0) }
+        Self {
+            flops: AtomicU64::new(0),
+        }
     }
 
     /// Adds `n` floating-point operations.
@@ -43,10 +45,14 @@ impl FlopCounter {
 /// [`count_flops`]; benches call [`take_flops`] around a region of interest.
 static GLOBAL: FlopCounter = FlopCounter::new();
 
-/// Adds to the global FLOP tally.
+/// Adds to the global FLOP tally, and — when [`crate::trace`] is enabled —
+/// attributes the same count to the innermost open trace span, so kernel
+/// FLOPs show up per-phase in `BENCH_profile.json` without any extra calls
+/// in the kernels.
 #[inline]
 pub fn count_flops(n: u64) {
     GLOBAL.add(n);
+    crate::trace::add_flops(n);
 }
 
 /// Reads the global FLOP tally.

@@ -14,9 +14,11 @@ pub mod constants;
 pub mod error;
 pub mod fit;
 pub mod flops;
+pub mod metrics;
 pub mod rng;
 pub mod stats;
 pub mod timer;
+pub mod trace;
 pub mod vec3;
 
 pub use complex::Complex64;

@@ -1,0 +1,563 @@
+//! Machine-readable metrics: a dependency-free JSON layer and the
+//! `BENCH_profile.json` report schema.
+//!
+//! The workspace builds offline (no serde), so this module provides the
+//! small JSON subset the bench pipeline needs: a [`Json`] value type, a
+//! deterministic pretty writer, and a strict parser. On top of it,
+//! [`profile_report`] renders a [`trace::TraceNode`] snapshot as the
+//! profile document consumed by `mqmd-parallel`'s machine model, and
+//! [`kernel_table`] extracts the flattened per-kernel
+//! `(calls, seconds, flops)` aggregates back out of a parsed document.
+//!
+//! Schema (`mqmd-profile-v1`):
+//!
+//! ```json
+//! {
+//!   "schema": "mqmd-profile-v1",
+//!   "trace": { "name": "root", "calls": 1, "wall_secs": ..., "flops": ...,
+//!              "bytes": ..., "comm_msgs": ..., "comm_bytes": ...,
+//!              "comm_cost_secs": ..., "children": [ ... ] },
+//!   "kernels": { "gemm": { "calls": ..., "seconds": ..., "flops": ...,
+//!                          "gflops": ... }, ... }
+//! }
+//! ```
+
+use crate::error::{MqmdError, Result};
+use crate::trace::TraceNode;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A JSON value. Objects preserve insertion order via a `Vec` of pairs.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (held as f64; integers round-trip to 2^53).
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object (ordered key → value pairs).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from key/value pairs.
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Integer value (numbers that are whole and in u64 range).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= 2f64.powi(53) => Some(*x as u64),
+            _ => None,
+        }
+    }
+
+    /// String value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array items, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Serialises with 2-space indentation and a trailing newline.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) => write_num(out, *x),
+            Json::Str(s) => write_str(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_str(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, n: usize) {
+    for _ in 0..n {
+        out.push_str("  ");
+    }
+}
+
+fn write_num(out: &mut String, x: f64) {
+    if !x.is_finite() {
+        out.push_str("null"); // JSON has no Inf/NaN
+    } else if x.fract() == 0.0 && x.abs() < 2f64.powi(53) {
+        let _ = write!(out, "{}", x as i64);
+    } else {
+        let _ = write!(out, "{x:e}");
+    }
+}
+
+fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+/// Parses a JSON document (strict; trailing garbage is an error).
+pub fn parse_json(text: &str) -> Result<Json> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(MqmdError::Parse(format!("trailing data at byte {pos}")));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<()> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(MqmdError::Parse(format!(
+            "expected '{}' at byte {}",
+            c as char, pos
+        )))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(MqmdError::Parse("unexpected end of input".into())),
+        Some(b'{') => parse_obj(b, pos),
+        Some(b'[') => parse_arr(b, pos),
+        Some(b'"') => Ok(Json::Str(parse_str(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Json::Null),
+        Some(_) => parse_num(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(MqmdError::Parse(format!("invalid literal at byte {pos}")))
+    }
+}
+
+fn parse_num(b: &[u8], pos: &mut usize) -> Result<Json> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).expect("ascii number");
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| MqmdError::Parse(format!("invalid number '{text}' at byte {start}")))
+}
+
+fn parse_str(b: &[u8], pos: &mut usize) -> Result<String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err(MqmdError::Parse("unterminated string".into())),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| MqmdError::Parse("truncated \\u escape".into()))?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex)
+                                .map_err(|_| MqmdError::Parse("bad \\u escape".into()))?,
+                            16,
+                        )
+                        .map_err(|_| MqmdError::Parse("bad \\u escape".into()))?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(MqmdError::Parse("bad escape".into())),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is a &str, so boundaries
+                // are valid).
+                let rest = std::str::from_utf8(&b[*pos..])
+                    .map_err(|_| MqmdError::Parse("invalid utf-8".into()))?;
+                let c = rest.chars().next().expect("non-empty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Json> {
+    expect(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => {
+                return Err(MqmdError::Parse(format!(
+                    "expected ',' or ']' at byte {pos}"
+                )))
+            }
+        }
+    }
+}
+
+fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Json> {
+    expect(b, pos, b'{')?;
+    let mut pairs = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(pairs));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_str(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, b':')?;
+        let value = parse_value(b, pos)?;
+        pairs.push((key, value));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            _ => {
+                return Err(MqmdError::Parse(format!(
+                    "expected ',' or '}}' at byte {pos}"
+                )))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Profile report
+// ---------------------------------------------------------------------------
+
+/// Schema identifier written into (and required from) profile documents.
+pub const PROFILE_SCHEMA: &str = "mqmd-profile-v1";
+
+/// Renders a trace node (and recursively its children) as JSON.
+pub fn trace_to_json(node: &TraceNode) -> Json {
+    Json::obj([
+        ("name", Json::Str(node.name.clone())),
+        ("calls", Json::Num(node.calls as f64)),
+        ("wall_secs", Json::Num(node.wall_secs)),
+        ("flops", Json::Num(node.flops as f64)),
+        ("bytes", Json::Num(node.bytes as f64)),
+        ("comm_msgs", Json::Num(node.comm_msgs as f64)),
+        ("comm_bytes", Json::Num(node.comm_bytes as f64)),
+        ("comm_cost_secs", Json::Num(node.comm_cost_secs)),
+        (
+            "children",
+            Json::Arr(node.children.iter().map(trace_to_json).collect()),
+        ),
+    ])
+}
+
+/// Flattened per-kernel aggregate extracted from a profile.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct KernelStats {
+    /// Number of span entries.
+    pub calls: u64,
+    /// Accumulated wall seconds.
+    pub seconds: f64,
+    /// Accumulated FLOPs.
+    pub flops: u64,
+}
+
+impl KernelStats {
+    /// Mean seconds per call (0 when never called).
+    pub fn secs_per_call(&self) -> f64 {
+        if self.calls > 0 {
+            self.seconds / self.calls as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Sustained GFLOP/s (0 when no time elapsed).
+    pub fn gflops(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.flops as f64 / self.seconds / 1e9
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Builds the `mqmd-profile-v1` document for a trace snapshot.
+/// `kernel_names` selects the spans summarised in the flattened `kernels`
+/// table (aggregated across all positions in the tree); names never entered
+/// are omitted. `extra` appends caller-specific fields (e.g. config).
+pub fn profile_report(
+    trace: &TraceNode,
+    kernel_names: &[&str],
+    extra: Vec<(String, Json)>,
+) -> Json {
+    let mut kernels = Vec::new();
+    for &name in kernel_names {
+        if let Some(agg) = trace.aggregate(name) {
+            kernels.push((
+                name.to_string(),
+                Json::obj([
+                    ("calls", Json::Num(agg.calls as f64)),
+                    ("seconds", Json::Num(agg.wall_secs)),
+                    ("flops", Json::Num(agg.flops as f64)),
+                    ("gflops", Json::Num(agg.gflops())),
+                ]),
+            ));
+        }
+    }
+    let mut pairs = vec![
+        ("schema".to_string(), Json::Str(PROFILE_SCHEMA.into())),
+        ("trace".to_string(), trace_to_json(trace)),
+        ("kernels".to_string(), Json::Obj(kernels)),
+    ];
+    pairs.extend(extra);
+    Json::Obj(pairs)
+}
+
+/// Parses a `mqmd-profile-v1` document and returns its flattened kernel
+/// table. Rejects documents with a missing or different schema tag.
+pub fn kernel_table(text: &str) -> Result<BTreeMap<String, KernelStats>> {
+    let doc = parse_json(text)?;
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(PROFILE_SCHEMA) => {}
+        other => {
+            return Err(MqmdError::Parse(format!(
+                "expected schema {PROFILE_SCHEMA:?}, found {other:?}"
+            )))
+        }
+    }
+    let kernels = doc
+        .get("kernels")
+        .ok_or_else(|| MqmdError::Parse("profile missing 'kernels'".into()))?;
+    let Json::Obj(pairs) = kernels else {
+        return Err(MqmdError::Parse("'kernels' must be an object".into()));
+    };
+    let mut out = BTreeMap::new();
+    for (name, entry) in pairs {
+        let stats = KernelStats {
+            calls: entry.get("calls").and_then(Json::as_u64).unwrap_or(0),
+            seconds: entry.get("seconds").and_then(Json::as_f64).unwrap_or(0.0),
+            flops: entry.get("flops").and_then(Json::as_u64).unwrap_or(0),
+        };
+        out.insert(name.clone(), stats);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_node() -> TraceNode {
+        TraceNode {
+            name: "root".into(),
+            calls: 1,
+            wall_secs: 2.0,
+            flops: 1000,
+            bytes: 0,
+            comm_msgs: 3,
+            comm_bytes: 96,
+            comm_cost_secs: 1e-5,
+            children: vec![TraceNode {
+                name: "gemm".into(),
+                calls: 4,
+                wall_secs: 1.5,
+                flops: 900,
+                bytes: 0,
+                comm_msgs: 0,
+                comm_bytes: 0,
+                comm_cost_secs: 0.0,
+                children: Vec::new(),
+            }],
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let v = Json::obj([
+            ("a", Json::Num(1.0)),
+            ("b", Json::Str("x\"y\n".into())),
+            (
+                "c",
+                Json::Arr(vec![Json::Bool(true), Json::Null, Json::Num(-2.5e-3)]),
+            ),
+            ("d", Json::Obj(vec![])),
+        ]);
+        let text = v.pretty();
+        let back = parse_json(&text).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_json("{\"a\": }").is_err());
+        assert!(parse_json("[1, 2,]").is_err());
+        assert!(parse_json("{} extra").is_err());
+        assert!(parse_json("").is_err());
+    }
+
+    #[test]
+    fn numbers_round_trip_integers_exactly() {
+        let text = Json::Num(123456789.0).pretty();
+        assert!(text.starts_with("123456789"));
+        assert_eq!(parse_json("123456789").unwrap().as_u64(), Some(123456789));
+    }
+
+    #[test]
+    fn profile_report_round_trips_kernels() {
+        let node = sample_node();
+        let doc = profile_report(&node, &["gemm", "never_entered"], vec![]);
+        let text = doc.pretty();
+        let table = kernel_table(&text).unwrap();
+        assert_eq!(table.len(), 1, "absent kernels omitted");
+        let g = &table["gemm"];
+        assert_eq!(g.calls, 4);
+        assert_eq!(g.flops, 900);
+        assert!((g.seconds - 1.5).abs() < 1e-12);
+        assert!((g.gflops() - 900.0 / 1.5 / 1e9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn kernel_table_requires_schema() {
+        assert!(kernel_table("{\"kernels\": {}}").is_err());
+        assert!(kernel_table("{\"schema\": \"other\", \"kernels\": {}}").is_err());
+    }
+
+    #[test]
+    fn trace_json_preserves_hierarchy() {
+        let doc = trace_to_json(&sample_node());
+        let child = &doc.get("children").unwrap().as_arr().unwrap()[0];
+        assert_eq!(child.get("name").unwrap().as_str(), Some("gemm"));
+        assert_eq!(child.get("flops").unwrap().as_u64(), Some(900));
+    }
+}

@@ -11,7 +11,9 @@ pub struct Stopwatch {
 impl Stopwatch {
     /// Starts a new stopwatch.
     pub fn start() -> Self {
-        Self { start: Instant::now() }
+        Self {
+            start: Instant::now(),
+        }
     }
 
     /// Elapsed seconds since start.

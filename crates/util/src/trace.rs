@@ -1,0 +1,534 @@
+//! Hierarchical phase tracing with FLOP/byte/communication counters.
+//!
+//! The paper's headline results (Table 1 thread-level FLOP rates, Fig 5/6
+//! scaling, §3.4 BLAS2→BLAS3 speedups) all rest on per-kernel timing and
+//! FLOP/byte breakdowns. This module is the machine-readable source of those
+//! numbers: instrumented code opens nested *spans*
+//! (`qmd_step > scf_iter > {hamiltonian, fft, gemm, orthonorm, poisson}`),
+//! and every FLOP tallied through [`crate::flops`], every byte moved, and
+//! every simulated message sent while a span is open is attributed to it.
+//!
+//! Design:
+//!
+//! * **Disabled by default and inert.** [`span`] costs one relaxed atomic
+//!   load when tracing is off, and instrumentation never changes numerical
+//!   behaviour — a property the `tracing_inert` integration test enforces.
+//! * **Span identity is `(parent, name)`.** Repeated entries merge: sixty
+//!   `scf_iter` spans under one `qmd_step` appear as a single node with
+//!   `calls = 60` and accumulated wall time / counters, keeping the tree
+//!   bounded for long runs.
+//! * **Thread-aware.** The current span is thread-local; the workspace's
+//!   `rayon` shim propagates it into parallel workers via
+//!   [`ContextGuard::enter`], so counters recorded inside parallel kernels
+//!   attribute to the span open at the call site. Counters live in
+//!   `Arc`-shared atomics, so attribution is lock-free and safe under
+//!   concurrency.
+//! * **Inclusive counters.** A node's totals include its children (wall
+//!   time of a merged node is the sum of its guards' durations). Exclusive
+//!   ("self") values are derived in [`TraceNode::self_wall_secs`].
+//!
+//! [`take`] snapshots and resets the tree; `mqmd-util`'s `metrics` module
+//! renders snapshots as JSON for `BENCH_profile.json`.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Lock-free per-span counters, shared between the tree and open guards.
+#[derive(Debug, Default)]
+pub struct SpanCounters {
+    /// Number of times the span was entered.
+    pub calls: AtomicU64,
+    /// Accumulated wall time in nanoseconds (sum over entries).
+    pub wall_ns: AtomicU64,
+    /// Floating-point operations attributed to this span (inclusive).
+    pub flops: AtomicU64,
+    /// Bytes moved (loads+stores the kernel chose to report; inclusive).
+    pub bytes: AtomicU64,
+    /// Simulated messages sent while the span was open.
+    pub comm_msgs: AtomicU64,
+    /// Simulated message payload bytes.
+    pub comm_bytes: AtomicU64,
+    /// Hop-weighted modelled communication cost, seconds (f64 bits).
+    pub comm_cost_bits: AtomicU64,
+}
+
+impl SpanCounters {
+    fn add_comm_cost(&self, secs: f64) {
+        let mut cur = self.comm_cost_bits.load(Ordering::Relaxed);
+        loop {
+            let new = (f64::from_bits(cur) + secs).to_bits();
+            match self.comm_cost_bits.compare_exchange_weak(
+                cur,
+                new,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(c) => cur = c,
+            }
+        }
+    }
+
+    /// Hop-weighted modelled communication cost in seconds.
+    pub fn comm_cost_secs(&self) -> f64 {
+        f64::from_bits(self.comm_cost_bits.load(Ordering::Relaxed))
+    }
+}
+
+/// One node of the span tree (topology under the registry mutex; counters
+/// lock-free).
+struct Node {
+    name: &'static str,
+    children: Vec<usize>,
+    counters: Arc<SpanCounters>,
+}
+
+struct Registry {
+    nodes: Vec<Node>,
+}
+
+impl Registry {
+    fn fresh() -> Self {
+        Self {
+            nodes: vec![Node {
+                name: "root",
+                children: Vec::new(),
+                counters: Arc::new(SpanCounters::default()),
+            }],
+        }
+    }
+
+    fn child(&mut self, parent: usize, name: &'static str) -> usize {
+        if let Some(&id) = self.nodes[parent]
+            .children
+            .iter()
+            .find(|&&c| self.nodes[c].name == name)
+        {
+            return id;
+        }
+        let id = self.nodes.len();
+        self.nodes.push(Node {
+            name,
+            children: Vec::new(),
+            counters: Arc::new(SpanCounters::default()),
+        });
+        self.nodes[parent].children.push(id);
+        id
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Registry::fresh()))
+}
+
+thread_local! {
+    /// (node id, counters) of the innermost span open on this thread; node
+    /// id 0 = root (no span).
+    static CURRENT: RefCell<(usize, Option<Arc<SpanCounters>>)> = const { RefCell::new((0, None)) };
+}
+
+/// Globally enables or disables tracing. Spans opened while disabled are
+/// no-ops; counters are only recorded while enabled.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Release);
+}
+
+/// Whether tracing is currently enabled.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Opens a span named `name` nested under the innermost open span of this
+/// thread. Returns an RAII guard; the span closes (and records its wall
+/// time) when the guard drops. When tracing is disabled this is a no-op
+/// costing one atomic load.
+#[must_use = "the span closes when the guard is dropped"]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { state: None };
+    }
+    let parent = CURRENT.with(|c| c.borrow().0);
+    let (id, counters) = {
+        let mut reg = registry().lock().expect("trace registry poisoned");
+        let id = reg.child(parent, name);
+        (id, reg.nodes[id].counters.clone())
+    };
+    counters.calls.fetch_add(1, Ordering::Relaxed);
+    let prev = CURRENT.with(|c| c.replace((id, Some(counters.clone()))));
+    SpanGuard {
+        state: Some(OpenSpan {
+            start: Instant::now(),
+            counters,
+            prev,
+        }),
+    }
+}
+
+struct OpenSpan {
+    start: Instant,
+    counters: Arc<SpanCounters>,
+    prev: (usize, Option<Arc<SpanCounters>>),
+}
+
+/// RAII guard returned by [`span`].
+pub struct SpanGuard {
+    state: Option<OpenSpan>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(open) = self.state.take() {
+            let ns = open.start.elapsed().as_nanos() as u64;
+            open.counters.wall_ns.fetch_add(ns, Ordering::Relaxed);
+            CURRENT.with(|c| *c.borrow_mut() = open.prev);
+        }
+    }
+}
+
+/// Id of the innermost span open on this thread (0 = root). Used by the
+/// `rayon` shim to propagate context into workers.
+pub fn current_ctx() -> usize {
+    if !enabled() {
+        return 0;
+    }
+    CURRENT.with(|c| c.borrow().0)
+}
+
+/// RAII context installer for worker threads: makes `ctx` (a value from
+/// [`current_ctx`] on the spawning thread) the current span of this thread
+/// for the guard's lifetime.
+pub struct ContextGuard {
+    prev: Option<(usize, Option<Arc<SpanCounters>>)>,
+}
+
+impl ContextGuard {
+    /// Installs `ctx` as this thread's current span.
+    pub fn enter(ctx: usize) -> Self {
+        if !enabled() || ctx == 0 {
+            return Self { prev: None };
+        }
+        let counters = {
+            let reg = registry().lock().expect("trace registry poisoned");
+            reg.nodes.get(ctx).map(|n| n.counters.clone())
+        };
+        let Some(counters) = counters else {
+            return Self { prev: None };
+        };
+        let prev = CURRENT.with(|c| c.replace((ctx, Some(counters))));
+        Self { prev: Some(prev) }
+    }
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        if let Some(prev) = self.prev.take() {
+            CURRENT.with(|c| *c.borrow_mut() = prev);
+        }
+    }
+}
+
+#[inline]
+fn with_current(f: impl FnOnce(&SpanCounters)) {
+    if !enabled() {
+        return;
+    }
+    CURRENT.with(|c| {
+        if let (_, Some(counters)) = &*c.borrow() {
+            f(counters);
+        }
+    });
+}
+
+/// Attributes `n` floating-point operations to the innermost open span.
+/// Called by [`crate::flops::count_flops`]; kernels normally do not call
+/// this directly.
+#[inline]
+pub fn add_flops(n: u64) {
+    with_current(|c| {
+        c.flops.fetch_add(n, Ordering::Relaxed);
+    });
+}
+
+/// Attributes `n` bytes of reported data movement to the innermost span.
+#[inline]
+pub fn add_bytes(n: u64) {
+    with_current(|c| {
+        c.bytes.fetch_add(n, Ordering::Relaxed);
+    });
+}
+
+/// Attributes simulated communication (message count, payload bytes, and a
+/// hop-weighted modelled cost in seconds) to the innermost span.
+#[inline]
+pub fn add_comm(msgs: u64, bytes: u64, cost_secs: f64) {
+    with_current(|c| {
+        c.comm_msgs.fetch_add(msgs, Ordering::Relaxed);
+        c.comm_bytes.fetch_add(bytes, Ordering::Relaxed);
+        if cost_secs != 0.0 {
+            c.add_comm_cost(cost_secs);
+        }
+    });
+}
+
+/// Immutable snapshot of one span-tree node.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceNode {
+    /// Span name.
+    pub name: String,
+    /// Number of times the span was entered.
+    pub calls: u64,
+    /// Accumulated wall time over all entries, seconds (inclusive).
+    pub wall_secs: f64,
+    /// FLOPs attributed to the span (inclusive of children).
+    pub flops: u64,
+    /// Reported bytes moved (inclusive).
+    pub bytes: u64,
+    /// Simulated messages sent (inclusive).
+    pub comm_msgs: u64,
+    /// Simulated payload bytes (inclusive).
+    pub comm_bytes: u64,
+    /// Hop-weighted modelled communication cost, seconds (inclusive).
+    pub comm_cost_secs: f64,
+    /// Child spans.
+    pub children: Vec<TraceNode>,
+}
+
+impl TraceNode {
+    /// Wall time not accounted to children (clamped at zero for merged
+    /// concurrent spans whose child durations can exceed the parent's).
+    pub fn self_wall_secs(&self) -> f64 {
+        (self.wall_secs - self.children.iter().map(|c| c.wall_secs).sum::<f64>()).max(0.0)
+    }
+
+    /// FLOP throughput of the span in GFLOP/s (0 when no time elapsed).
+    pub fn gflops(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.flops as f64 / self.wall_secs / 1e9
+        } else {
+            0.0
+        }
+    }
+
+    /// Depth-first search for the first node named `name`.
+    pub fn find(&self, name: &str) -> Option<&TraceNode> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+
+    /// Sums `calls`, wall time, and counters over every node named `name`
+    /// in the subtree (a flattened per-kernel aggregate).
+    pub fn aggregate(&self, name: &str) -> Option<TraceNode> {
+        let mut acc: Option<TraceNode> = None;
+        self.visit(&mut |n| {
+            if n.name == name {
+                let a = acc.get_or_insert_with(|| TraceNode {
+                    name: name.to_string(),
+                    calls: 0,
+                    wall_secs: 0.0,
+                    flops: 0,
+                    bytes: 0,
+                    comm_msgs: 0,
+                    comm_bytes: 0,
+                    comm_cost_secs: 0.0,
+                    children: Vec::new(),
+                });
+                a.calls += n.calls;
+                a.wall_secs += n.wall_secs;
+                a.flops += n.flops;
+                a.bytes += n.bytes;
+                a.comm_msgs += n.comm_msgs;
+                a.comm_bytes += n.comm_bytes;
+                a.comm_cost_secs += n.comm_cost_secs;
+            }
+        });
+        acc
+    }
+
+    /// Visits every node in the subtree, parents before children.
+    pub fn visit(&self, f: &mut impl FnMut(&TraceNode)) {
+        f(self);
+        for c in &self.children {
+            c.visit(f);
+        }
+    }
+}
+
+fn snapshot_node(reg: &Registry, id: usize) -> TraceNode {
+    let node = &reg.nodes[id];
+    let c = &node.counters;
+    TraceNode {
+        name: node.name.to_string(),
+        calls: c.calls.load(Ordering::Relaxed),
+        wall_secs: c.wall_ns.load(Ordering::Relaxed) as f64 * 1e-9,
+        flops: c.flops.load(Ordering::Relaxed),
+        bytes: c.bytes.load(Ordering::Relaxed),
+        comm_msgs: c.comm_msgs.load(Ordering::Relaxed),
+        comm_bytes: c.comm_bytes.load(Ordering::Relaxed),
+        comm_cost_secs: c.comm_cost_secs(),
+        children: node
+            .children
+            .iter()
+            .map(|&ch| snapshot_node(reg, ch))
+            .collect(),
+    }
+}
+
+/// Snapshots the current span tree without resetting it.
+pub fn snapshot() -> TraceNode {
+    let reg = registry().lock().expect("trace registry poisoned");
+    snapshot_node(&reg, 0)
+}
+
+/// Snapshots the span tree and resets it to a fresh root. Guards still open
+/// keep accumulating into their (now-detached) counters and are dropped
+/// harmlessly; call this between, not inside, traced regions.
+pub fn take() -> TraceNode {
+    let mut reg = registry().lock().expect("trace registry poisoned");
+    let snap = snapshot_node(&reg, 0);
+    *reg = Registry::fresh();
+    drop(reg);
+    CURRENT.with(|c| *c.borrow_mut() = (0, None));
+    snap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serialises the tests in this module: they share the global registry.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        GATE.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_spans_are_noops() {
+        let _g = lock();
+        set_enabled(false);
+        let _ = take();
+        {
+            let _s = span("kernel");
+            crate::flops::count_flops(123);
+        }
+        let t = take();
+        assert!(t.children.is_empty(), "no nodes recorded while disabled");
+    }
+
+    #[test]
+    fn nested_spans_merge_by_name() {
+        let _g = lock();
+        set_enabled(true);
+        let _ = take();
+        for _ in 0..3 {
+            let _outer = span("qmd_step");
+            for _ in 0..2 {
+                let _inner = span("scf_iter");
+                add_flops(10);
+            }
+        }
+        set_enabled(false);
+        let t = take();
+        let step = t.find("qmd_step").expect("qmd_step recorded");
+        assert_eq!(step.calls, 3);
+        let scf = step.find("scf_iter").expect("scf_iter nested");
+        assert_eq!(scf.calls, 6);
+        assert_eq!(scf.flops, 60);
+        assert!(scf.wall_secs >= 0.0 && step.wall_secs >= scf.wall_secs);
+    }
+
+    #[test]
+    fn counters_attribute_to_innermost_span() {
+        let _g = lock();
+        set_enabled(true);
+        let _ = take();
+        {
+            let _outer = span("outer");
+            add_flops(5);
+            {
+                let _inner = span("inner");
+                add_flops(7);
+                add_bytes(100);
+                add_comm(2, 64, 1.5e-6);
+            }
+        }
+        set_enabled(false);
+        let t = take();
+        let outer = t.find("outer").unwrap();
+        let inner = outer.find("inner").unwrap();
+        assert_eq!(outer.flops, 5, "outer holds only its own flops");
+        assert_eq!(inner.flops, 7);
+        assert_eq!(inner.bytes, 100);
+        assert_eq!(inner.comm_msgs, 2);
+        assert_eq!(inner.comm_bytes, 64);
+        assert!((inner.comm_cost_secs - 1.5e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn aggregate_sums_across_parents() {
+        let _g = lock();
+        set_enabled(true);
+        let _ = take();
+        {
+            let _a = span("phase_a");
+            let _k = span("gemm");
+            add_flops(100);
+        }
+        {
+            let _b = span("phase_b");
+            let _k = span("gemm");
+            add_flops(200);
+        }
+        set_enabled(false);
+        let t = take();
+        let g = t.aggregate("gemm").expect("gemm seen");
+        assert_eq!(g.calls, 2);
+        assert_eq!(g.flops, 300);
+    }
+
+    #[test]
+    fn context_guard_adopts_parent_span() {
+        let _g = lock();
+        set_enabled(true);
+        let _ = take();
+        {
+            let _outer = span("parallel_region");
+            let ctx = current_ctx();
+            assert_ne!(ctx, 0);
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    let _c = ContextGuard::enter(ctx);
+                    add_flops(42);
+                    let _k = span("worker_kernel");
+                    add_flops(8);
+                });
+            });
+        }
+        set_enabled(false);
+        let t = take();
+        let outer = t.find("parallel_region").unwrap();
+        assert_eq!(outer.flops, 42, "worker flops attributed to spawning span");
+        assert_eq!(outer.find("worker_kernel").unwrap().flops, 8);
+    }
+
+    #[test]
+    fn take_resets() {
+        let _g = lock();
+        set_enabled(true);
+        let _ = take();
+        {
+            let _s = span("x");
+        }
+        set_enabled(false);
+        let t1 = take();
+        assert!(t1.find("x").is_some());
+        let t2 = take();
+        assert!(t2.find("x").is_none());
+    }
+}

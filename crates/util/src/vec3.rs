@@ -1,11 +1,12 @@
 //! Cartesian 3-vectors used for atomic positions, velocities and forces.
 
-use serde::{Deserialize, Serialize};
-use std::ops::{Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::ops::{
+    Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign,
+};
 
 /// A Cartesian 3-vector of `f64` components (Bohr for positions,
 /// a.u. for velocities/forces).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct Vec3 {
     pub x: f64,
     pub y: f64,
@@ -14,7 +15,11 @@ pub struct Vec3 {
 
 impl Vec3 {
     /// The zero vector.
-    pub const ZERO: Self = Self { x: 0.0, y: 0.0, z: 0.0 };
+    pub const ZERO: Self = Self {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
 
     /// Creates a vector from components.
     #[inline(always)]
@@ -69,19 +74,31 @@ impl Vec3 {
     /// Component-wise minimum.
     #[inline]
     pub fn min(self, o: Self) -> Self {
-        Self { x: self.x.min(o.x), y: self.y.min(o.y), z: self.z.min(o.z) }
+        Self {
+            x: self.x.min(o.x),
+            y: self.y.min(o.y),
+            z: self.z.min(o.z),
+        }
     }
 
     /// Component-wise maximum.
     #[inline]
     pub fn max(self, o: Self) -> Self {
-        Self { x: self.x.max(o.x), y: self.y.max(o.y), z: self.z.max(o.z) }
+        Self {
+            x: self.x.max(o.x),
+            y: self.y.max(o.y),
+            z: self.z.max(o.z),
+        }
     }
 
     /// Component-wise multiplication (Hadamard product).
     #[inline]
     pub fn mul_elem(self, o: Self) -> Self {
-        Self { x: self.x * o.x, y: self.y * o.y, z: self.z * o.z }
+        Self {
+            x: self.x * o.x,
+            y: self.y * o.y,
+            z: self.z * o.z,
+        }
     }
 
     /// Maps each coordinate into `[0, l)` for a periodic box of side lengths
@@ -106,7 +123,11 @@ impl Vec3 {
                 w
             }
         }
-        Self { x: mi(self.x, l.x), y: mi(self.y, l.y), z: mi(self.z, l.z) }
+        Self {
+            x: mi(self.x, l.x),
+            y: mi(self.y, l.y),
+            z: mi(self.z, l.z),
+        }
     }
 
     /// Returns the components as an array.
@@ -125,7 +146,11 @@ impl Vec3 {
 impl From<[f64; 3]> for Vec3 {
     #[inline]
     fn from(a: [f64; 3]) -> Self {
-        Self { x: a[0], y: a[1], z: a[2] }
+        Self {
+            x: a[0],
+            y: a[1],
+            z: a[2],
+        }
     }
 }
 
@@ -158,7 +183,11 @@ impl Add for Vec3 {
     type Output = Self;
     #[inline(always)]
     fn add(self, o: Self) -> Self {
-        Self { x: self.x + o.x, y: self.y + o.y, z: self.z + o.z }
+        Self {
+            x: self.x + o.x,
+            y: self.y + o.y,
+            z: self.z + o.z,
+        }
     }
 }
 
@@ -166,7 +195,11 @@ impl Sub for Vec3 {
     type Output = Self;
     #[inline(always)]
     fn sub(self, o: Self) -> Self {
-        Self { x: self.x - o.x, y: self.y - o.y, z: self.z - o.z }
+        Self {
+            x: self.x - o.x,
+            y: self.y - o.y,
+            z: self.z - o.z,
+        }
     }
 }
 
@@ -174,7 +207,11 @@ impl Mul<f64> for Vec3 {
     type Output = Self;
     #[inline(always)]
     fn mul(self, s: f64) -> Self {
-        Self { x: self.x * s, y: self.y * s, z: self.z * s }
+        Self {
+            x: self.x * s,
+            y: self.y * s,
+            z: self.z * s,
+        }
     }
 }
 
@@ -190,7 +227,11 @@ impl Div<f64> for Vec3 {
     type Output = Self;
     #[inline(always)]
     fn div(self, s: f64) -> Self {
-        Self { x: self.x / s, y: self.y / s, z: self.z / s }
+        Self {
+            x: self.x / s,
+            y: self.y / s,
+            z: self.z / s,
+        }
     }
 }
 
@@ -198,7 +239,11 @@ impl Neg for Vec3 {
     type Output = Self;
     #[inline(always)]
     fn neg(self) -> Self {
-        Self { x: -self.x, y: -self.y, z: -self.z }
+        Self {
+            x: -self.x,
+            y: -self.y,
+            z: -self.z,
+        }
     }
 }
 

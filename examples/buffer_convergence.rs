@@ -28,8 +28,11 @@ fn main() {
             }
         }
     }
-    let mut system =
-        AtomicSystem::new(Vec3::splat(n as f64 * a), vec![Element::H; n * n * n], positions);
+    let mut system = AtomicSystem::new(
+        Vec3::splat(n as f64 * a),
+        vec![Element::H; n * n * n],
+        positions,
+    );
     let mut rng = Xoshiro256pp::seed_from_u64(7);
     amorphize(&mut system, 0.25, &mut rng);
 
@@ -56,15 +59,28 @@ fn main() {
         mode: BoundaryMode::Periodic,
         ..base
     });
-    let e_ref = reference.solve(&system).expect("reference converges").energy;
+    let e_ref = reference
+        .solve(&system)
+        .expect("reference converges")
+        .energy;
     println!("reference energy (undivided): {e_ref:.6} Ha\n");
-    println!("{:<10}{:>18}{:>18}", "b (Bohr)", "DC error/atom", "LDC error/atom");
+    println!(
+        "{:<10}{:>18}{:>18}",
+        "b (Bohr)", "DC error/atom", "LDC error/atom"
+    );
 
     let n = system.len() as f64;
     for b in [0.5, 1.0, 1.5, 2.5] {
         let run = |mode: BoundaryMode| -> f64 {
-            let mut solver = LdcSolver::new(LdcConfig { buffer: b, mode, ..base });
-            solver.solve(&system).map(|s| (s.energy - e_ref).abs() / n).unwrap_or(f64::NAN)
+            let mut solver = LdcSolver::new(LdcConfig {
+                buffer: b,
+                mode,
+                ..base
+            });
+            solver
+                .solve(&system)
+                .map(|s| (s.energy - e_ref).abs() / n)
+                .unwrap_or(f64::NAN)
         };
         let dc = run(BoundaryMode::Periodic);
         let ldc = run(BoundaryMode::ldc_default());

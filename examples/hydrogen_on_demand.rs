@@ -26,10 +26,19 @@ fn main() {
 
     // Fig 9(a): Arrhenius behaviour.
     let temps = [300.0, 600.0, 1500.0];
-    let (points, fit) = run_fig9a(HodParams::default(), &temps, surface.lewis_pairs.len().max(1), 40_000, 7);
+    let (points, fit) = run_fig9a(
+        HodParams::default(),
+        &temps,
+        surface.lewis_pairs.len().max(1),
+        40_000,
+        7,
+    );
     println!("H2 production rate vs temperature:");
     for p in &points {
-        println!("  T = {:>6.0} K: {:.3e} ± {:.1e} H2/s per pair", p.temperature, p.rate_per_pair, p.error);
+        println!(
+            "  T = {:>6.0} K: {:.3e} ± {:.1e} H2/s per pair",
+            p.temperature, p.rate_per_pair, p.error
+        );
     }
     println!(
         "Arrhenius fit: Ea = {:.3} eV (paper: 0.068 eV), r² = {:.4}\n",

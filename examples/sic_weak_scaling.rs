@@ -13,7 +13,10 @@ use metascale_qmd::util::timer::Stopwatch;
 fn main() {
     // The paper's weak-scaling unit of work: a 64-atom SiC block per core.
     let system = sic_supercell((2, 2, 2));
-    println!("workload: {} SiC atoms per core (Fig 5 granularity)\n", system.len());
+    println!(
+        "workload: {} SiC atoms per core (Fig 5 granularity)\n",
+        system.len()
+    );
 
     // Measure the actual Rust domain Kohn-Sham solve.
     let dd = DomainDecomposition::new(system.cell, (1, 1, 1), 0.0);
@@ -22,9 +25,17 @@ fn main() {
         &global_grid,
         &metascale_qmd::dft::solver::atoms_of(&system),
     );
-    let setup =
-        DomainSetup::build(&dd.domains()[0], &dd, &system, 1.1, 2.2, 4, &global_grid, &v_ion)
-            .expect("non-empty domain");
+    let setup = DomainSetup::build(
+        &dd.domains()[0],
+        &dd,
+        &system,
+        1.1,
+        2.2,
+        4,
+        &global_grid,
+        &v_ion,
+    )
+    .expect("non-empty domain");
     println!(
         "domain solver: {} plane waves, {} bands, {} grid points",
         setup.basis.len(),
@@ -42,7 +53,10 @@ fn main() {
 
     // Feed the measurement into the Blue Gene/Q model and sweep Fig 5.
     let model = WeakScalingModel::fig5(t_domain);
-    println!("{:<14}{:>16}{:>14}{:>18}", "P (cores)", "atoms", "s/QMD step", "efficiency");
+    println!(
+        "{:<14}{:>16}{:>14}{:>18}",
+        "P (cores)", "atoms", "s/QMD step", "efficiency"
+    );
     for (p, t) in model.sweep() {
         println!(
             "{:<14}{:>16}{:>14.3}{:>18.4}",

@@ -1,0 +1,170 @@
+//! Offline drop-in subset of the [criterion](https://docs.rs/criterion) API.
+//!
+//! The workspace builds in network-isolated environments, so the real
+//! criterion crate may be unavailable. This shim keeps the `benches/`
+//! targets source-compatible and gives honest (if statistically plain)
+//! numbers: each `bench_function` does one warm-up call, then times
+//! `sample_size` calls and reports min / mean wall time, plus element
+//! throughput when [`BenchmarkGroup::throughput`] was set.
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a group; affects only the printed report.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the body.
+pub struct Bencher {
+    samples: usize,
+    min: Duration,
+    mean: Duration,
+}
+
+impl Bencher {
+    /// Times `samples` invocations of `body` (after one warm-up call).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut body: F) {
+        std::hint::black_box(body());
+        let mut min = Duration::MAX;
+        let mut total = Duration::ZERO;
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            std::hint::black_box(body());
+            let dt = t0.elapsed();
+            total += dt;
+            min = min.min(dt);
+        }
+        self.min = min;
+        self.mean = total / self.samples as u32;
+    }
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Runs a stand-alone benchmark (a group of one, default settings).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(id, 10, None, f);
+        self
+    }
+}
+
+/// A named group sharing sample-size and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotates per-iteration throughput for the report.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(id, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (report lines are printed as benchmarks run).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, samples: usize, tp: Option<Throughput>, mut f: F) {
+    let mut b = Bencher {
+        samples,
+        min: Duration::ZERO,
+        mean: Duration::ZERO,
+    };
+    f(&mut b);
+    let mean_s = b.mean.as_secs_f64();
+    let rate = match tp {
+        Some(Throughput::Elements(n)) if mean_s > 0.0 => {
+            format!("  {:.3e} elem/s", n as f64 / mean_s)
+        }
+        Some(Throughput::Bytes(n)) if mean_s > 0.0 => {
+            format!("  {:.3e} B/s", n as f64 / mean_s)
+        }
+        _ => String::new(),
+    };
+    println!(
+        "  {id}: min {:.3e} s, mean {:.3e} s over {samples} samples{rate}",
+        b.min.as_secs_f64(),
+        mean_s,
+    );
+}
+
+/// Bundles benchmark functions under one name, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim_smoke");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(100));
+        let mut acc = 0u64;
+        g.bench_function("sum", |b| {
+            b.iter(|| {
+                acc = (0..100u64).sum();
+                acc
+            })
+        });
+        g.finish();
+        assert_eq!(acc, 4950);
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs_functions() {
+        benches();
+    }
+}

@@ -1,0 +1,546 @@
+//! Offline drop-in subset of the [rayon](https://docs.rs/rayon) API.
+//!
+//! The workspace builds in network-isolated environments, so the real rayon
+//! crate may be unavailable; this shim implements exactly the surface the
+//! mqmd crates use — `par_iter`, `par_chunks_mut`, `into_par_iter` on
+//! `Range<usize>`, the `map`/`filter`/`filter_map`/`step_by` adapters, the
+//! `collect`/`for_each`/`sum` terminals, `current_num_threads`, and
+//! `ThreadPoolBuilder::install` — on top of `std::thread::scope`.
+//!
+//! Semantics preserved from rayon:
+//!
+//! * `collect()` preserves input order;
+//! * closures run concurrently when more than one thread is configured, so
+//!   they must be `Sync` and items `Send`;
+//! * panics in parallel closures propagate to the caller (via the scope).
+//!
+//! Differences (documented, deliberate):
+//!
+//! * the thread count comes from `RAYON_NUM_THREADS` or
+//!   `available_parallelism`, and `ThreadPool::install` bounds parallelism
+//!   only for calls made from the closure's own thread;
+//! * threads are scoped per call rather than pooled — on the single-core
+//!   CI hosts this degenerates to inline serial execution with no spawn at
+//!   all, which also makes kernel timings deterministic.
+//!
+//! The shim additionally propagates the `mqmd_util::trace` span context
+//! into worker threads, so FLOP/byte counters recorded inside parallel
+//! kernels attribute to the span that was open at the call site.
+
+use std::cell::Cell;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+// ---------------------------------------------------------------------------
+// Thread-count control
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// Per-thread override installed by [`ThreadPool::install`].
+    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn default_num_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Number of threads parallel operations on this thread will use.
+pub fn current_num_threads() -> usize {
+    THREAD_OVERRIDE
+        .with(|o| o.get())
+        .unwrap_or_else(default_num_threads)
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder` for the API subset used by
+/// the bench binaries.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+/// Error type for [`ThreadPoolBuilder::build`]; construction cannot fail in
+/// the shim.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of threads.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Builds the pool. Infallible in the shim.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads.unwrap_or_else(default_num_threads).max(1),
+        })
+    }
+}
+
+/// A handle bounding the parallelism of operations run under
+/// [`ThreadPool::install`].
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's thread count governing parallel operations
+    /// invoked from `f`'s thread.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        THREAD_OVERRIDE.with(|o| {
+            let prev = o.replace(Some(self.num_threads));
+            let out = f();
+            o.set(prev);
+            out
+        })
+    }
+
+    /// The pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Core parallel driver
+// ---------------------------------------------------------------------------
+
+/// Runs `f(0), …, f(n-1)` across the configured number of threads, with the
+/// caller participating. Chunked self-scheduling over an atomic cursor gives
+/// load balancing; single-thread configurations run inline with no spawn.
+fn run_indexed<F: Fn(usize) + Sync>(n: usize, f: F) {
+    let threads = current_num_threads().min(n).max(1);
+    if threads == 1 {
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    let ctx = mqmd_util::trace::current_ctx();
+    let next = AtomicUsize::new(0);
+    let chunk = (n / (threads * 8)).max(1);
+    let worker = |install_ctx: bool| {
+        let _g = install_ctx.then(|| mqmd_util::trace::ContextGuard::enter(ctx));
+        loop {
+            let i0 = next.fetch_add(chunk, Ordering::Relaxed);
+            if i0 >= n {
+                break;
+            }
+            for i in i0..(i0 + chunk).min(n) {
+                f(i);
+            }
+        }
+    };
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (1..threads).map(|_| s.spawn(|| worker(true))).collect();
+        worker(false);
+        for h in handles {
+            if let Err(p) = h.join() {
+                std::panic::resume_unwind(p);
+            }
+        }
+    });
+}
+
+/// Order-preserving parallel map over `0..n`.
+fn map_indexed<T: Send, F: Fn(usize) -> T + Sync>(n: usize, f: F) -> Vec<T> {
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    struct SendPtr<T>(*mut Option<T>);
+    unsafe impl<T: Send> Send for SendPtr<T> {}
+    unsafe impl<T: Send> Sync for SendPtr<T> {}
+    impl<T> SendPtr<T> {
+        fn get(&self) -> *mut Option<T> {
+            self.0
+        }
+    }
+    let ptr = SendPtr(out.as_mut_ptr());
+    run_indexed(n, |i| {
+        // SAFETY: each index i in [0, n) is visited exactly once by
+        // run_indexed, so the writes are disjoint and in-bounds.
+        unsafe {
+            *ptr.get().add(i) = Some(f(i));
+        }
+    });
+    out.into_iter()
+        .map(|v| v.expect("all indices visited"))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Parallel iterator (indexed source + fused Option-eval pipeline)
+// ---------------------------------------------------------------------------
+
+/// Per-index evaluator of a parallel pipeline: `Some` for items surviving
+/// the adapter chain, `None` for filtered-out ones. Implemented by pipeline
+/// sources and automatically by matching closures.
+pub trait Eval<T>: Sync {
+    /// Evaluates pipeline element `i`.
+    fn eval(&self, i: usize) -> Option<T>;
+}
+
+impl<T, F: Fn(usize) -> Option<T> + Sync> Eval<T> for F {
+    fn eval(&self, i: usize) -> Option<T> {
+        self(i)
+    }
+}
+
+/// Source evaluator for `Range<usize>`.
+pub struct RangeEval {
+    start: usize,
+}
+
+impl Eval<usize> for RangeEval {
+    fn eval(&self, i: usize) -> Option<usize> {
+        Some(self.start + i)
+    }
+}
+
+/// Source evaluator for shared slices.
+pub struct SliceEval<'a, T> {
+    data: &'a [T],
+}
+
+impl<'a, T: Sync> Eval<&'a T> for SliceEval<'a, T> {
+    fn eval(&self, i: usize) -> Option<&'a T> {
+        Some(&self.data[i])
+    }
+}
+
+/// A parallel pipeline over an indexed source of `n` elements.
+pub struct ParIter<T, E> {
+    n: usize,
+    eval: E,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T, E> ParIter<T, E>
+where
+    T: Send,
+    E: Eval<T>,
+{
+    /// Maps each item through `g`.
+    pub fn map<U: Send, G>(self, g: G) -> ParIter<U, impl Eval<U>>
+    where
+        G: Fn(T) -> U + Sync,
+    {
+        let eval = self.eval;
+        ParIter {
+            n: self.n,
+            eval: move |i| eval.eval(i).map(&g),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Keeps only items matching `p`.
+    pub fn filter<P>(self, p: P) -> ParIter<T, impl Eval<T>>
+    where
+        P: Fn(&T) -> bool + Sync,
+    {
+        let eval = self.eval;
+        ParIter {
+            n: self.n,
+            eval: move |i| eval.eval(i).filter(&p),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Maps and filters in one step.
+    pub fn filter_map<U: Send, G>(self, g: G) -> ParIter<U, impl Eval<U>>
+    where
+        G: Fn(T) -> Option<U> + Sync,
+    {
+        let eval = self.eval;
+        ParIter {
+            n: self.n,
+            eval: move |i| eval.eval(i).and_then(&g),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Takes every `step`-th item (counting from the first).
+    pub fn step_by(self, step: usize) -> ParIter<T, impl Eval<T>> {
+        assert!(step > 0, "step_by requires a positive step");
+        let eval = self.eval;
+        ParIter {
+            n: self.n.div_ceil(step),
+            eval: move |i| eval.eval(i * step),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Runs `f` on every item.
+    pub fn for_each<G>(self, f: G)
+    where
+        G: Fn(T) + Sync,
+    {
+        let eval = self.eval;
+        run_indexed(self.n, |i| {
+            if let Some(v) = eval.eval(i) {
+                f(v);
+            }
+        });
+    }
+
+    /// Collects surviving items, preserving source order.
+    pub fn collect<C: FromParIter<T>>(self) -> C {
+        let eval = self.eval;
+        let parts = map_indexed(self.n, |i| eval.eval(i));
+        C::from_options(parts)
+    }
+
+    /// Sums the items.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<T>,
+    {
+        let eval = self.eval;
+        let parts = map_indexed(self.n, |i| eval.eval(i));
+        parts.into_iter().flatten().sum()
+    }
+}
+
+/// Order-preserving collection target for [`ParIter::collect`].
+pub trait FromParIter<T> {
+    /// Builds the collection from per-index results (`None` = filtered out).
+    fn from_options(parts: Vec<Option<T>>) -> Self;
+}
+
+impl<T> FromParIter<T> for Vec<T> {
+    fn from_options(parts: Vec<Option<T>>) -> Self {
+        parts.into_iter().flatten().collect()
+    }
+}
+
+impl<T, E> FromParIter<Result<T, E>> for Result<Vec<T>, E> {
+    fn from_options(parts: Vec<Option<Result<T, E>>>) -> Self {
+        parts.into_iter().flatten().collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry-point traits
+// ---------------------------------------------------------------------------
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Pipeline type.
+    type Iter;
+    /// Converts into a parallel pipeline.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = ParIter<usize, RangeEval>;
+    fn into_par_iter(self) -> Self::Iter {
+        let start = self.start;
+        let n = self.end.saturating_sub(self.start);
+        ParIter {
+            n,
+            eval: RangeEval { start },
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// Borrowing parallel iteration over slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `&T` items.
+    fn par_iter(&self) -> ParIter<&T, SliceEval<'_, T>>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<&T, SliceEval<'_, T>> {
+        ParIter {
+            n: self.len(),
+            eval: SliceEval { data: self },
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// Mutable chunked parallel iteration over slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over mutable chunks of `chunk_size` elements (the
+    /// final chunk may be shorter).
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunksMut {
+            data: self,
+            chunk_size,
+        }
+    }
+}
+
+/// Parallel iterator over disjoint mutable chunks of a slice.
+pub struct ParChunksMut<'a, T> {
+    data: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pairs each chunk with its index.
+    pub fn enumerate(self) -> EnumChunksMut<'a, T> {
+        EnumChunksMut { inner: self }
+    }
+
+    /// Runs `f` on every chunk.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        self.enumerate().for_each(|(_, chunk)| f(chunk));
+    }
+}
+
+/// Enumerated variant of [`ParChunksMut`].
+pub struct EnumChunksMut<'a, T> {
+    inner: ParChunksMut<'a, T>,
+}
+
+impl<T: Send> EnumChunksMut<'_, T> {
+    /// Runs `f` on every `(index, chunk)` pair.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        let chunk_size = self.inner.chunk_size;
+        let len = self.inner.data.len();
+        let n_chunks = len.div_ceil(chunk_size);
+        struct SendPtr<T>(*mut T);
+        unsafe impl<T: Send> Send for SendPtr<T> {}
+        unsafe impl<T: Send> Sync for SendPtr<T> {}
+        impl<T> SendPtr<T> {
+            fn get(&self) -> *mut T {
+                self.0
+            }
+        }
+        let ptr = SendPtr(self.inner.data.as_mut_ptr());
+        run_indexed(n_chunks, |ci| {
+            let start = ci * chunk_size;
+            let end = (start + chunk_size).min(len);
+            // SAFETY: chunks [start, end) are pairwise disjoint across ci and
+            // in-bounds; the borrow of `data` outlives run_indexed's scope.
+            let chunk =
+                unsafe { std::slice::from_raw_parts_mut(ptr.get().add(start), end - start) };
+            f((ci, chunk));
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn range_map_collect_preserves_order() {
+        let v: Vec<usize> = (0..100).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn filter_map_drops_none() {
+        let v: Vec<usize> = (0..20)
+            .into_par_iter()
+            .filter_map(|i| (i % 3 == 0).then_some(i))
+            .collect();
+        assert_eq!(v, vec![0, 3, 6, 9, 12, 15, 18]);
+    }
+
+    #[test]
+    fn step_by_matches_serial() {
+        let v: Vec<usize> = (0..10).into_par_iter().step_by(4).collect();
+        assert_eq!(v, vec![0, 4, 8]);
+    }
+
+    #[test]
+    fn slice_par_iter_maps() {
+        let data = [1.0f64, 2.0, 3.0];
+        let v: Vec<f64> = data.par_iter().map(|x| x + 1.0).collect();
+        assert_eq!(v, vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn chunks_mut_writes_disjoint() {
+        let mut data = vec![0usize; 10];
+        data.par_chunks_mut(3).enumerate().for_each(|(i, chunk)| {
+            for x in chunk.iter_mut() {
+                *x = i + 1;
+            }
+        });
+        assert_eq!(data, vec![1, 1, 1, 2, 2, 2, 3, 3, 3, 4]);
+    }
+
+    #[test]
+    fn sum_terminal() {
+        let s: usize = (0..101).into_par_iter().sum();
+        assert_eq!(s, 5050);
+    }
+
+    #[test]
+    fn install_bounds_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 1);
+        let pool3 = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool3.install(current_num_threads), 3);
+        // Parallel work still correct under an override > 1.
+        let v: Vec<usize> = pool3.install(|| (0..1000).into_par_iter().map(|i| i + 1).collect());
+        assert_eq!(v.len(), 1000);
+        assert_eq!(v[999], 1000);
+    }
+
+    #[test]
+    fn forced_multithread_chunks_cover_all_indices() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let mut data = vec![0u64; 10_000];
+        pool.install(|| {
+            data.par_chunks_mut(7).enumerate().for_each(|(i, chunk)| {
+                for (j, x) in chunk.iter_mut().enumerate() {
+                    *x = (i * 7 + j) as u64;
+                }
+            });
+        });
+        for (i, &x) in data.iter().enumerate() {
+            assert_eq!(x, i as u64);
+        }
+    }
+}

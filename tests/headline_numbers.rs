@@ -3,9 +3,9 @@
 //! machine-model results (Figs 5–6, Tables 1–2, §2), the closed-form
 //! complexity results (§3.1/§5.2), and the chemistry results (Fig 9).
 
-use metascale_qmd::core::complexity::{crossover_length, optimal_core_length, CostModel};
 use metascale_qmd::chem::analysis::run_fig9a;
 use metascale_qmd::chem::kinetics::HodParams;
+use metascale_qmd::core::complexity::{crossover_length, optimal_core_length, CostModel};
 use metascale_qmd::parallel::machine::MachineSpec;
 use metascale_qmd::parallel::scaling::{prior_art, RackFlopsModel};
 use metascale_qmd::parallel::threads::ThreadModel;
@@ -34,7 +34,10 @@ fn table1_trends() {
     // 4-node row within 25% of paper values, monotone in threads.
     for (t, paper) in [(1usize, 236.0), (2, 343.0), (4, 445.0)] {
         let got = model.sustained_gflops(&m, 4, 4, t);
-        assert!((got - paper).abs() / paper < 0.25, "threads {t}: {got} vs {paper}");
+        assert!(
+            (got - paper).abs() / paper < 0.25,
+            "threads {t}: {got} vs {paper}"
+        );
     }
 }
 
@@ -71,7 +74,11 @@ fn s52_speedup_factors() {
 #[test]
 fn fig9a_barrier_and_rate() {
     let (points, fit) = run_fig9a(HodParams::default(), &[300.0, 600.0, 1500.0], 30, 30_000, 3);
-    assert!((0.05..=0.09).contains(&fit.activation_ev), "Ea {}", fit.activation_ev);
+    assert!(
+        (0.05..=0.09).contains(&fit.activation_ev),
+        "Ea {}",
+        fit.activation_ev
+    );
     assert!(
         (0.4e9..=2.5e9).contains(&points[0].rate_per_pair),
         "300 K rate {:.3e} (paper 1.04e9)",

@@ -32,7 +32,13 @@ fn qmd_loop_with_trajectory_compression() {
     system.thermalize(300.0, &mut rng);
 
     let mut ldc = solver();
-    let mut driver = QmdDriver::new(10.0, Some(Berendsen { t_target: 300.0, tau: 50.0 }));
+    let mut driver = QmdDriver::new(
+        10.0,
+        Some(Berendsen {
+            t_target: 300.0,
+            tau: 50.0,
+        }),
+    );
 
     let mut frames = Vec::new();
     for _ in 0..3 {
@@ -47,10 +53,16 @@ fn qmd_loop_with_trajectory_compression() {
     let decoded: Vec<Vec<Vec3>> = frames.iter().map(|f| f.decompress().unwrap()).collect();
     for (frame, dec) in frames.iter().zip(&decoded) {
         assert_eq!(dec.len(), 2);
-        assert!(frame.ratio() > 1.0, "compression must not expand tiny frames... ratio {}", frame.ratio());
+        assert!(
+            frame.ratio() > 1.0,
+            "compression must not expand tiny frames... ratio {}",
+            frame.ratio()
+        );
         let _ = tol;
     }
-    let moved = (decoded[0][0] - decoded[2][0]).min_image(system.cell).norm();
+    let moved = (decoded[0][0] - decoded[2][0])
+        .min_image(system.cell)
+        .norm();
     assert!(moved > 0.0, "atom 0 should move over 3 steps at 300 K");
 
     // SCF accounting accumulated across the whole run.

@@ -2,8 +2,8 @@
 //! the conventional O(N³) plane-wave solver on the same systems, plus the
 //! quantity-of-interest (H₂ count) reproducibility check.
 
-use metascale_qmd::core::global::{BoundaryMode, HartreeSolver, LdcConfig, LdcSolver};
 use metascale_qmd::chem::kinetics::{HodParams, HodSimulation, HodState};
+use metascale_qmd::core::global::{BoundaryMode, HartreeSolver, LdcConfig, LdcSolver};
 use metascale_qmd::dft::{DftConfig, DftSolver};
 use metascale_qmd::md::AtomicSystem;
 use metascale_qmd::util::constants::Element;
@@ -34,7 +34,10 @@ fn ldc_matches_conventional_dft_on_h2() {
     let mut conventional = DftSolver::new(DftConfig {
         grid_spacing: 0.9,
         ecut: 3.0,
-        scf: metascale_qmd::dft::scf::ScfConfig { tol_density: 1e-5, ..Default::default() },
+        scf: metascale_qmd::dft::scf::ScfConfig {
+            tol_density: 1e-5,
+            ..Default::default()
+        },
     });
     let reference = conventional.solve(&sys).expect("conventional SCF");
 
@@ -42,11 +45,19 @@ fn ldc_matches_conventional_dft_on_h2() {
     let state = ldc.solve(&sys).expect("LDC SCF");
 
     let per_atom = (state.energy - reference.energy).abs() / sys.len() as f64;
-    assert!(per_atom < 1e-3, "energy deviation {per_atom} Ha/atom (paper criterion: 1e-3)");
+    assert!(
+        per_atom < 1e-3,
+        "energy deviation {per_atom} Ha/atom (paper criterion: 1e-3)"
+    );
     assert!((state.mu - reference.mu).abs() < 5e-3, "μ deviation");
     // Forces agree in direction and magnitude.
     for (a, b) in reference.forces.iter().zip(&state.forces) {
-        assert!((*a - *b).norm() < 2e-2, "force deviation {:?} vs {:?}", a, b);
+        assert!(
+            (*a - *b).norm() < 2e-2,
+            "force deviation {:?} vs {:?}",
+            a,
+            b
+        );
     }
 }
 
@@ -76,13 +87,19 @@ fn ldc_energy_is_translation_invariant() {
     let shifted = AtomicSystem::new(
         sys.cell,
         sys.species.clone(),
-        sys.positions.iter().map(|&r| r + Vec3::new(0.27, -0.31, 0.13)).collect(),
+        sys.positions
+            .iter()
+            .map(|&r| r + Vec3::new(0.27, -0.31, 0.13))
+            .collect(),
     );
     let mut a = LdcSolver::new(ldc_base());
     let mut b = LdcSolver::new(ldc_base());
     let ea = a.solve(&sys).unwrap().energy;
     let eb = b.solve(&shifted).unwrap().energy;
-    assert!((ea - eb).abs() < 5e-3, "translation changed E: {ea} vs {eb}");
+    assert!(
+        (ea - eb).abs() < 5e-3,
+        "translation changed E: {ea} vs {eb}"
+    );
 }
 
 #[test]
