@@ -1,0 +1,85 @@
+//! Perf-regression gate: diffs two profile reports with noise-aware
+//! per-kernel thresholds.
+//!
+//! Compares the per-call kernel means of a candidate profile against a
+//! committed baseline (both `mqmd-profile-v1` or `-v2`; v2's histogram
+//! standard errors widen the threshold on noisy kernels). Prints the
+//! regression table and exits non-zero when any kernel regressed, so CI
+//! can run it directly after `repro_profile`.
+//!
+//! Usage:
+//! `repro_compare baseline.json candidate.json \
+//!  [--rel-tol X] [--sigmas Y] [--min-mean Z]`
+//!
+//! Exit codes: 0 = no regression, 1 = regression detected, 2 = bad
+//! arguments or unreadable/invalid profiles.
+
+use mqmd_util::compare::{compare_profiles, CompareConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro_compare <baseline.json> <candidate.json> \
+         [--rel-tol X] [--sigmas Y] [--min-mean Z]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_value(args: &mut std::iter::Peekable<std::env::Args>, flag: &str) -> f64 {
+    match args.next().map(|v| v.parse::<f64>()) {
+        Some(Ok(v)) if v >= 0.0 => v,
+        _ => {
+            eprintln!("error: {flag} needs a non-negative number");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().peekable();
+    let _prog = args.next();
+    let mut paths = Vec::new();
+    let mut cfg = CompareConfig::default();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--rel-tol" => cfg.rel_tolerance = parse_value(&mut args, "--rel-tol"),
+            "--sigmas" => cfg.noise_sigmas = parse_value(&mut args, "--sigmas"),
+            "--min-mean" => cfg.min_mean_secs = parse_value(&mut args, "--min-mean"),
+            _ if arg.starts_with("--") => usage(),
+            _ => paths.push(arg),
+        }
+    }
+    let [base_path, cand_path] = paths.as_slice() else {
+        usage();
+    };
+
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let base = read(base_path);
+    let cand = read(cand_path);
+
+    let report = match compare_profiles(&base, &cand, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    println!(
+        "== repro_compare: {base_path} vs {cand_path} \
+         (rel-tol {:.2}, {:.1} sigmas, min-mean {:.1e} s) ==\n",
+        cfg.rel_tolerance, cfg.noise_sigmas, cfg.min_mean_secs
+    );
+    print!("{}", report.table());
+    let n = report.regressions();
+    if n > 0 {
+        println!("\n{n} kernel(s) regressed");
+        std::process::exit(1);
+    }
+    println!("\nno regressions");
+}

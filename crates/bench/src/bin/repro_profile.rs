@@ -1,13 +1,19 @@
 //! Profiles one small LDC-DFT QMD step under the hierarchical tracer and
-//! writes `BENCH_profile.json` (`mqmd-profile-v1`).
+//! writes `BENCH_profile.json` (`mqmd-profile-v2`), a Chrome-trace
+//! timeline (`BENCH_trace.json`, loadable in `chrome://tracing` or
+//! Perfetto), and the structured event log (`BENCH_events.jsonl`).
 //!
 //! The profile is the measured half of the DESIGN.md substitution: per-
 //! kernel wall-time and FLOP counts come from running this repository's
 //! real kernels (GEMM, FFT, Poisson, SCF, domain solve), and the scaling
 //! models of `mqmd-parallel` then consume those timings instead of any
 //! hand-entered wall-clock constant (`repro_scaling` reads the file back).
+//! The v2 schema adds per-kernel latency quantiles (p50/p95/p99) and the
+//! standard error `repro_compare` uses as its noise band.
 //!
-//! Usage: `cargo run --release -p mqmd-bench --bin repro_profile [out.json]`
+//! Usage:
+//! `cargo run --release -p mqmd-bench --bin repro_profile \
+//!  [out.json [trace.json [events.jsonl]]]`
 
 use mqmd_bench::{measure_domain_solve_seconds, row, tiny_ldc_config};
 use mqmd_core::global::LdcSolver;
@@ -19,7 +25,12 @@ use mqmd_parallel::executor::run_ranks;
 use mqmd_parallel::measured::{MeasuredProfile, PROFILE_PATH};
 use mqmd_parallel::MachineSpec;
 use mqmd_util::metrics::{profile_report, Json};
-use mqmd_util::trace;
+use mqmd_util::{chrometrace, events, trace};
+
+/// Default Chrome-trace output path.
+const TRACE_PATH: &str = "BENCH_trace.json";
+/// Default structured-event log path.
+const EVENTS_PATH: &str = "BENCH_events.jsonl";
 
 /// The spans flattened into the profile's kernel table.
 const KERNELS: &[&str] = &[
@@ -40,19 +51,29 @@ fn main() {
     let out_path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| PROFILE_PATH.to_string());
+    let trace_path = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| TRACE_PATH.to_string());
+    let events_path = std::env::args()
+        .nth(3)
+        .unwrap_or_else(|| EVENTS_PATH.to_string());
     // Fail fast on an unwritable destination — the measurement below takes
     // minutes and must not be thrown away on a typo'd path.
-    if let Err(e) = std::fs::OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(&out_path)
-    {
-        eprintln!("error: cannot write {out_path}: {e}");
-        std::process::exit(1);
+    for path in [&out_path, &trace_path, &events_path] {
+        if let Err(e) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
     }
 
     trace::set_enabled(true);
     trace::take(); // discard any prior counters
+    events::set_enabled(true);
+    let _ = events::drain();
 
     // 1. One real QMD step of the 8-atom SiC cell through the full LDC
     //    pipeline (domain decomposition, SCF, Davidson, Hartree solve) —
@@ -88,9 +109,34 @@ fn main() {
         charge_octree_reduce(&mira, 16.0 * 16.0 * 16.0 * 8.0, 4);
     }
 
-    // 4. Serialise the hierarchical trace + flattened kernel table.
+    // 4. Serialise the hierarchical trace + flattened kernel table, the
+    //    Chrome-trace timeline, and the structured event log.
     let node = trace::take();
     trace::set_enabled(false);
+    events::set_enabled(false);
+    let (records, dropped) = events::drain();
+    if dropped > 0 {
+        eprintln!("warning: event sink dropped {dropped} records");
+    }
+    let timeline = chrometrace::chrome_trace(&records);
+    chrometrace::validate(&timeline).expect("exported timeline must nest");
+    if let Err(e) = std::fs::write(&trace_path, timeline.compact()) {
+        eprintln!("error: cannot write {trace_path}: {e}");
+        std::process::exit(1);
+    }
+    if let Err(e) = std::fs::write(&events_path, events::to_jsonl(&records)) {
+        eprintln!("error: cannot write {events_path}: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "wrote {trace_path} ({} events) and {events_path} ({} records)",
+        timeline
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .map(<[Json]>::len)
+            .unwrap_or(0),
+        records.len()
+    );
     let extra = vec![
         ("atoms".to_string(), Json::Num(sys.len() as f64)),
         (

@@ -16,7 +16,7 @@ use mqmd_dft::species::Pseudopotential;
 use mqmd_grid::{Domain, DomainDecomposition, UniformGrid3};
 use mqmd_linalg::CMatrix;
 use mqmd_md::AtomicSystem;
-use mqmd_util::{Result, Vec3};
+use mqmd_util::{events, Result, Vec3};
 
 /// Geometry-dependent, SCF-independent data of one domain.
 pub struct DomainSetup {
@@ -172,6 +172,7 @@ pub fn solve_domain(
     tol: f64,
 ) -> Result<DomainBands> {
     let _span = mqmd_util::trace::span("domain_solve");
+    let sw = mqmd_util::timer::Stopwatch::start();
     assert_eq!(v_hxc.len(), setup.grid.len());
     assert_eq!(v_bc.len(), setup.grid.len());
     let v_eff: Vec<f64> = setup
@@ -192,9 +193,24 @@ pub fn solve_domain(
     };
     let report = match block_davidson(&h, &mut psi, max_iter, tol) {
         Ok(r) => r,
-        Err(mqmd_util::MqmdError::Convergence { iterations, .. }) => {
+        Err(mqmd_util::MqmdError::Convergence {
+            iterations,
+            residual,
+            ..
+        }) => {
             // Partially converged bands still advance the SCF; extract the
-            // current Ritz values.
+            // current Ritz values — but tell the telemetry stream, since
+            // the recovered report's `residual: NaN` marker is otherwise
+            // invisible.
+            events::emit(events::Event::WatchdogTrip {
+                watchdog: "davidson_failure",
+                message: format!(
+                    "domain {} Davidson failed to converge; recovering Ritz values",
+                    setup.domain.id
+                ),
+                value: residual,
+                bound: tol,
+            });
             let h_psi = h.apply(&psi);
             let hs = mqmd_linalg::gemm::zgemm_dagger_a(&psi, &h_psi);
             let (vals, v) = mqmd_linalg::eigen::zheev(&hs)?;
@@ -242,6 +258,12 @@ pub fn solve_domain(
         weights.push(w);
         h_weights.push(hw);
     }
+    events::emit(events::Event::DomainSolve {
+        domain: setup.domain.id as u32,
+        bands: setup.n_bands as u32,
+        iterations: report.iterations as u32,
+        seconds: sw.seconds(),
+    });
     Ok(DomainBands {
         eigenvalues: report.eigenvalues,
         band_densities,

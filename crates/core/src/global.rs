@@ -473,6 +473,13 @@ impl LdcSolver {
                 entropy,
             };
 
+            mqmd_util::events::emit(mqmd_util::events::Event::ScfIteration {
+                iter: iter as u32,
+                residual,
+                e_total: total,
+                mix: alpha,
+            });
+
             if residual < cfg.tol_density {
                 outcome = Some((total, mu, rho_out, residual, spectrum, iter, breakdown));
                 break;

@@ -11,6 +11,7 @@ use mqmd_md::forcefield::ForceField;
 use mqmd_md::integrator::VelocityVerlet;
 use mqmd_md::thermostat::Thermostat;
 use mqmd_md::AtomicSystem;
+use mqmd_util::events;
 use mqmd_util::timer::Stopwatch;
 
 /// A force backend that also reports cumulative SCF iterations — both the
@@ -32,10 +33,31 @@ impl ScfForceField for mqmd_dft::DftSolver {
     }
 }
 
+/// Energy-drift watchdog: in an NVE run the total energy is conserved,
+/// so a growing `|E(t) − E(0)| / |E(0)|` means the time step is too
+/// large, the SCF is under-converged, or the forces are wrong.
+#[derive(Clone, Copy, Debug)]
+pub struct DriftWatchdog {
+    /// Relative drift bound; the watchdog trips when exceeded.
+    pub max_rel_drift: f64,
+    /// Stop integrating on the first trip instead of finishing the run.
+    pub fail_fast: bool,
+}
+
+impl Default for DriftWatchdog {
+    fn default() -> Self {
+        Self {
+            max_rel_drift: 0.02,
+            fail_fast: false,
+        }
+    }
+}
+
 /// Outcome of a QMD run.
 #[derive(Clone, Debug)]
 pub struct QmdReport {
-    /// MD steps taken.
+    /// MD steps taken (may be fewer than requested under a fail-fast
+    /// watchdog).
     pub steps: usize,
     /// SCF iterations consumed over those steps.
     pub scf_iterations: usize,
@@ -47,6 +69,10 @@ pub struct QmdReport {
     pub wall_seconds: f64,
     /// The paper's §2 time-to-solution metric: atoms × SCF iterations / s.
     pub atom_iterations_per_sec: f64,
+    /// Number of energy-drift watchdog trips during the run.
+    pub watchdog_trips: usize,
+    /// Largest relative energy drift observed.
+    pub max_drift: f64,
 }
 
 impl QmdReport {
@@ -60,20 +86,29 @@ impl QmdReport {
     }
 }
 
-/// The QMD driver: integrator + optional thermostat + SCF bookkeeping.
+/// The QMD driver: integrator + optional thermostat + watchdog + SCF
+/// bookkeeping.
 pub struct QmdDriver<T: Thermostat> {
     integrator: VelocityVerlet,
     thermostat: Option<T>,
+    watchdog: Option<DriftWatchdog>,
 }
 
 impl<T: Thermostat> QmdDriver<T> {
     /// Creates a driver with time step `dt` (a.u.; the paper's 0.242 fs is
-    /// dt ≈ 10) and an optional thermostat.
+    /// dt ≈ 10) and an optional thermostat. No drift watchdog by default.
     pub fn new(dt: f64, thermostat: Option<T>) -> Self {
         Self {
             integrator: VelocityVerlet::new(dt),
             thermostat,
+            watchdog: None,
         }
+    }
+
+    /// Arms the energy-drift watchdog.
+    pub fn with_drift_watchdog(mut self, watchdog: DriftWatchdog) -> Self {
+        self.watchdog = Some(watchdog);
+        self
     }
 
     /// Runs `steps` QMD steps.
@@ -87,7 +122,10 @@ impl<T: Thermostat> QmdDriver<T> {
         let scf_before = solver.scf_iterations();
         let mut energies = Vec::with_capacity(steps);
         let mut temperatures = Vec::with_capacity(steps);
-        for _ in 0..steps {
+        let mut e0 = None;
+        let mut watchdog_trips = 0usize;
+        let mut max_drift = 0.0f64;
+        for step in 0..steps {
             let _span = mqmd_util::trace::span("qmd_step");
             let e_pot = self.integrator.step(system, solver);
             if let Some(t) = &mut self.thermostat {
@@ -95,20 +133,49 @@ impl<T: Thermostat> QmdDriver<T> {
                 // Velocities changed: forces cache is still valid (positions
                 // unchanged), so no reset needed.
             }
-            energies.push(e_pot + system.kinetic_energy());
+            let e_kin = system.kinetic_energy();
+            let e_tot = e_pot + e_kin;
+            let e_ref = *e0.get_or_insert(e_tot);
+            let drift = (e_tot - e_ref).abs() / e_ref.abs().max(1e-300);
+            max_drift = max_drift.max(drift);
+            energies.push(e_tot);
             temperatures.push(system.temperature());
+            events::emit(events::Event::QmdStep {
+                step: step as u32,
+                e_pot,
+                e_kin,
+                drift,
+            });
+            if let Some(w) = &self.watchdog {
+                if drift > w.max_rel_drift {
+                    watchdog_trips += 1;
+                    events::emit(events::Event::WatchdogTrip {
+                        watchdog: "energy_drift",
+                        message: format!(
+                            "relative energy drift {drift:.3e} exceeds bound at step {step}"
+                        ),
+                        value: drift,
+                        bound: w.max_rel_drift,
+                    });
+                    if w.fail_fast {
+                        break;
+                    }
+                }
+            }
         }
         let wall_seconds = sw.seconds();
         let scf_iterations = solver.scf_iterations() - scf_before;
         let atom_iterations_per_sec =
             system.len() as f64 * scf_iterations as f64 / wall_seconds.max(1e-12);
         QmdReport {
-            steps,
+            steps: energies.len(),
             scf_iterations,
             energies,
             temperatures,
             wall_seconds,
             atom_iterations_per_sec,
+            watchdog_trips,
+            max_drift,
         }
     }
 }
@@ -149,6 +216,67 @@ mod tests {
         assert!(report.scf_iterations >= 3, "at least one SCF per step");
         assert!(report.scf_per_step() >= 1.0);
         assert!(report.atom_iterations_per_sec > 0.0);
+    }
+
+    fn ldc_solver() -> LdcSolver {
+        LdcSolver::new(LdcConfig {
+            nd: (1, 1, 1),
+            buffer: 0.0,
+            mode: BoundaryMode::Periodic,
+            hartree: HartreeSolver::Fft,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn drift_watchdog_trips_at_large_dt() {
+        let mut sys = h2();
+        let mut rng = Xoshiro256pp::seed_from_u64(31);
+        sys.thermalize(300.0, &mut rng);
+        let mut solver = ldc_solver();
+        // dt = 120 a.u. is far beyond the stable step for H2; measured
+        // drift is O(10), so a 2% bound must trip immediately.
+        let mut driver: QmdDriver<Berendsen> =
+            QmdDriver::new(120.0, None).with_drift_watchdog(DriftWatchdog {
+                max_rel_drift: 0.02,
+                fail_fast: false,
+            });
+        let report = driver.run(&mut sys, &mut solver, 5);
+        assert!(report.watchdog_trips >= 1, "max_drift {}", report.max_drift);
+        assert!(report.max_drift > 0.02);
+
+        // Fail-fast cuts the run short at the first trip.
+        let mut sys = h2();
+        let mut rng = Xoshiro256pp::seed_from_u64(31);
+        sys.thermalize(300.0, &mut rng);
+        let mut solver = ldc_solver();
+        let mut driver: QmdDriver<Berendsen> =
+            QmdDriver::new(120.0, None).with_drift_watchdog(DriftWatchdog {
+                max_rel_drift: 0.02,
+                fail_fast: true,
+            });
+        let report = driver.run(&mut sys, &mut solver, 5);
+        assert!(report.steps < 5);
+        assert_eq!(report.watchdog_trips, 1);
+    }
+
+    #[test]
+    fn drift_watchdog_silent_at_small_dt() {
+        let mut sys = h2();
+        let mut rng = Xoshiro256pp::seed_from_u64(31);
+        sys.thermalize(300.0, &mut rng);
+        let mut solver = ldc_solver();
+        // Same 2% bound, but at the paper's dt ≈ 10 the measured drift is
+        // O(1e-3): the watchdog must stay quiet.
+        let mut driver: QmdDriver<Berendsen> =
+            QmdDriver::new(10.0, None).with_drift_watchdog(DriftWatchdog {
+                max_rel_drift: 0.02,
+                fail_fast: true,
+            });
+        let report = driver.run(&mut sys, &mut solver, 5);
+        assert_eq!(report.watchdog_trips, 0, "max_drift {}", report.max_drift);
+        assert_eq!(report.steps, 5);
+        assert!(report.max_drift < 0.02);
     }
 
     #[test]

@@ -16,7 +16,7 @@ use crate::species::Pseudopotential;
 use crate::xc;
 use mqmd_linalg::CMatrix;
 use mqmd_multigrid::FftPoisson;
-use mqmd_util::{MqmdError, Result, Vec3};
+use mqmd_util::{events, MqmdError, Result, Vec3};
 
 /// SCF algorithm parameters.
 #[derive(Clone, Copy, Debug)]
@@ -35,6 +35,13 @@ pub struct ScfConfig {
     pub davidson_tol: f64,
     /// Extra (unoccupied) bands beyond `⌈N_e/2⌉`.
     pub extra_bands: usize,
+    /// Stall watchdog: trip when the density residual has not improved on
+    /// its best value by at least 0.1% for this many consecutive
+    /// iterations (0 disables).
+    pub stall_window: usize,
+    /// When a watchdog trips, abort the SCF loop with a convergence error
+    /// instead of continuing to iterate.
+    pub fail_fast: bool,
 }
 
 impl Default for ScfConfig {
@@ -47,6 +54,8 @@ impl Default for ScfConfig {
             davidson_iters: 12,
             davidson_tol: 1e-7,
             extra_bands: 4,
+            stall_window: 8,
+            fail_fast: false,
         }
     }
 }
@@ -174,6 +183,8 @@ pub fn run_scf(
     let mut last = None;
     let mut alpha = config.mix_alpha;
     let mut prev_residual = f64::INFINITY;
+    let mut best_residual = f64::INFINITY;
+    let mut stall_count = 0usize;
     for iter in 1..=config.max_scf {
         let _span = mqmd_util::trace::span("scf_iter");
         let (v_eff, v_h, v_xc_f) = effective_potential(&v_ion, &rho, &poisson);
@@ -182,8 +193,30 @@ pub fn run_scf(
         {
             Ok(r) => r,
             // Non-converged Davidson inside an SCF step is fine — the bands
-            // still improved; recover the Ritz values for occupations.
-            Err(MqmdError::Convergence { .. }) => {
+            // still improved; recover the Ritz values for occupations. It
+            // is still worth telling the telemetry stream: the recovered
+            // report carries `residual: NaN`, which used to vanish
+            // silently.
+            Err(MqmdError::Convergence {
+                residual: dav_residual,
+                ..
+            }) => {
+                events::emit(events::Event::WatchdogTrip {
+                    watchdog: "davidson_failure",
+                    message: format!(
+                        "Davidson failed to converge in SCF iteration {iter}; \
+                         recovering Ritz values"
+                    ),
+                    value: dav_residual,
+                    bound: config.davidson_tol,
+                });
+                if config.fail_fast {
+                    return Err(MqmdError::Convergence {
+                        what: "Davidson (fail-fast)".into(),
+                        iterations: config.davidson_iters,
+                        residual: dav_residual,
+                    });
+                }
                 let h_psi = h.apply(&psi);
                 let hs = mqmd_linalg::gemm::zgemm_dagger_a(&psi, &h_psi);
                 let (vals, v) = mqmd_linalg::eigen::zheev(&hs)?;
@@ -252,6 +285,27 @@ pub fn run_scf(
             total,
         };
 
+        events::emit(events::Event::ScfIteration {
+            iter: iter as u32,
+            residual,
+            e_total: total,
+            mix: alpha,
+        });
+
+        if residual.is_nan() {
+            events::emit(events::Event::WatchdogTrip {
+                watchdog: "scf_residual_nan",
+                message: format!("density residual is NaN at SCF iteration {iter}"),
+                value: residual,
+                bound: config.tol_density,
+            });
+            return Err(MqmdError::Convergence {
+                what: "SCF (NaN residual)".into(),
+                iterations: iter,
+                residual,
+            });
+        }
+
         if residual < config.tol_density {
             return Ok(ScfOutcome {
                 energy: total,
@@ -273,6 +327,36 @@ pub fn run_scf(
             rho_out.clone(),
             residual,
         ));
+
+        // Stall watchdog: a residual that plateaus — no meaningful
+        // improvement on the best value for a whole window — means the
+        // mixer is stuck or sloshing. The 0.1% margin keeps the tiny
+        // Davidson-noise wiggle on a flat plateau from re-arming it.
+        if residual < best_residual * (1.0 - 1e-3) {
+            best_residual = residual;
+            stall_count = 0;
+        } else {
+            stall_count += 1;
+            if config.stall_window > 0 && stall_count >= config.stall_window {
+                events::emit(events::Event::WatchdogTrip {
+                    watchdog: "scf_stall",
+                    message: format!(
+                        "residual non-decreasing for {stall_count} iterations \
+                         (now {residual:.3e}) at SCF iteration {iter}"
+                    ),
+                    value: residual,
+                    bound: config.tol_density,
+                });
+                if config.fail_fast {
+                    return Err(MqmdError::Convergence {
+                        what: "SCF stall".into(),
+                        iterations: iter,
+                        residual,
+                    });
+                }
+                stall_count = 0; // re-arm so a long run trips periodically
+            }
+        }
 
         // Adaptive linear mixing: back off when the residual grows (charge
         // sloshing), recover slowly while it shrinks.
@@ -406,6 +490,96 @@ mod tests {
             "{recomputed} vs {}",
             b.total
         );
+    }
+
+    /// Serialises tests that enable the global event sink.
+    fn event_lock() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        GATE.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn davidson_failure_trips_watchdog() {
+        let _g = event_lock();
+        events::set_enabled(true);
+        let _ = events::drain();
+        let basis = small_basis();
+        // One Davidson sweep against an impossible tolerance cannot
+        // converge, forcing the recovery path every SCF iteration.
+        let cfg = ScfConfig {
+            davidson_iters: 1,
+            davidson_tol: 1e-30,
+            max_scf: 2,
+            ..Default::default()
+        };
+        let _ = run_scf(&basis, &h2_atoms(Vec3::ZERO), 2.0, &cfg, None);
+        events::set_enabled(false);
+        let (records, _) = events::drain();
+        let trips: Vec<_> = records
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r.event,
+                    events::Event::WatchdogTrip {
+                        watchdog: "davidson_failure",
+                        ..
+                    }
+                )
+            })
+            .collect();
+        assert!(
+            !trips.is_empty(),
+            "rigged Davidson failure must surface as a watchdog trip"
+        );
+
+        // Fail-fast turns the same rig into a hard error.
+        let strict = ScfConfig {
+            fail_fast: true,
+            ..cfg
+        };
+        let out = run_scf(&basis, &h2_atoms(Vec3::ZERO), 2.0, &strict, None);
+        assert!(matches!(out, Err(MqmdError::Convergence { .. })));
+    }
+
+    #[test]
+    fn stall_watchdog_fires_on_frozen_mixer() {
+        let _g = event_lock();
+        events::set_enabled(true);
+        let _ = events::drain();
+        let basis = small_basis();
+        // Zero mixing freezes the density, so the residual never moves and
+        // the stall window must fill. Davidson gets enough iterations to
+        // converge so the stall trips before the davidson watchdog.
+        let cfg = ScfConfig {
+            mix_alpha: 0.0,
+            stall_window: 3,
+            fail_fast: true,
+            max_scf: 20,
+            davidson_iters: 60,
+            ..Default::default()
+        };
+        let out = run_scf(&basis, &h2_atoms(Vec3::ZERO), 2.0, &cfg, None);
+        events::set_enabled(false);
+        let (records, _) = events::drain();
+        assert!(matches!(out, Err(MqmdError::Convergence { .. })));
+        let stalls = records
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r.event,
+                    events::Event::WatchdogTrip {
+                        watchdog: "scf_stall",
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert!(stalls >= 1, "frozen mixer must trip the stall watchdog");
+        let iters = records
+            .iter()
+            .filter(|r| matches!(r.event, events::Event::ScfIteration { .. }))
+            .count();
+        assert!(iters >= 3, "each SCF iteration emits a structured event");
     }
 
     #[test]

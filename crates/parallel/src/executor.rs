@@ -126,6 +126,8 @@ impl Comm {
         if self.size == 1 {
             return data;
         }
+        let sw = mqmd_util::timer::Stopwatch::start();
+        let payload_bytes = (data.len() * std::mem::size_of::<f64>()) as u64;
         // Reduce up the binomial tree: each rank folds in all children,
         // then sends the partial sum to its parent (clear lowest set bit).
         for child in self.children() {
@@ -143,6 +145,16 @@ impl Comm {
         // Broadcast down the same tree.
         for child in self.children() {
             self.send(child, data.clone());
+        }
+        // One structured record per collective, reported by rank 0 only so
+        // a p-rank allreduce is one event, not p.
+        if self.rank == 0 {
+            mqmd_util::events::emit(mqmd_util::events::Event::CollectiveDone {
+                op: "allreduce_sum",
+                ranks: self.size as u32,
+                bytes: payload_bytes,
+                seconds: sw.seconds(),
+            });
         }
         data
     }
@@ -221,6 +233,7 @@ where
                 let f = &f;
                 scope.spawn(move || {
                     let _g = mqmd_util::trace::ContextGuard::enter(ctx);
+                    let _lane = mqmd_util::events::LaneGuard::rank(rank as u32);
                     f(rank, &comm)
                 })
             })
@@ -311,6 +324,47 @@ mod tests {
     fn single_rank_degenerates_gracefully() {
         let out = run_ranks(1, |_, comm| comm.allreduce_sum(vec![7.0]));
         assert_eq!(out, vec![vec![7.0]]);
+    }
+
+    #[test]
+    fn ranks_get_lanes_and_collectives_emit_events() {
+        use mqmd_util::events;
+        // Serialise against anything else toggling the global sink.
+        static GATE: Mutex<()> = Mutex::new(());
+        let _g = GATE.lock().unwrap_or_else(|e| e.into_inner());
+        events::set_enabled(true);
+        let _ = events::drain();
+        let lanes = run_ranks(4, |_, comm| {
+            let lane = events::Lane::decode(events::current_lane());
+            let _ = comm.allreduce_sum(vec![1.0, 2.0]);
+            lane
+        });
+        events::set_enabled(false);
+        let (records, _) = events::drain();
+        for (rank, lane) in lanes.into_iter().enumerate() {
+            assert_eq!(lane, events::Lane::Rank(rank as u32));
+        }
+        let collectives: Vec<_> = records
+            .iter()
+            .filter(|r| matches!(r.event, events::Event::CollectiveDone { .. }))
+            .collect();
+        assert_eq!(
+            collectives.len(),
+            1,
+            "one event per collective, rank 0 only"
+        );
+        if let events::Event::CollectiveDone {
+            op, ranks, bytes, ..
+        } = &collectives[0].event
+        {
+            assert_eq!(*op, "allreduce_sum");
+            assert_eq!(*ranks, 4);
+            assert_eq!(*bytes, 16);
+        }
+        assert_eq!(
+            events::Lane::decode(collectives[0].lane),
+            events::Lane::Rank(0)
+        );
     }
 
     #[test]

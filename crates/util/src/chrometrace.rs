@@ -1,0 +1,306 @@
+//! Chrome trace-event (Perfetto JSON) export for recorded telemetry.
+//!
+//! Converts the [`crate::events`] record stream into the Trace Event
+//! Format understood by `chrome://tracing` and <https://ui.perfetto.dev>:
+//! `SpanBegin`/`SpanEnd` records become duration (`"B"`/`"E"`) events,
+//! every other record becomes a thread-scoped instant (`"i"`), and each
+//! logical lane (main thread, executor ranks, rayon workers) is emitted
+//! as a separate named thread row via `"M"` metadata events.
+//!
+//! Begin/end pairing is *repaired*, not trusted: worker threads may be
+//! torn down with spans open and drains may race a span boundary, so the
+//! exporter runs a per-lane stack pass that closes any span left open at
+//! the end of the stream and drops end records that never saw a begin.
+//! The output therefore always satisfies [`validate`], which checks the
+//! invariant Chrome itself requires — per lane, `"E"` events match the
+//! innermost open `"B"` in LIFO order.
+
+use crate::error::{MqmdError, Result};
+use crate::events::{Event, EventRecord, Lane};
+use crate::metrics::Json;
+use std::collections::BTreeMap;
+
+/// Process id used for all emitted events (single-process timeline).
+const PID: f64 = 0.0;
+
+fn ts_us(ts_ns: u64) -> f64 {
+    ts_ns as f64 / 1e3
+}
+
+fn meta_event(name: &str, tid: Option<u32>, value: &str) -> Json {
+    let mut pairs = vec![
+        ("name".to_string(), Json::Str(name.into())),
+        ("ph".to_string(), Json::Str("M".into())),
+        ("pid".to_string(), Json::Num(PID)),
+    ];
+    if let Some(tid) = tid {
+        pairs.push(("tid".to_string(), Json::Num(tid as f64)));
+    }
+    pairs.push((
+        "args".to_string(),
+        Json::obj([("name", Json::Str(value.into()))]),
+    ));
+    Json::Obj(pairs)
+}
+
+fn duration_event(ph: &str, name: &str, ts_ns: u64, tid: u32) -> Json {
+    Json::obj([
+        ("name", Json::Str(name.into())),
+        ("ph", Json::Str(ph.into())),
+        ("ts", Json::Num(ts_us(ts_ns))),
+        ("pid", Json::Num(PID)),
+        ("tid", Json::Num(tid as f64)),
+    ])
+}
+
+fn instant_event(r: &EventRecord) -> Json {
+    let payload = crate::events::record_to_json(r);
+    let args = match payload {
+        Json::Obj(pairs) => Json::Obj(
+            pairs
+                .into_iter()
+                .filter(|(k, _)| !matches!(k.as_str(), "ts_ns" | "lane" | "lane_label"))
+                .collect(),
+        ),
+        other => other,
+    };
+    Json::obj([
+        ("name", Json::Str(r.event.kind().into())),
+        ("ph", Json::Str("i".into())),
+        ("ts", Json::Num(ts_us(r.ts_ns))),
+        ("pid", Json::Num(PID)),
+        ("tid", Json::Num(r.lane as f64)),
+        ("s", Json::Str("t".into())),
+        ("args", args),
+    ])
+}
+
+/// Builds a Chrome trace-event document from drained event records.
+///
+/// The result is a JSON object with a `traceEvents` array; serialise it
+/// with [`Json::pretty`] or [`Json::compact`] and load the file directly
+/// in `chrome://tracing` or Perfetto. Records need not be sorted; they
+/// are processed per lane in timestamp order and mismatched span
+/// boundaries are repaired (see module docs).
+pub fn chrome_trace(records: &[EventRecord]) -> Json {
+    let mut by_lane: BTreeMap<u32, Vec<&EventRecord>> = BTreeMap::new();
+    for r in records {
+        by_lane.entry(r.lane).or_default().push(r);
+    }
+
+    let mut events = vec![meta_event("process_name", None, "mqmd")];
+    for &lane in by_lane.keys() {
+        events.push(meta_event(
+            "thread_name",
+            Some(lane),
+            &Lane::decode(lane).label(),
+        ));
+    }
+
+    let end_ts = records.iter().map(|r| r.ts_ns).max().unwrap_or(0);
+    for (lane, mut lane_records) in by_lane {
+        lane_records.sort_by_key(|r| r.ts_ns);
+        // Stack of open span names for the repair pass.
+        let mut open: Vec<&'static str> = Vec::new();
+        for r in lane_records {
+            match &r.event {
+                Event::SpanBegin { name } => {
+                    open.push(name);
+                    events.push(duration_event("B", name, r.ts_ns, lane));
+                }
+                Event::SpanEnd { name } => {
+                    if !open.contains(name) {
+                        continue; // orphan end: its begin predates recording
+                    }
+                    // Close intermediates first so E events stay LIFO.
+                    while let Some(top) = open.pop() {
+                        events.push(duration_event("E", top, r.ts_ns, lane));
+                        if top == *name {
+                            break;
+                        }
+                    }
+                }
+                _ => events.push(instant_event(r)),
+            }
+        }
+        // Synthesize ends for spans still open when the stream stopped.
+        while let Some(top) = open.pop() {
+            events.push(duration_event("E", top, end_ts, lane));
+        }
+    }
+
+    Json::obj([
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", Json::Str("ms".into())),
+    ])
+}
+
+/// Checks the Chrome-trace nesting invariant: within each `(pid, tid)`
+/// lane, every `"E"` event must close the innermost open `"B"` of the
+/// same name, and no `"B"` may be left open at the end of the stream.
+/// Returns the number of duration events checked.
+pub fn validate(doc: &Json) -> Result<usize> {
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| MqmdError::Parse("missing 'traceEvents' array".into()))?;
+    let mut stacks: BTreeMap<(u64, u64), Vec<String>> = BTreeMap::new();
+    let mut checked = 0usize;
+    for ev in events {
+        let ph = ev.get("ph").and_then(Json::as_str).unwrap_or("");
+        if ph != "B" && ph != "E" {
+            continue;
+        }
+        let key = (
+            ev.get("pid").and_then(Json::as_u64).unwrap_or(0),
+            ev.get("tid").and_then(Json::as_u64).unwrap_or(0),
+        );
+        let name = ev
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| MqmdError::Parse("duration event missing 'name'".into()))?
+            .to_string();
+        checked += 1;
+        let stack = stacks.entry(key).or_default();
+        if ph == "B" {
+            stack.push(name);
+        } else {
+            match stack.pop() {
+                Some(top) if top == name => {}
+                Some(top) => {
+                    return Err(MqmdError::Parse(format!(
+                        "lane {key:?}: 'E' for {name:?} but innermost open span is {top:?}"
+                    )))
+                }
+                None => {
+                    return Err(MqmdError::Parse(format!(
+                        "lane {key:?}: 'E' for {name:?} with no open span"
+                    )))
+                }
+            }
+        }
+    }
+    for (key, stack) in &stacks {
+        if let Some(top) = stack.last() {
+            return Err(MqmdError::Parse(format!(
+                "lane {key:?}: span {top:?} never closed"
+            )));
+        }
+    }
+    Ok(checked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::parse_json;
+
+    fn rec(ts_ns: u64, lane: Lane, event: Event) -> EventRecord {
+        EventRecord {
+            ts_ns,
+            lane: lane.encode(),
+            span: "",
+            event,
+        }
+    }
+
+    #[test]
+    fn well_formed_stream_exports_and_validates() {
+        let records = vec![
+            rec(0, Lane::Control(0), Event::SpanBegin { name: "qmd_step" }),
+            rec(10, Lane::Control(0), Event::SpanBegin { name: "scf_iter" }),
+            rec(
+                15,
+                Lane::Control(0),
+                Event::ScfIteration {
+                    iter: 1,
+                    residual: 1e-3,
+                    e_total: -1.1,
+                    mix: 0.3,
+                },
+            ),
+            rec(20, Lane::Control(0), Event::SpanEnd { name: "scf_iter" }),
+            rec(40, Lane::Worker(2), Event::SpanBegin { name: "dgemm" }),
+            rec(55, Lane::Worker(2), Event::SpanEnd { name: "dgemm" }),
+            rec(90, Lane::Control(0), Event::SpanEnd { name: "qmd_step" }),
+        ];
+        let doc = chrome_trace(&records);
+        // The document must survive its own serialiser/parser.
+        let back = parse_json(&doc.pretty()).unwrap();
+        let checked = validate(&back).unwrap();
+        assert_eq!(checked, 6, "three B/E pairs");
+        // Lane labels come through as thread_name metadata.
+        let text = doc.compact();
+        assert!(text.contains("\"worker 2\""));
+        assert!(text.contains("\"main\""));
+        assert!(text.contains("\"scf_iteration\""), "instant retained");
+    }
+
+    #[test]
+    fn repair_closes_unclosed_and_drops_orphans() {
+        let records = vec![
+            // Orphan end: begin predates the recording window.
+            rec(5, Lane::Rank(0), Event::SpanEnd { name: "warmup" }),
+            rec(10, Lane::Rank(0), Event::SpanBegin { name: "solve" }),
+            rec(20, Lane::Rank(0), Event::SpanBegin { name: "inner" }),
+            // Mismatched end: "inner" must be closed first.
+            rec(30, Lane::Rank(0), Event::SpanEnd { name: "solve" }),
+            // Left open at end of stream.
+            rec(40, Lane::Rank(1), Event::SpanBegin { name: "lonely" }),
+        ];
+        let doc = chrome_trace(&records);
+        validate(&doc).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let durations: Vec<(String, String)> = events
+            .iter()
+            .filter(|e| matches!(e.get("ph").and_then(Json::as_str), Some("B") | Some("E")))
+            .map(|e| {
+                (
+                    e.get("ph").and_then(Json::as_str).unwrap().to_string(),
+                    e.get("name").and_then(Json::as_str).unwrap().to_string(),
+                )
+            })
+            .collect();
+        // warmup's orphan E was dropped; inner closed before solve;
+        // lonely synthesized an E at stream end.
+        assert_eq!(
+            durations,
+            vec![
+                ("B".to_string(), "solve".to_string()),
+                ("B".to_string(), "inner".to_string()),
+                ("E".to_string(), "inner".to_string()),
+                ("E".to_string(), "solve".to_string()),
+                ("B".to_string(), "lonely".to_string()),
+                ("E".to_string(), "lonely".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn validate_rejects_bad_nesting() {
+        let bad = Json::obj([(
+            "traceEvents",
+            Json::Arr(vec![
+                duration_event("B", "a", 0, 1),
+                duration_event("B", "b", 1, 1),
+                duration_event("E", "a", 2, 1),
+            ]),
+        )]);
+        assert!(validate(&bad).is_err());
+        let unclosed = Json::obj([(
+            "traceEvents",
+            Json::Arr(vec![duration_event("B", "a", 0, 1)]),
+        )]);
+        assert!(validate(&unclosed).is_err());
+        let no_events = Json::obj([("schema", Json::Str("x".into()))]);
+        assert!(validate(&no_events).is_err());
+    }
+
+    #[test]
+    fn empty_stream_yields_loadable_document() {
+        let doc = chrome_trace(&[]);
+        assert_eq!(validate(&doc).unwrap(), 0);
+        let back = parse_json(&doc.pretty()).unwrap();
+        assert!(back.get("traceEvents").unwrap().as_arr().unwrap().len() == 1);
+    }
+}

@@ -1,0 +1,290 @@
+//! Noise-aware comparison of two profile reports — the perf-regression
+//! gate behind the `repro_compare` binary.
+//!
+//! Two runs of the same benchmark never time identically, so a naive
+//! "candidate slower than baseline" check flags noise. This module
+//! compares *per-call* kernel means and only declares a regression when
+//! the slowdown clears a threshold with both a relative component and a
+//! statistical one:
+//!
+//! ```text
+//! threshold = rel_tolerance · mean_base
+//!           + noise_sigmas · (std_err_base + std_err_cand)
+//! ```
+//!
+//! The standard errors come straight from the v2 profile schema (derived
+//! from each kernel's latency histogram); v1 profiles carry none, so for
+//! them the gate degrades gracefully to the pure relative check.
+
+use crate::error::Result;
+use crate::metrics::{kernel_table, KernelStats};
+use std::collections::BTreeMap;
+
+/// Tunable thresholds for [`compare_tables`].
+#[derive(Clone, Copy, Debug)]
+pub struct CompareConfig {
+    /// Allowed relative slowdown of the per-call mean (0.5 = +50%).
+    pub rel_tolerance: f64,
+    /// Width of the statistical guard band in combined standard errors.
+    pub noise_sigmas: f64,
+    /// Kernels whose baseline per-call mean is below this (seconds) are
+    /// reported but never gated — they sit in timer-resolution noise.
+    pub min_mean_secs: f64,
+}
+
+impl Default for CompareConfig {
+    fn default() -> Self {
+        Self {
+            rel_tolerance: 0.5,
+            noise_sigmas: 3.0,
+            min_mean_secs: 1e-6,
+        }
+    }
+}
+
+/// Gate outcome for one kernel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Within threshold.
+    Ok,
+    /// Candidate per-call mean exceeded baseline by more than the
+    /// threshold.
+    Regressed,
+    /// Candidate per-call mean improved by more than the threshold.
+    Improved,
+    /// Baseline mean below `min_mean_secs`; informational only.
+    TooSmall,
+    /// Kernel present in only one of the two profiles.
+    Unpaired,
+}
+
+/// Per-kernel comparison row.
+#[derive(Clone, Debug)]
+pub struct KernelDelta {
+    /// Kernel name.
+    pub name: String,
+    /// Baseline per-call mean (seconds); 0 when unpaired.
+    pub base_mean: f64,
+    /// Candidate per-call mean (seconds); 0 when unpaired.
+    pub cand_mean: f64,
+    /// Absolute slowdown threshold applied (seconds).
+    pub threshold: f64,
+    /// Gate outcome.
+    pub verdict: Verdict,
+}
+
+impl KernelDelta {
+    /// Relative change `(cand − base) / base` (0 when base is 0).
+    pub fn rel_change(&self) -> f64 {
+        if self.base_mean > 0.0 {
+            (self.cand_mean - self.base_mean) / self.base_mean
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Full comparison result.
+#[derive(Clone, Debug, Default)]
+pub struct CompareReport {
+    /// One row per kernel seen in either profile, sorted by name.
+    pub rows: Vec<KernelDelta>,
+}
+
+impl CompareReport {
+    /// Number of kernels that regressed.
+    pub fn regressions(&self) -> usize {
+        self.rows
+            .iter()
+            .filter(|r| r.verdict == Verdict::Regressed)
+            .count()
+    }
+
+    /// Whether the gate should fail.
+    pub fn has_regressions(&self) -> bool {
+        self.regressions() > 0
+    }
+
+    /// Renders the human-readable regression table.
+    pub fn table(&self) -> String {
+        let mut out = String::from(
+            "kernel                    base/call      cand/call     change    threshold  verdict\n",
+        );
+        for r in &self.rows {
+            let verdict = match r.verdict {
+                Verdict::Ok => "ok",
+                Verdict::Regressed => "REGRESSED",
+                Verdict::Improved => "improved",
+                Verdict::TooSmall => "too-small",
+                Verdict::Unpaired => "unpaired",
+            };
+            out.push_str(&format!(
+                "{:<24} {:>11.3e} s {:>11.3e} s {:>+8.1}% {:>11.3e}  {}\n",
+                r.name,
+                r.base_mean,
+                r.cand_mean,
+                r.rel_change() * 100.0,
+                r.threshold,
+                verdict
+            ));
+        }
+        out
+    }
+}
+
+fn per_call_mean(s: &KernelStats) -> f64 {
+    if s.calls > 0 {
+        s.seconds / s.calls as f64
+    } else {
+        0.0
+    }
+}
+
+/// Compares two kernel tables under `cfg`.
+pub fn compare_tables(
+    base: &BTreeMap<String, KernelStats>,
+    cand: &BTreeMap<String, KernelStats>,
+    cfg: &CompareConfig,
+) -> CompareReport {
+    let mut names: Vec<&String> = base.keys().chain(cand.keys()).collect();
+    names.sort();
+    names.dedup();
+    let mut rows = Vec::new();
+    for name in names {
+        let row = match (base.get(name), cand.get(name)) {
+            (Some(b), Some(c)) => {
+                let mb = per_call_mean(b);
+                let mc = per_call_mean(c);
+                let threshold =
+                    cfg.rel_tolerance * mb + cfg.noise_sigmas * (b.std_err_secs + c.std_err_secs);
+                let verdict = if mb < cfg.min_mean_secs {
+                    Verdict::TooSmall
+                } else if mc - mb > threshold {
+                    Verdict::Regressed
+                } else if mb - mc > threshold {
+                    Verdict::Improved
+                } else {
+                    Verdict::Ok
+                };
+                KernelDelta {
+                    name: name.clone(),
+                    base_mean: mb,
+                    cand_mean: mc,
+                    threshold,
+                    verdict,
+                }
+            }
+            (b, c) => KernelDelta {
+                name: name.clone(),
+                base_mean: b.map(per_call_mean).unwrap_or(0.0),
+                cand_mean: c.map(per_call_mean).unwrap_or(0.0),
+                threshold: 0.0,
+                verdict: Verdict::Unpaired,
+            },
+        };
+        rows.push(row);
+    }
+    CompareReport { rows }
+}
+
+/// Parses two profile documents (schema v1 or v2) and compares them.
+pub fn compare_profiles(base: &str, cand: &str, cfg: &CompareConfig) -> Result<CompareReport> {
+    Ok(compare_tables(
+        &kernel_table(base)?,
+        &kernel_table(cand)?,
+        cfg,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(calls: u64, seconds: f64, std_err: f64) -> KernelStats {
+        KernelStats {
+            calls,
+            seconds,
+            std_err_secs: std_err,
+            ..Default::default()
+        }
+    }
+
+    fn table(entries: &[(&str, KernelStats)]) -> BTreeMap<String, KernelStats> {
+        entries.iter().map(|(n, s)| (n.to_string(), *s)).collect()
+    }
+
+    #[test]
+    fn identical_profiles_pass() {
+        let t = table(&[
+            ("dgemm", stats(10, 1.0, 1e-3)),
+            ("fft", stats(100, 0.5, 1e-4)),
+        ]);
+        let report = compare_tables(&t, &t, &CompareConfig::default());
+        assert!(!report.has_regressions());
+        assert!(report.rows.iter().all(|r| r.verdict == Verdict::Ok));
+    }
+
+    #[test]
+    fn doubled_kernel_regresses() {
+        let base = table(&[("dgemm", stats(10, 1.0, 1e-3))]);
+        let cand = table(&[("dgemm", stats(10, 2.0, 1e-3))]);
+        let report = compare_tables(&base, &cand, &CompareConfig::default());
+        assert!(report.has_regressions());
+        assert_eq!(report.rows[0].verdict, Verdict::Regressed);
+        assert!(report.table().contains("REGRESSED"));
+    }
+
+    #[test]
+    fn noise_band_absorbs_small_shifts() {
+        // +20% shift is inside the default 50% relative tolerance.
+        let base = table(&[("fft", stats(100, 0.50, 1e-4))]);
+        let cand = table(&[("fft", stats(100, 0.60, 1e-4))]);
+        let report = compare_tables(&base, &cand, &CompareConfig::default());
+        assert!(!report.has_regressions());
+        // With zero relative tolerance the same shift must exceed the
+        // sigma band to regress.
+        let tight = CompareConfig {
+            rel_tolerance: 0.0,
+            noise_sigmas: 3.0,
+            min_mean_secs: 1e-6,
+        };
+        let report = compare_tables(&base, &cand, &tight);
+        assert!(report.has_regressions());
+        // ...unless the runs were noisy enough that 3σ covers it.
+        let noisy_base = table(&[("fft", stats(100, 0.50, 4e-4))]);
+        let noisy_cand = table(&[("fft", stats(100, 0.60, 4e-4))]);
+        let report = compare_tables(&noisy_base, &noisy_cand, &tight);
+        assert!(!report.has_regressions());
+    }
+
+    #[test]
+    fn tiny_kernels_and_unpaired_never_gate() {
+        let base = table(&[
+            ("noise", stats(1000, 1e-7, 0.0)),
+            ("removed", stats(5, 1.0, 0.0)),
+        ]);
+        let cand = table(&[
+            ("noise", stats(1000, 1e-4, 0.0)),
+            ("added", stats(5, 1.0, 0.0)),
+        ]);
+        let report = compare_tables(&base, &cand, &CompareConfig::default());
+        assert!(!report.has_regressions());
+        let verdicts: BTreeMap<_, _> = report
+            .rows
+            .iter()
+            .map(|r| (r.name.clone(), r.verdict))
+            .collect();
+        assert_eq!(verdicts["noise"], Verdict::TooSmall);
+        assert_eq!(verdicts["removed"], Verdict::Unpaired);
+        assert_eq!(verdicts["added"], Verdict::Unpaired);
+    }
+
+    #[test]
+    fn improvement_is_reported_not_gated() {
+        let base = table(&[("dgemm", stats(10, 2.0, 1e-3))]);
+        let cand = table(&[("dgemm", stats(10, 0.5, 1e-3))]);
+        let report = compare_tables(&base, &cand, &CompareConfig::default());
+        assert!(!report.has_regressions());
+        assert_eq!(report.rows[0].verdict, Verdict::Improved);
+    }
+}

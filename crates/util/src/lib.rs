@@ -4,16 +4,21 @@
 //! 3-vectors, physical constants in Hartree atomic units, a deterministic
 //! xoshiro256++ RNG, least-squares fitting (including the Arrhenius fits used
 //! by the hydrogen-on-demand analysis), running statistics, FLOP accounting,
-//! and the workspace error type.
+//! run telemetry (structured events, latency histograms, Chrome-trace
+//! export, profile comparison), and the workspace error type.
 //!
 //! Everything in this crate is dependency-free numerical plumbing; the
 //! physics lives in the higher crates.
 
+pub mod chrometrace;
+pub mod compare;
 pub mod complex;
 pub mod constants;
 pub mod error;
+pub mod events;
 pub mod fit;
 pub mod flops;
+pub mod hist;
 pub mod metrics;
 pub mod rng;
 pub mod stats;

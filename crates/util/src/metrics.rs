@@ -9,18 +9,25 @@
 //! [`kernel_table`] extracts the flattened per-kernel
 //! `(calls, seconds, flops)` aggregates back out of a parsed document.
 //!
-//! Schema (`mqmd-profile-v1`):
+//! Schema (`mqmd-profile-v2`; the parser also accepts `mqmd-profile-v1`
+//! documents, which simply lack the latency-distribution fields):
 //!
 //! ```json
 //! {
-//!   "schema": "mqmd-profile-v1",
+//!   "schema": "mqmd-profile-v2",
 //!   "trace": { "name": "root", "calls": 1, "wall_secs": ..., "flops": ...,
 //!              "bytes": ..., "comm_msgs": ..., "comm_bytes": ...,
 //!              "comm_cost_secs": ..., "children": [ ... ] },
 //!   "kernels": { "gemm": { "calls": ..., "seconds": ..., "flops": ...,
-//!                          "gflops": ... }, ... }
+//!                          "gflops": ..., "p50_secs": ..., "p95_secs": ...,
+//!                          "p99_secs": ..., "std_err_secs": ... }, ... }
 //! }
 //! ```
+//!
+//! The v2 per-kernel quantiles come from the span histograms
+//! ([`crate::hist`]); `std_err_secs` is the standard error of one call's
+//! wall time, reconstructed from the histogram buckets — the noise floor
+//! `repro_compare` uses to separate regressions from jitter.
 
 use crate::error::{MqmdError, Result};
 use crate::trace::TraceNode;
@@ -96,6 +103,45 @@ impl Json {
         self.write(&mut out, 0);
         out.push('\n');
         out
+    }
+
+    /// Serialises on a single line with no whitespace (the JSONL event
+    /// encoding).
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) => write_num(out, *x),
+            Json::Str(s) => write_str(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_str(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
     }
 
     fn write(&self, out: &mut String, indent: usize) {
@@ -360,28 +406,40 @@ fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Json> {
 // Profile report
 // ---------------------------------------------------------------------------
 
-/// Schema identifier written into (and required from) profile documents.
-pub const PROFILE_SCHEMA: &str = "mqmd-profile-v1";
+/// Current schema identifier written into profile documents.
+pub const PROFILE_SCHEMA: &str = "mqmd-profile-v2";
+/// Previous schema, still accepted by [`kernel_table`] (its kernel
+/// entries lack the latency-quantile fields).
+pub const PROFILE_SCHEMA_V1: &str = "mqmd-profile-v1";
 
-/// Renders a trace node (and recursively its children) as JSON.
+/// Renders a trace node (and recursively its children) as JSON. Nodes
+/// with a non-empty latency histogram carry their p50/p95/p99.
 pub fn trace_to_json(node: &TraceNode) -> Json {
-    Json::obj([
-        ("name", Json::Str(node.name.clone())),
-        ("calls", Json::Num(node.calls as f64)),
-        ("wall_secs", Json::Num(node.wall_secs)),
-        ("flops", Json::Num(node.flops as f64)),
-        ("bytes", Json::Num(node.bytes as f64)),
-        ("comm_msgs", Json::Num(node.comm_msgs as f64)),
-        ("comm_bytes", Json::Num(node.comm_bytes as f64)),
-        ("comm_cost_secs", Json::Num(node.comm_cost_secs)),
-        (
-            "children",
-            Json::Arr(node.children.iter().map(trace_to_json).collect()),
-        ),
-    ])
+    let mut pairs = vec![
+        ("name".to_string(), Json::Str(node.name.clone())),
+        ("calls".to_string(), Json::Num(node.calls as f64)),
+        ("wall_secs".to_string(), Json::Num(node.wall_secs)),
+        ("flops".to_string(), Json::Num(node.flops as f64)),
+        ("bytes".to_string(), Json::Num(node.bytes as f64)),
+        ("comm_msgs".to_string(), Json::Num(node.comm_msgs as f64)),
+        ("comm_bytes".to_string(), Json::Num(node.comm_bytes as f64)),
+        ("comm_cost_secs".to_string(), Json::Num(node.comm_cost_secs)),
+    ];
+    if !node.hist.is_empty() {
+        for (key, q) in [("p50_secs", 0.5), ("p95_secs", 0.95), ("p99_secs", 0.99)] {
+            pairs.push((key.to_string(), Json::Num(node.wall_quantile_secs(q))));
+        }
+    }
+    pairs.push((
+        "children".to_string(),
+        Json::Arr(node.children.iter().map(trace_to_json).collect()),
+    ));
+    Json::Obj(pairs)
 }
 
-/// Flattened per-kernel aggregate extracted from a profile.
+/// Flattened per-kernel aggregate extracted from a profile. The quantile
+/// and noise fields are zero for `mqmd-profile-v1` documents (which did
+/// not record distributions).
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct KernelStats {
     /// Number of span entries.
@@ -390,6 +448,14 @@ pub struct KernelStats {
     pub seconds: f64,
     /// Accumulated FLOPs.
     pub flops: u64,
+    /// Median wall seconds of one call.
+    pub p50_secs: f64,
+    /// 95th-percentile wall seconds of one call.
+    pub p95_secs: f64,
+    /// 99th-percentile wall seconds of one call.
+    pub p99_secs: f64,
+    /// Standard error of one call's wall time (histogram-derived).
+    pub std_err_secs: f64,
 }
 
 impl KernelStats {
@@ -412,7 +478,7 @@ impl KernelStats {
     }
 }
 
-/// Builds the `mqmd-profile-v1` document for a trace snapshot.
+/// Builds the `mqmd-profile-v2` document for a trace snapshot.
 /// `kernel_names` selects the spans summarised in the flattened `kernels`
 /// table (aggregated across all positions in the tree); names never entered
 /// are omitted. `extra` appends caller-specific fields (e.g. config).
@@ -424,6 +490,7 @@ pub fn profile_report(
     let mut kernels = Vec::new();
     for &name in kernel_names {
         if let Some(agg) = trace.aggregate(name) {
+            let std_err_secs = agg.hist.running_stats().std_err() * 1e-9;
             kernels.push((
                 name.to_string(),
                 Json::obj([
@@ -431,6 +498,10 @@ pub fn profile_report(
                     ("seconds", Json::Num(agg.wall_secs)),
                     ("flops", Json::Num(agg.flops as f64)),
                     ("gflops", Json::Num(agg.gflops())),
+                    ("p50_secs", Json::Num(agg.wall_quantile_secs(0.5))),
+                    ("p95_secs", Json::Num(agg.wall_quantile_secs(0.95))),
+                    ("p99_secs", Json::Num(agg.wall_quantile_secs(0.99))),
+                    ("std_err_secs", Json::Num(std_err_secs)),
                 ]),
             ));
         }
@@ -444,15 +515,16 @@ pub fn profile_report(
     Json::Obj(pairs)
 }
 
-/// Parses a `mqmd-profile-v1` document and returns its flattened kernel
-/// table. Rejects documents with a missing or different schema tag.
+/// Parses a profile document (schema v1 or v2) and returns its flattened
+/// kernel table. Rejects documents with a missing or unknown schema tag.
+/// v1 documents yield zeroed quantile/noise fields.
 pub fn kernel_table(text: &str) -> Result<BTreeMap<String, KernelStats>> {
     let doc = parse_json(text)?;
     match doc.get("schema").and_then(Json::as_str) {
-        Some(PROFILE_SCHEMA) => {}
+        Some(PROFILE_SCHEMA) | Some(PROFILE_SCHEMA_V1) => {}
         other => {
             return Err(MqmdError::Parse(format!(
-                "expected schema {PROFILE_SCHEMA:?}, found {other:?}"
+                "expected schema {PROFILE_SCHEMA:?} or {PROFILE_SCHEMA_V1:?}, found {other:?}"
             )))
         }
     }
@@ -462,12 +534,17 @@ pub fn kernel_table(text: &str) -> Result<BTreeMap<String, KernelStats>> {
     let Json::Obj(pairs) = kernels else {
         return Err(MqmdError::Parse("'kernels' must be an object".into()));
     };
+    let f = |entry: &Json, key: &str| entry.get(key).and_then(Json::as_f64).unwrap_or(0.0);
     let mut out = BTreeMap::new();
     for (name, entry) in pairs {
         let stats = KernelStats {
             calls: entry.get("calls").and_then(Json::as_u64).unwrap_or(0),
-            seconds: entry.get("seconds").and_then(Json::as_f64).unwrap_or(0.0),
+            seconds: f(entry, "seconds"),
             flops: entry.get("flops").and_then(Json::as_u64).unwrap_or(0),
+            p50_secs: f(entry, "p50_secs"),
+            p95_secs: f(entry, "p95_secs"),
+            p99_secs: f(entry, "p99_secs"),
+            std_err_secs: f(entry, "std_err_secs"),
         };
         out.insert(name.clone(), stats);
     }
@@ -477,6 +554,8 @@ pub fn kernel_table(text: &str) -> Result<BTreeMap<String, KernelStats>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    use crate::hist::HistSnapshot;
 
     fn sample_node() -> TraceNode {
         TraceNode {
@@ -488,6 +567,7 @@ mod tests {
             comm_msgs: 3,
             comm_bytes: 96,
             comm_cost_secs: 1e-5,
+            hist: HistSnapshot::empty(),
             children: vec![TraceNode {
                 name: "gemm".into(),
                 calls: 4,
@@ -497,6 +577,13 @@ mod tests {
                 comm_msgs: 0,
                 comm_bytes: 0,
                 comm_cost_secs: 0.0,
+                // four per-call latencies in ns, roughly matching wall_secs
+                hist: HistSnapshot::from_samples(&[
+                    300_000_000,
+                    350_000_000,
+                    400_000_000,
+                    450_000_000,
+                ]),
                 children: Vec::new(),
             }],
         }
@@ -534,10 +621,14 @@ mod tests {
     }
 
     #[test]
-    fn profile_report_round_trips_kernels() {
+    fn profile_report_round_trips_kernels_v2() {
         let node = sample_node();
         let doc = profile_report(&node, &["gemm", "never_entered"], vec![]);
         let text = doc.pretty();
+        assert_eq!(
+            parse_json(&text).unwrap().get("schema").unwrap().as_str(),
+            Some(PROFILE_SCHEMA)
+        );
         let table = kernel_table(&text).unwrap();
         assert_eq!(table.len(), 1, "absent kernels omitted");
         let g = &table["gemm"];
@@ -545,6 +636,30 @@ mod tests {
         assert_eq!(g.flops, 900);
         assert!((g.seconds - 1.5).abs() < 1e-12);
         assert!((g.gflops() - 900.0 / 1.5 / 1e9).abs() < 1e-15);
+        // quantiles come from the per-call histogram (samples 0.3..0.45 s),
+        // within the 6.25% bucket resolution
+        assert!((g.p50_secs - 0.35).abs() / 0.35 < 0.0625);
+        assert!((g.p99_secs - 0.45).abs() / 0.45 < 0.0625);
+        assert!(g.p50_secs <= g.p95_secs && g.p95_secs <= g.p99_secs);
+        assert!(g.std_err_secs > 0.0);
+    }
+
+    #[test]
+    fn kernel_table_accepts_v1_schema() {
+        let text = format!(
+            "{{\"schema\": \"{PROFILE_SCHEMA_V1}\", \"kernels\": {{\
+             \"fft\": {{\"calls\": 7, \"seconds\": 0.25, \"flops\": 1200}}}}}}"
+        );
+        let table = kernel_table(&text).unwrap();
+        let f = &table["fft"];
+        assert_eq!(f.calls, 7);
+        assert_eq!(f.flops, 1200);
+        assert!((f.seconds - 0.25).abs() < 1e-12);
+        // v1 documents carry no quantile or noise fields: they default to 0
+        assert_eq!(f.p50_secs, 0.0);
+        assert_eq!(f.p95_secs, 0.0);
+        assert_eq!(f.p99_secs, 0.0);
+        assert_eq!(f.std_err_secs, 0.0);
     }
 
     #[test]

@@ -80,6 +80,22 @@ impl RunningStats {
         self.max
     }
 
+    /// Adds `n` copies of the sample `x` in O(1) — merging a degenerate
+    /// zero-variance distribution. Used to reconstruct statistics from
+    /// histogram buckets.
+    pub fn push_n(&mut self, x: f64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.merge(&RunningStats {
+            n,
+            mean: x,
+            m2: 0.0,
+            min: x,
+            max: x,
+        });
+    }
+
     /// Merges another accumulator into this one (parallel reduction).
     pub fn merge(&mut self, o: &RunningStats) {
         if o.n == 0 {
@@ -163,6 +179,23 @@ mod tests {
         assert_eq!(a.count(), all.count());
         assert!((a.mean() - all.mean()).abs() < 1e-12);
         assert!((a.variance() - all.variance()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn push_n_equals_repeated_push() {
+        let mut a = RunningStats::new();
+        let mut b = RunningStats::new();
+        for (x, n) in [(2.5, 3u64), (-1.0, 7), (4.0, 1), (9.5, 0)] {
+            a.push_n(x, n);
+            for _ in 0..n {
+                b.push(x);
+            }
+        }
+        assert_eq!(a.count(), b.count());
+        assert!((a.mean() - b.mean()).abs() < 1e-12);
+        assert!((a.variance() - b.variance()).abs() < 1e-12);
+        assert_eq!(a.min(), b.min());
+        assert_eq!(a.max(), b.max());
     }
 
     #[test]

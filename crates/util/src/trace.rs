@@ -29,7 +29,15 @@
 //!
 //! [`take`] snapshots and resets the tree; `mqmd-util`'s `metrics` module
 //! renders snapshots as JSON for `BENCH_profile.json`.
+//!
+//! Beyond sums, every node owns a log-linear latency histogram
+//! ([`crate::hist::AtomicHist`]) fed by [`SpanGuard`] on drop, so
+//! snapshots carry p50/p95/p99 per kernel; and while the event sink
+//! ([`crate::events`]) is enabled, each span open/close additionally
+//! emits a timestamped `SpanBegin`/`SpanEnd` record, from which the
+//! Chrome-trace exporter reconstructs a per-lane timeline.
 
+use crate::hist::{AtomicHist, HistSnapshot};
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -83,6 +91,7 @@ struct Node {
     name: &'static str,
     children: Vec<usize>,
     counters: Arc<SpanCounters>,
+    hist: Arc<AtomicHist>,
 }
 
 struct Registry {
@@ -96,6 +105,7 @@ impl Registry {
                 name: "root",
                 children: Vec::new(),
                 counters: Arc::new(SpanCounters::default()),
+                hist: Arc::new(AtomicHist::new()),
             }],
         }
     }
@@ -113,6 +123,7 @@ impl Registry {
             name,
             children: Vec::new(),
             counters: Arc::new(SpanCounters::default()),
+            hist: Arc::new(AtomicHist::new()),
         });
         self.nodes[parent].children.push(id);
         id
@@ -126,10 +137,12 @@ fn registry() -> &'static Mutex<Registry> {
     REGISTRY.get_or_init(|| Mutex::new(Registry::fresh()))
 }
 
+/// (node id, counters, name) of a thread's innermost open span; node id 0
+/// = root (no span, empty name).
+type Cur = (usize, Option<Arc<SpanCounters>>, &'static str);
+
 thread_local! {
-    /// (node id, counters) of the innermost span open on this thread; node
-    /// id 0 = root (no span).
-    static CURRENT: RefCell<(usize, Option<Arc<SpanCounters>>)> = const { RefCell::new((0, None)) };
+    static CURRENT: RefCell<Cur> = const { RefCell::new((0, None, "")) };
 }
 
 /// Globally enables or disables tracing. Spans opened while disabled are
@@ -153,17 +166,24 @@ pub fn span(name: &'static str) -> SpanGuard {
         return SpanGuard { state: None };
     }
     let parent = CURRENT.with(|c| c.borrow().0);
-    let (id, counters) = {
+    let (id, counters, hist) = {
         let mut reg = registry().lock().expect("trace registry poisoned");
         let id = reg.child(parent, name);
-        (id, reg.nodes[id].counters.clone())
+        (
+            id,
+            reg.nodes[id].counters.clone(),
+            reg.nodes[id].hist.clone(),
+        )
     };
     counters.calls.fetch_add(1, Ordering::Relaxed);
-    let prev = CURRENT.with(|c| c.replace((id, Some(counters.clone()))));
+    let prev = CURRENT.with(|c| c.replace((id, Some(counters.clone()), name)));
+    crate::events::emit(crate::events::Event::SpanBegin { name });
     SpanGuard {
         state: Some(OpenSpan {
             start: Instant::now(),
+            name,
             counters,
+            hist,
             prev,
         }),
     }
@@ -171,8 +191,10 @@ pub fn span(name: &'static str) -> SpanGuard {
 
 struct OpenSpan {
     start: Instant,
+    name: &'static str,
     counters: Arc<SpanCounters>,
-    prev: (usize, Option<Arc<SpanCounters>>),
+    hist: Arc<AtomicHist>,
+    prev: Cur,
 }
 
 /// RAII guard returned by [`span`].
@@ -185,9 +207,20 @@ impl Drop for SpanGuard {
         if let Some(open) = self.state.take() {
             let ns = open.start.elapsed().as_nanos() as u64;
             open.counters.wall_ns.fetch_add(ns, Ordering::Relaxed);
+            open.hist.record(ns);
+            crate::events::emit(crate::events::Event::SpanEnd { name: open.name });
             CURRENT.with(|c| *c.borrow_mut() = open.prev);
         }
     }
+}
+
+/// Name of the innermost span open on this thread (`""` at root). Used to
+/// stamp event records with their phase context.
+pub fn current_span_name() -> &'static str {
+    if !enabled() {
+        return "";
+    }
+    CURRENT.with(|c| c.borrow().2)
 }
 
 /// Id of the innermost span open on this thread (0 = root). Used by the
@@ -203,7 +236,7 @@ pub fn current_ctx() -> usize {
 /// [`current_ctx`] on the spawning thread) the current span of this thread
 /// for the guard's lifetime.
 pub struct ContextGuard {
-    prev: Option<(usize, Option<Arc<SpanCounters>>)>,
+    prev: Option<Cur>,
 }
 
 impl ContextGuard {
@@ -212,14 +245,14 @@ impl ContextGuard {
         if !enabled() || ctx == 0 {
             return Self { prev: None };
         }
-        let counters = {
+        let named = {
             let reg = registry().lock().expect("trace registry poisoned");
-            reg.nodes.get(ctx).map(|n| n.counters.clone())
+            reg.nodes.get(ctx).map(|n| (n.counters.clone(), n.name))
         };
-        let Some(counters) = counters else {
+        let Some((counters, name)) = named else {
             return Self { prev: None };
         };
-        let prev = CURRENT.with(|c| c.replace((ctx, Some(counters))));
+        let prev = CURRENT.with(|c| c.replace((ctx, Some(counters), name)));
         Self { prev: Some(prev) }
     }
 }
@@ -238,7 +271,7 @@ fn with_current(f: impl FnOnce(&SpanCounters)) {
         return;
     }
     CURRENT.with(|c| {
-        if let (_, Some(counters)) = &*c.borrow() {
+        if let (_, Some(counters), _) = &*c.borrow() {
             f(counters);
         }
     });
@@ -294,6 +327,9 @@ pub struct TraceNode {
     pub comm_bytes: u64,
     /// Hop-weighted modelled communication cost, seconds (inclusive).
     pub comm_cost_secs: f64,
+    /// Per-entry wall-time distribution (nanosecond samples, one per
+    /// call), from which p50/p95/p99 derive.
+    pub hist: HistSnapshot,
     /// Child spans.
     pub children: Vec<TraceNode>,
 }
@@ -303,6 +339,12 @@ impl TraceNode {
     /// concurrent spans whose child durations can exceed the parent's).
     pub fn self_wall_secs(&self) -> f64 {
         (self.wall_secs - self.children.iter().map(|c| c.wall_secs).sum::<f64>()).max(0.0)
+    }
+
+    /// Wall-time quantile of one span entry, in seconds (0 when the span
+    /// recorded no completed entries). `q` ∈ [0, 1].
+    pub fn wall_quantile_secs(&self, q: f64) -> f64 {
+        self.hist.quantile(q) as f64 * 1e-9
     }
 
     /// FLOP throughput of the span in GFLOP/s (0 when no time elapsed).
@@ -337,6 +379,7 @@ impl TraceNode {
                     comm_msgs: 0,
                     comm_bytes: 0,
                     comm_cost_secs: 0.0,
+                    hist: HistSnapshot::empty(),
                     children: Vec::new(),
                 });
                 a.calls += n.calls;
@@ -346,6 +389,7 @@ impl TraceNode {
                 a.comm_msgs += n.comm_msgs;
                 a.comm_bytes += n.comm_bytes;
                 a.comm_cost_secs += n.comm_cost_secs;
+                a.hist.merge(&n.hist);
             }
         });
         acc
@@ -372,6 +416,7 @@ fn snapshot_node(reg: &Registry, id: usize) -> TraceNode {
         comm_msgs: c.comm_msgs.load(Ordering::Relaxed),
         comm_bytes: c.comm_bytes.load(Ordering::Relaxed),
         comm_cost_secs: c.comm_cost_secs(),
+        hist: node.hist.snapshot(),
         children: node
             .children
             .iter()
@@ -394,7 +439,7 @@ pub fn take() -> TraceNode {
     let snap = snapshot_node(&reg, 0);
     *reg = Registry::fresh();
     drop(reg);
-    CURRENT.with(|c| *c.borrow_mut() = (0, None));
+    CURRENT.with(|c| *c.borrow_mut() = (0, None, ""));
     snap
 }
 
@@ -515,6 +560,54 @@ mod tests {
         let outer = t.find("parallel_region").unwrap();
         assert_eq!(outer.flops, 42, "worker flops attributed to spawning span");
         assert_eq!(outer.find("worker_kernel").unwrap().flops, 8);
+    }
+
+    #[test]
+    fn spans_record_latency_histograms() {
+        let _g = lock();
+        set_enabled(true);
+        let _ = take();
+        {
+            let _a = span("phase_a");
+            for _ in 0..5 {
+                let _k = span("kernel");
+            }
+        }
+        {
+            let _b = span("phase_b");
+            for _ in 0..3 {
+                let _k = span("kernel");
+            }
+        }
+        set_enabled(false);
+        let t = take();
+        let a = t.find("phase_a").unwrap().find("kernel").unwrap();
+        assert_eq!(a.hist.count(), 5, "one histogram sample per entry");
+        // Aggregation across parents merges the histograms.
+        let agg = t.aggregate("kernel").unwrap();
+        assert_eq!(agg.hist.count(), 8);
+        assert!(agg.wall_quantile_secs(0.5) >= 0.0);
+        assert!(agg.wall_quantile_secs(0.99) >= agg.wall_quantile_secs(0.5));
+    }
+
+    #[test]
+    fn current_span_name_tracks_nesting() {
+        let _g = lock();
+        set_enabled(true);
+        let _ = take();
+        assert_eq!(current_span_name(), "");
+        {
+            let _a = span("outer");
+            assert_eq!(current_span_name(), "outer");
+            {
+                let _b = span("inner");
+                assert_eq!(current_span_name(), "inner");
+            }
+            assert_eq!(current_span_name(), "outer");
+        }
+        assert_eq!(current_span_name(), "");
+        set_enabled(false);
+        let _ = take();
     }
 
     #[test]

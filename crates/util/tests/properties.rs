@@ -1,5 +1,7 @@
 //! Property-based tests of the numerical foundation.
 
+use mqmd_util::hist::HistSnapshot;
+use mqmd_util::metrics::{parse_json, Json};
 use mqmd_util::{Complex64, Vec3, Xoshiro256pp};
 use proptest::prelude::*;
 
@@ -86,6 +88,73 @@ proptest! {
         a.merge(&b);
         prop_assert!((a.mean() - all.mean()).abs() < 1e-9);
         prop_assert!((a.variance() - all.variance()).abs() < 1e-7 * (1.0 + all.variance()));
+    }
+
+    #[test]
+    fn hist_quantiles_match_exact_within_resolution(raw in prop::collection::vec(any::<u64>(), 1..200)) {
+        // Spread samples over 12 decades so every bucket regime (exact,
+        // low octaves, high octaves) is exercised.
+        let samples: Vec<u64> = raw.iter().map(|&v| v % 1_000_000_000_000).collect();
+        let hist = HistSnapshot::from_samples(&samples);
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for &q in &[0.5, 0.95, 0.99] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+            let exact = sorted[rank - 1] as f64;
+            let approx = hist.quantile(q) as f64;
+            // Log-linear buckets with 16 sub-buckets per octave bound the
+            // relative error by 1/16; +1 absorbs integer bucket midpoints.
+            prop_assert!(
+                (approx - exact).abs() <= exact * 0.0625 + 1.0,
+                "q={} exact={} approx={}", q, exact, approx
+            );
+        }
+    }
+
+    #[test]
+    fn running_stats_push_n_matches_repeated_push(raw in prop::collection::vec(any::<u64>(), 1..20)) {
+        let mut bulk = mqmd_util::stats::RunningStats::new();
+        let mut single = mqmd_util::stats::RunningStats::new();
+        for &r in &raw {
+            // Decode each u64 into a value in [-100, 100) and a count in
+            // [0, 16).
+            let x = ((r >> 4) % 200_000) as f64 / 1000.0 - 100.0;
+            let n = r & 0xF;
+            bulk.push_n(x, n);
+            for _ in 0..n {
+                single.push(x);
+            }
+        }
+        prop_assert_eq!(bulk.count(), single.count());
+        prop_assert!((bulk.mean() - single.mean()).abs() < 1e-9);
+        prop_assert!((bulk.variance() - single.variance()).abs() < 1e-7 * (1.0 + single.variance()));
+    }
+
+    #[test]
+    fn json_round_trips_escapes_unicode_and_nesting(codes in prop::collection::vec(1u64..0x11000, 0..30),
+                                                    depth in 0usize..24) {
+        // Arbitrary scalar values (surrogates are rejected by from_u32),
+        // plus a fixed string covering every escape class.
+        let s: String = codes.iter().filter_map(|&c| char::from_u32(c as u32)).collect();
+        let mut v = Json::obj([
+            ("s", Json::Str(s)),
+            ("escapes", Json::Str("quote \" backslash \\ ctrl \u{1} nl \n tab \t ü — \u{10348}".into())),
+            ("nums", Json::Arr(vec![Json::Num(-0.0), Json::Num(1e-12), Json::Num(3.5e8)])),
+        ]);
+        // Deep alternating array/object nesting.
+        for i in 0..depth {
+            v = if i % 2 == 0 {
+                Json::Arr(vec![v, Json::Null, Json::Bool(true)])
+            } else {
+                Json::Obj(vec![("k".to_string(), v)])
+            };
+        }
+        let pretty_back = parse_json(&v.pretty());
+        prop_assert!(pretty_back.is_ok());
+        prop_assert_eq!(&v, &pretty_back.unwrap());
+        let compact_back = parse_json(&v.compact());
+        prop_assert!(compact_back.is_ok());
+        prop_assert_eq!(&v, &compact_back.unwrap());
     }
 
     #[test]

@@ -25,7 +25,10 @@
 //!
 //! The shim additionally propagates the `mqmd_util::trace` span context
 //! into worker threads, so FLOP/byte counters recorded inside parallel
-//! kernels attribute to the span that was open at the call site.
+//! kernels attribute to the span that was open at the call site, and
+//! assigns each spawned worker a `mqmd_util::events` worker lane so
+//! telemetry (and the Chrome-trace timeline) shows workers as separate
+//! rows.
 
 use std::cell::Cell;
 use std::marker::PhantomData;
@@ -153,6 +156,9 @@ fn run_indexed<F: Fn(usize) + Sync>(n: usize, f: F) {
     let chunk = (n / (threads * 8)).max(1);
     let worker = |install_ctx: bool| {
         let _g = install_ctx.then(|| mqmd_util::trace::ContextGuard::enter(ctx));
+        // Spawned workers get their own telemetry lane (the caller keeps
+        // whatever lane it already has, typically main or a rank).
+        let _lane = install_ctx.then(mqmd_util::events::LaneGuard::worker);
         loop {
             let i0 = next.fetch_add(chunk, Ordering::Relaxed);
             if i0 >= n {
@@ -526,6 +532,30 @@ mod tests {
         let v: Vec<usize> = pool3.install(|| (0..1000).into_par_iter().map(|i| i + 1).collect());
         assert_eq!(v.len(), 1000);
         assert_eq!(v[999], 1000);
+    }
+
+    #[test]
+    fn spawned_workers_get_worker_lanes() {
+        use mqmd_util::events::{current_lane, Lane};
+        use std::collections::BTreeSet;
+        use std::sync::Mutex;
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let lanes = Mutex::new(BTreeSet::new());
+        pool.install(|| {
+            (0..1000).into_par_iter().for_each(|_| {
+                lanes.lock().unwrap().insert(current_lane());
+            });
+        });
+        let lanes = lanes.into_inner().unwrap();
+        let workers = lanes
+            .iter()
+            .filter(|&&l| matches!(Lane::decode(l), Lane::Worker(_)))
+            .count();
+        // 3 spawned threads get worker lanes; the caller participates on
+        // its own (control) lane. Scheduling may starve a spawned thread,
+        // but at least one must have run to cover 1000 items.
+        assert!(workers >= 1, "lanes: {lanes:?}");
+        assert!(lanes.len() <= 4);
     }
 
     #[test]
