@@ -65,7 +65,8 @@ fn nonlocal_paths(c: &mut Criterion) {
         })
         .collect();
     let v = ionic_local_potential(basis.grid(), &atoms);
-    let h = KsHamiltonian::new(&basis, v, build_projectors(&basis, &atoms));
+    let nl = build_projectors(&basis, &atoms);
+    let h = KsHamiltonian::new(&basis, v, nl.as_ref());
     let psi = basis.random_bands(16, 9);
     let mut g = c.benchmark_group("ablation_eq4_vs_eq5");
     g.sample_size(20);

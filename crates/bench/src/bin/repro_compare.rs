@@ -9,17 +9,20 @@
 //!
 //! Usage:
 //! `repro_compare baseline.json candidate.json \
-//!  [--rel-tol X] [--sigmas Y] [--min-mean Z]`
+//!  [--rel-tol X] [--sigmas Y] [--min-mean Z] [--gate-allocs]`
 //!
-//! Exit codes: 0 = no regression, 1 = regression detected, 2 = bad
-//! arguments or unreadable/invalid profiles.
+//! `--gate-allocs` additionally diffs the v3 steady-state SCF workspace-miss
+//! gauges and hard-fails if the candidate's grew over the baseline's.
+//!
+//! Exit codes: 0 = no regression, 1 = regression detected (timing or
+//! allocation), 2 = bad arguments or unreadable/invalid profiles.
 
 use mqmd_util::compare::{compare_profiles, CompareConfig};
 
 fn usage() -> ! {
     eprintln!(
         "usage: repro_compare <baseline.json> <candidate.json> \
-         [--rel-tol X] [--sigmas Y] [--min-mean Z]"
+         [--rel-tol X] [--sigmas Y] [--min-mean Z] [--gate-allocs]"
     );
     std::process::exit(2);
 }
@@ -44,6 +47,7 @@ fn main() {
             "--rel-tol" => cfg.rel_tolerance = parse_value(&mut args, "--rel-tol"),
             "--sigmas" => cfg.noise_sigmas = parse_value(&mut args, "--sigmas"),
             "--min-mean" => cfg.min_mean_secs = parse_value(&mut args, "--min-mean"),
+            "--gate-allocs" => cfg.gate_allocs = true,
             _ if arg.starts_with("--") => usage(),
             _ => paths.push(arg),
         }
@@ -76,9 +80,14 @@ fn main() {
         cfg.rel_tolerance, cfg.noise_sigmas, cfg.min_mean_secs
     );
     print!("{}", report.table());
-    let n = report.regressions();
-    if n > 0 {
-        println!("\n{n} kernel(s) regressed");
+    if report.has_regressions() {
+        let n = report.regressions();
+        if n > 0 {
+            println!("\n{n} kernel(s) regressed");
+        }
+        if report.alloc_gate.is_some_and(|g| g.failed) {
+            println!("steady-state SCF allocation count grew");
+        }
         std::process::exit(1);
     }
     println!("\nno regressions");

@@ -1,5 +1,5 @@
-//! Profiles one small LDC-DFT QMD step under the hierarchical tracer and
-//! writes `BENCH_profile.json` (`mqmd-profile-v2`), a Chrome-trace
+//! Profiles a small LDC-DFT QMD run under the hierarchical tracer and
+//! writes `BENCH_profile.json` (`mqmd-profile-v3`), a Chrome-trace
 //! timeline (`BENCH_trace.json`, loadable in `chrome://tracing` or
 //! Perfetto), and the structured event log (`BENCH_events.jsonl`).
 //!
@@ -9,7 +9,14 @@
 //! models of `mqmd-parallel` then consume those timings instead of any
 //! hand-entered wall-clock constant (`repro_scaling` reads the file back).
 //! The v2 schema adds per-kernel latency quantiles (p50/p95/p99) and the
-//! standard error `repro_compare` uses as its noise band.
+//! standard error `repro_compare` uses as its noise band; v3 adds
+//! per-kernel `alloc_count`/`alloc_bytes` and a top-level `alloc` block
+//! with the steady-state workspace-miss gauge that
+//! `repro_compare --gate-allocs` hard-fails on. The gauge is measured
+//! directly: the first QMD step warms every plan and workspace, and the
+//! second step's global workspace-miss delta is the number of hot-path
+//! allocations a steady-state step still pays (0 when the plan/workspace
+//! refactor holds).
 //!
 //! Usage:
 //! `cargo run --release -p mqmd-bench --bin repro_profile \
@@ -24,8 +31,8 @@ use mqmd_parallel::collectives::{charge_alltoall, charge_octree_reduce};
 use mqmd_parallel::executor::run_ranks;
 use mqmd_parallel::measured::{MeasuredProfile, PROFILE_PATH};
 use mqmd_parallel::MachineSpec;
-use mqmd_util::metrics::{profile_report, Json};
-use mqmd_util::{chrometrace, events, trace};
+use mqmd_util::metrics::{alloc_block, profile_report, Json};
+use mqmd_util::{chrometrace, events, trace, workspace};
 
 /// Default Chrome-trace output path.
 const TRACE_PATH: &str = "BENCH_trace.json";
@@ -75,17 +82,27 @@ fn main() {
     events::set_enabled(true);
     let _ = events::drain();
 
-    // 1. One real QMD step of the 8-atom SiC cell through the full LDC
-    //    pipeline (domain decomposition, SCF, Davidson, Hartree solve) —
-    //    populates the compute spans.
-    println!("== repro_profile: tracing one LDC-DFT QMD step ==\n");
+    // 1. Two real QMD steps of the 8-atom SiC cell through the full LDC
+    //    pipeline (domain decomposition, SCF, Davidson, Hartree solve).
+    //    The first step warms every plan and workspace; the global
+    //    workspace-miss delta across the second is the steady-state
+    //    hot-path allocation gauge the perf gate watches.
+    println!("== repro_profile: tracing a two-step LDC-DFT QMD run ==\n");
     let mut sys = sic_supercell((1, 1, 1));
     let mut solver = LdcSolver::new(tiny_ldc_config());
     let mut driver: QmdDriver<Berendsen> = QmdDriver::new(10.0, None);
+    let warm = driver.run(&mut sys, &mut solver, 1);
+    let pre_steady = workspace::global_stats().snapshot();
     let report = driver.run(&mut sys, &mut solver, 1);
+    let steady = workspace::global_stats().snapshot().since(&pre_steady);
     println!(
-        "QMD step done: {} SCF iterations, {:.2} s wall",
-        report.scf_iterations, report.wall_seconds
+        "QMD steps done: {} + {} SCF iterations, {:.2} s wall; \
+         steady-state workspace misses {} (hits {})",
+        warm.scf_iterations,
+        report.scf_iterations,
+        warm.wall_seconds + report.wall_seconds,
+        steady.misses,
+        steady.hits
     );
 
     // 2. One standalone single-domain Kohn–Sham solve on the Fig 5 64-atom
@@ -137,6 +154,7 @@ fn main() {
             .unwrap_or(0),
         records.len()
     );
+    let total_alloc = workspace::global_stats().snapshot();
     let extra = vec![
         ("atoms".to_string(), Json::Num(sys.len() as f64)),
         (
@@ -144,6 +162,10 @@ fn main() {
             Json::Num(report.scf_iterations as f64),
         ),
         ("domain_solve_fig5_secs".to_string(), Json::Num(t_domain)),
+        (
+            "alloc".to_string(),
+            alloc_block(&total_alloc, steady.misses),
+        ),
     ];
     let doc = profile_report(&node, KERNELS, extra);
     if let Err(e) = std::fs::write(&out_path, doc.pretty()) {
@@ -159,7 +181,13 @@ fn main() {
         "{}",
         row(
             "kernel",
-            &["calls".into(), "seconds".into(), "GFLOP/s".into()]
+            &[
+                "calls".into(),
+                "seconds".into(),
+                "GFLOP/s".into(),
+                "alloc_count".into(),
+                "alloc_bytes".into(),
+            ]
         )
     );
     for (name, k) in profile.kernels() {
@@ -171,10 +199,17 @@ fn main() {
                     format!("{}", k.calls),
                     format!("{:.4}", k.seconds),
                     format!("{:.3}", k.gflops()),
+                    format!("{}", k.alloc_count),
+                    format!("{}", k.alloc_bytes),
                 ]
             )
         );
     }
+    println!(
+        "\nworkspace arena: {} hits / {} misses ({} miss bytes); \
+         steady-state SCF workspace misses: {}",
+        total_alloc.hits, total_alloc.misses, total_alloc.miss_bytes, steady.misses
+    );
 
     let t = profile
         .domain_solve_seconds()

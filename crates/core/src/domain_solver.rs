@@ -9,11 +9,12 @@
 //! global grid, and the lowest bands are found with the preconditioned
 //! block-Davidson solver of `mqmd-dft`.
 
-use mqmd_dft::eigensolver::block_davidson;
-use mqmd_dft::hamiltonian::{build_projectors, KsHamiltonian};
+use mqmd_dft::eigensolver::{block_davidson_with, EigWorkspace};
+use mqmd_dft::hamiltonian::{build_projectors, KsHamiltonian, Nonlocal};
 use mqmd_dft::pw::PlaneWaveBasis;
 use mqmd_dft::species::Pseudopotential;
 use mqmd_grid::{Domain, DomainDecomposition, UniformGrid3};
+use mqmd_linalg::gemm::{zgemm, zgemm_dagger_a_into};
 use mqmd_linalg::CMatrix;
 use mqmd_md::AtomicSystem;
 use mqmd_util::{events, Result, Vec3};
@@ -36,6 +37,9 @@ pub struct DomainSetup {
     pub v_ion: Vec<f64>,
     /// Support function pα sampled on the local grid.
     pub p_alpha: Vec<f64>,
+    /// Kleinman–Bylander projectors on the domain basis, built once per
+    /// geometry and reused across every SCF iteration's Hamiltonian.
+    pub nonlocal: Option<Nonlocal>,
     /// Number of bands to solve for.
     pub n_bands: usize,
     /// Valence electrons contributed by core atoms (bookkeeping).
@@ -102,6 +106,9 @@ impl DomainSetup {
         // count even though the mean core weight is only
         // core-volume/box-volume.
         let n_bands = ((electrons_in_box / 2.0 * 1.3).ceil() as usize + extra_bands).max(1);
+        let dft_atoms: Vec<(Pseudopotential, Vec3)> =
+            atoms.iter().map(|(p, r, _)| (*p, *r)).collect();
+        let nonlocal = build_projectors(&basis, &dft_atoms);
         Some(Self {
             domain: domain.clone(),
             grid,
@@ -110,6 +117,7 @@ impl DomainSetup {
             core_atoms,
             v_ion,
             p_alpha,
+            nonlocal,
             n_bands,
             core_electrons,
         })
@@ -171,19 +179,36 @@ pub fn solve_domain(
     max_iter: usize,
     tol: f64,
 ) -> Result<DomainBands> {
+    let mut ew = EigWorkspace::new();
+    solve_domain_with(setup, v_hxc, v_bc, psi0, max_iter, tol, &mut ew)
+}
+
+/// Allocation-free form of [`solve_domain`]: every scratch buffer (the
+/// effective potential, Davidson block matrices, FFT fields, per-band
+/// analysis buffers) comes from `ew`, so a warm per-domain workspace makes
+/// steady-state SCF iterations allocation-free on the hot path.
+#[allow(clippy::too_many_arguments)]
+pub fn solve_domain_with(
+    setup: &DomainSetup,
+    v_hxc: &[f64],
+    v_bc: &[f64],
+    psi0: Option<CMatrix>,
+    max_iter: usize,
+    tol: f64,
+    ew: &mut EigWorkspace,
+) -> Result<DomainBands> {
     let _span = mqmd_util::trace::span("domain_solve");
     let sw = mqmd_util::timer::Stopwatch::start();
     assert_eq!(v_hxc.len(), setup.grid.len());
     assert_eq!(v_bc.len(), setup.grid.len());
-    let v_eff: Vec<f64> = setup
-        .v_ion
-        .iter()
-        .zip(v_hxc)
-        .zip(v_bc)
-        .map(|((a, b), c)| a + b + c)
-        .collect();
-    let nl = build_projectors(&setup.basis, &setup.dft_atoms());
-    let h = KsHamiltonian::new(&setup.basis, v_eff, nl);
+    let mut v_eff = ew.ws.take_f64(setup.grid.len());
+    for (o, ((a, b), c)) in v_eff
+        .iter_mut()
+        .zip(setup.v_ion.iter().zip(v_hxc).zip(v_bc))
+    {
+        *o = a + b + c;
+    }
+    let h = KsHamiltonian::new(&setup.basis, v_eff, setup.nonlocal.as_ref());
 
     let mut psi = match psi0 {
         Some(p) if p.rows() == setup.basis.len() && p.cols() == setup.n_bands => p,
@@ -191,7 +216,9 @@ pub fn solve_domain(
             .basis
             .random_bands(setup.n_bands, 0xC0DE ^ setup.domain.id as u64),
     };
-    let report = match block_davidson(&h, &mut psi, max_iter, tol) {
+    let np = setup.basis.len();
+    let nb = setup.n_bands;
+    let report = match block_davidson_with(&h, &mut psi, max_iter, tol, ew) {
         Ok(r) => r,
         Err(mqmd_util::MqmdError::Convergence {
             iterations,
@@ -211,53 +238,77 @@ pub fn solve_domain(
                 value: residual,
                 bound: tol,
             });
-            let h_psi = h.apply(&psi);
-            let hs = mqmd_linalg::gemm::zgemm_dagger_a(&psi, &h_psi);
-            let (vals, v) = mqmd_linalg::eigen::zheev(&hs)?;
-            let mut rot = CMatrix::zeros(psi.rows(), psi.cols());
-            mqmd_linalg::gemm::zgemm(
+            let mut h_psi = CMatrix::from_vec(np, nb, ew.ws.take_c64(np * nb));
+            h.apply_into(&psi, &mut h_psi, &ew.ws);
+            let mut hs = CMatrix::from_vec(nb, nb, ew.ws.take_c64(nb * nb));
+            zgemm_dagger_a_into(&psi, &h_psi, &mut hs, &ew.ws);
+            let eig = mqmd_linalg::eigen::zheev(&hs);
+            ew.ws.give_c64(hs.into_data());
+            ew.ws.give_c64(h_psi.into_data());
+            let (vals, v) = match eig {
+                Ok(x) => x,
+                Err(e) => {
+                    ew.ws.give_f64(h.v_local);
+                    return Err(e);
+                }
+            };
+            let mut rot = CMatrix::from_vec(np, nb, ew.ws.take_c64(np * nb));
+            zgemm(
                 mqmd_util::Complex64::ONE,
                 &psi,
                 &v,
                 mqmd_util::Complex64::ZERO,
                 &mut rot,
             );
-            psi = rot;
+            psi.data_mut().copy_from_slice(rot.data());
+            ew.ws.give_c64(rot.into_data());
             mqmd_dft::eigensolver::EigenReport {
                 eigenvalues: vals,
                 iterations,
                 residual: f64::NAN,
             }
         }
-        Err(e) => return Err(e),
+        Err(e) => {
+            ew.ws.give_f64(h.v_local);
+            return Err(e);
+        }
     };
 
     let dv = setup.grid.dv();
+    let grid_len = setup.grid.len();
     let mut band_densities = Vec::with_capacity(setup.n_bands);
     let mut weights = Vec::with_capacity(setup.n_bands);
     let mut h_weights = Vec::with_capacity(setup.n_bands);
-    for n in 0..setup.n_bands {
-        let band = psi.col(n);
-        let real = setup.basis.to_real(&band);
-        let h_real = setup.basis.to_real(&h.apply_band(&band));
-        let dens: Vec<f64> = real.iter().map(|z| z.norm_sqr()).collect();
-        let w: f64 = dens
-            .iter()
-            .zip(&setup.p_alpha)
-            .map(|(d, p)| d * p)
-            .sum::<f64>()
-            * dv;
-        let hw: f64 = real
-            .iter()
-            .zip(&h_real)
-            .zip(&setup.p_alpha)
-            .map(|((psi_r, h_r), p)| p * (psi_r.conj() * *h_r).re)
-            .sum::<f64>()
-            * dv;
-        band_densities.push(dens);
-        weights.push(w);
-        h_weights.push(hw);
+    {
+        let mut band = ew.ws.borrow_c64(np);
+        let mut h_band = ew.ws.borrow_c64(np);
+        let mut real = ew.ws.borrow_c64(grid_len);
+        let mut h_real = ew.ws.borrow_c64(grid_len);
+        for n in 0..setup.n_bands {
+            psi.col_into(n, &mut band);
+            setup.basis.to_real_into(&band, &mut real, &ew.ws);
+            h.apply_band_into(&band, &mut h_band, &ew.ws);
+            setup.basis.to_real_into(&h_band, &mut h_real, &ew.ws);
+            let dens: Vec<f64> = real.iter().map(|z| z.norm_sqr()).collect();
+            let w: f64 = dens
+                .iter()
+                .zip(&setup.p_alpha)
+                .map(|(d, p)| d * p)
+                .sum::<f64>()
+                * dv;
+            let hw: f64 = real
+                .iter()
+                .zip(h_real.iter())
+                .zip(&setup.p_alpha)
+                .map(|((psi_r, h_r), p)| p * (psi_r.conj() * *h_r).re)
+                .sum::<f64>()
+                * dv;
+            band_densities.push(dens);
+            weights.push(w);
+            h_weights.push(hw);
+        }
     }
+    ew.ws.give_f64(h.v_local);
     events::emit(events::Event::DomainSolve {
         domain: setup.domain.id as u32,
         bands: setup.n_bands as u32,
@@ -326,9 +377,10 @@ mod tests {
         let basis = PlaneWaveBasis::new(setup.grid.clone(), 3.0);
         let atoms = setup.dft_atoms();
         let v = mqmd_dft::hamiltonian::ionic_local_potential(&setup.grid, &atoms);
-        let h = KsHamiltonian::new(&basis, v, build_projectors(&basis, &atoms));
+        let nl = build_projectors(&basis, &atoms);
+        let h = KsHamiltonian::new(&basis, v, nl.as_ref());
         let mut psi = basis.random_bands(setup.n_bands, 1);
-        let rep = block_davidson(&h, &mut psi, 80, 1e-6).unwrap();
+        let rep = mqmd_dft::eigensolver::block_davidson(&h, &mut psi, 80, 1e-6).unwrap();
         assert!(
             (bands.eigenvalues[0] - rep.eigenvalues[0]).abs() < 1e-6,
             "{} vs {}",

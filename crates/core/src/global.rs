@@ -19,18 +19,20 @@
 //! scalar μ — which is precisely the communication-avoiding abstraction the
 //! paper credits for its 0.984 weak-scaling efficiency (§5.1).
 
-use crate::domain_solver::{solve_domain, DomainBands, DomainSetup};
+use crate::domain_solver::{solve_domain_with, DomainBands, DomainSetup};
 use mqmd_dft::density::fermi;
+use mqmd_dft::eigensolver::EigWorkspace;
 use mqmd_dft::ewald::ewald;
 use mqmd_dft::forces::{local_forces, nonlocal_forces};
-use mqmd_dft::hamiltonian::{build_projectors, ionic_local_potential};
+use mqmd_dft::hamiltonian::ionic_local_potential;
 use mqmd_dft::scf::initial_density;
 use mqmd_dft::solver::{atoms_of, grid_for_cell};
 use mqmd_dft::xc;
 use mqmd_grid::{DomainDecomposition, UniformGrid3};
 use mqmd_linalg::CMatrix;
 use mqmd_md::{AtomicSystem, ForceField, ForceResult};
-use mqmd_multigrid::{FftPoisson, PoissonMultigrid};
+use mqmd_multigrid::{FftPoisson, MgHierarchy, PoissonMultigrid};
+use mqmd_util::workspace::{self, Workspace};
 use mqmd_util::{MqmdError, Result, Vec3};
 use rayon::prelude::*;
 use std::collections::HashMap;
@@ -171,6 +173,16 @@ pub struct LdcSolver {
     /// Configuration (public: benches sweep `buffer`/`mode` in place).
     pub config: LdcConfig,
     psi_cache: HashMap<usize, CMatrix>,
+    /// Per-domain eigensolver workspaces, persisted across SCF iterations
+    /// and MD steps so steady-state domain solves run allocation-free.
+    eig_cache: HashMap<usize, EigWorkspace>,
+    /// Preplanned multigrid V-cycle scratch for the global Hartree solve,
+    /// persisted across MD steps (replanned only if the global grid
+    /// changes).
+    mg_hier: Option<MgHierarchy>,
+    /// Arena for global-grid FFT scratch (spectral Hartree path),
+    /// persisted across MD steps.
+    gws: Workspace,
     /// Cumulative SCF iterations across all `solve` calls.
     pub total_scf_iterations: usize,
 }
@@ -235,14 +247,19 @@ impl LdcSolver {
         Self {
             config,
             psi_cache: HashMap::new(),
+            eig_cache: HashMap::new(),
+            mg_hier: None,
+            gws: Workspace::new(),
             total_scf_iterations: 0,
         }
     }
 
-    /// Drops cached wave functions (needed when changing domain topology or
-    /// basis parameters between calls).
+    /// Drops cached wave functions and workspaces (needed when changing
+    /// domain topology or basis parameters between calls).
     pub fn clear_cache(&mut self) {
         self.psi_cache.clear();
+        self.eig_cache.clear();
+        self.mg_hier = None;
     }
 
     /// Solves the electronic structure of `system` with LDC-DFT.
@@ -278,15 +295,26 @@ impl LdcSolver {
             return Err(MqmdError::Invalid("no atoms in any domain".into()));
         }
 
-        // Global Poisson machinery.
+        // Global Poisson machinery: the V-cycle hierarchy is planned once
+        // per solve and reused by every SCF iteration's two Hartree calls.
         let mg = PoissonMultigrid::with_defaults(global_grid.clone());
-        let fft_poisson = FftPoisson::new(global_grid.clone());
-        let hartree = |rho: &[f64]| -> Result<Vec<f64>> {
-            match cfg.hartree {
-                HartreeSolver::Multigrid => mg.hartree(rho),
-                HartreeSolver::Fft => Ok(fft_poisson.hartree(rho)),
-            }
+        let mut mg_hier = match cfg.hartree {
+            HartreeSolver::Multigrid => Some(match self.mg_hier.take() {
+                Some(h)
+                    if h.fine_len() == global_grid.len()
+                        && h.coarse_levels() + 1 == mg.levels() =>
+                {
+                    workspace::record_reuse();
+                    h
+                }
+                _ => mg.plan(),
+            }),
+            HartreeSolver::Fft => None,
         };
+        let fft_poisson = FftPoisson::new(global_grid.clone());
+        // Arena for the global-grid FFT scratch (spectral Hartree path),
+        // taken out of self for the duration of the solve.
+        let gws = std::mem::take(&mut self.gws);
 
         let ion_positions: Vec<Vec3> = atoms_global.iter().map(|(_, r)| *r).collect();
         let ion_charges: Vec<f64> = atoms_global.iter().map(|(p, _)| p.z_val).collect();
@@ -301,6 +329,15 @@ impl LdcSolver {
         // Previous-iteration domain densities, for the LDC boundary potential.
         let mut rho_domains: HashMap<usize, Vec<f64>> = HashMap::new();
         let psi_cache = Mutex::new(std::mem::take(&mut self.psi_cache));
+        let eig_cache = Mutex::new(std::mem::take(&mut self.eig_cache));
+
+        // Global-grid potential fields, allocated once and rewritten in
+        // place each SCF iteration.
+        let n_g = global_grid.len();
+        let mut v_h = vec![0.0; n_g];
+        let mut v_xc = vec![0.0; n_g];
+        let mut v_hxc = vec![0.0; n_g];
+        let mut v_h_out = vec![0.0; n_g];
 
         #[allow(clippy::type_complexity)]
         let mut outcome: Option<(
@@ -316,10 +353,16 @@ impl LdcSolver {
         let mut prev_residual = f64::INFINITY;
         for iter in 1..=cfg.max_scf {
             let _span = mqmd_util::trace::span("scf_iter");
-            let v_h = hartree(&rho)?;
-            let mut v_xc = vec![0.0; rho.len()];
+            match (cfg.hartree, mg_hier.as_mut()) {
+                (HartreeSolver::Multigrid, Some(hier)) => {
+                    mg.hartree_with(&rho, &mut v_h, hier)?;
+                }
+                _ => fft_poisson.hartree_into(&rho, &mut v_h, &gws),
+            }
             xc::vxc_field(&rho, &mut v_xc);
-            let v_hxc: Vec<f64> = v_h.iter().zip(&v_xc).map(|(a, b)| a + b).collect();
+            for (o, (a, b)) in v_hxc.iter_mut().zip(v_h.iter().zip(&v_xc)) {
+                *o = a + b;
+            }
 
             // Conquer: solve every domain in parallel.
             let solved: Vec<(usize, DomainBands)> = setups
@@ -347,15 +390,25 @@ impl LdcSolver {
                         .lock()
                         .expect("psi cache lock")
                         .remove(&setup.domain.id);
-                    let bands = solve_domain(
+                    let mut ew = eig_cache
+                        .lock()
+                        .expect("eig cache lock")
+                        .remove(&setup.domain.id)
+                        .unwrap_or_default();
+                    let bands = solve_domain_with(
                         setup,
                         &v_hxc_local,
                         &v_bc,
                         psi0,
                         cfg.davidson_iters,
                         cfg.davidson_tol,
-                    )?;
-                    Ok((setup.domain.id, bands))
+                        &mut ew,
+                    );
+                    eig_cache
+                        .lock()
+                        .expect("eig cache lock")
+                        .insert(setup.domain.id, ew);
+                    Ok((setup.domain.id, bands?))
                 })
                 .collect::<Result<Vec<_>>>()?;
 
@@ -435,30 +488,25 @@ impl LdcSolver {
                 * global_grid.dv()
                 / n_electrons;
 
-            // Total energy with the standard double-counting corrections.
-            let hartree_dc: f64 = global_grid.integrate(
-                &rho_out
-                    .iter()
-                    .zip(&v_h)
-                    .map(|(r, v)| r * v)
-                    .collect::<Vec<_>>(),
-            );
-            let vxc_rho: f64 = global_grid.integrate(
-                &rho_out
-                    .iter()
-                    .zip(&v_xc)
-                    .map(|(r, v)| r * v)
-                    .collect::<Vec<_>>(),
-            );
-            let v_h_out = hartree(&rho_out)?;
+            // Total energy with the standard double-counting corrections
+            // (direct Σ·dv sums — identical to `integrate` of the product
+            // field, without materialising it).
+            let dv = global_grid.dv();
+            let hartree_dc: f64 = rho_out.iter().zip(&v_h).map(|(r, v)| r * v).sum::<f64>() * dv;
+            let vxc_rho: f64 = rho_out.iter().zip(&v_xc).map(|(r, v)| r * v).sum::<f64>() * dv;
+            match (cfg.hartree, mg_hier.as_mut()) {
+                (HartreeSolver::Multigrid, Some(hier)) => {
+                    mg.hartree_with(&rho_out, &mut v_h_out, hier)?;
+                }
+                _ => fft_poisson.hartree_into(&rho_out, &mut v_h_out, &gws),
+            }
             let e_h = 0.5
-                * global_grid.integrate(
-                    &rho_out
-                        .iter()
-                        .zip(&v_h_out)
-                        .map(|(r, v)| r * v)
-                        .collect::<Vec<_>>(),
-                );
+                * rho_out
+                    .iter()
+                    .zip(&v_h_out)
+                    .map(|(r, v)| r * v)
+                    .sum::<f64>()
+                * dv;
             let e_xc = xc::exc_energy(&rho_out, global_grid.dv());
             let total =
                 band_energy - hartree_dc - vxc_rho - e_bc_dc + e_h + e_xc + ew.energy + entropy;
@@ -507,6 +555,9 @@ impl LdcSolver {
         }
 
         self.psi_cache = psi_cache.into_inner().expect("psi cache lock");
+        self.eig_cache = eig_cache.into_inner().expect("eig cache lock");
+        self.mg_hier = mg_hier.take();
+        self.gws = gws;
         let (energy, mu, density, residual, spectrum, iters, breakdown) =
             outcome.expect("at least one SCF iteration ran");
         if residual >= cfg.tol_density {
@@ -532,8 +583,7 @@ impl LdcSolver {
                     Some(p) => p,
                     None => return out,
                 };
-                let dft_atoms = setup.dft_atoms();
-                if let Some(nl) = build_projectors(&setup.basis, &dft_atoms) {
+                if let Some(nl) = &setup.nonlocal {
                     let occ: Vec<f64> = self
                         .spectrum_occupations(setup, &density, mu)
                         .unwrap_or_else(|| vec![0.0; psi.cols()]);

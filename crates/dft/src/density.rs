@@ -8,6 +8,7 @@
 
 use crate::pw::PlaneWaveBasis;
 use mqmd_linalg::CMatrix;
+use mqmd_util::workspace::{BorrowedF64, Workspace};
 use rayon::prelude::*;
 
 /// Occupation solution.
@@ -148,25 +149,48 @@ pub fn entropy_term(occ: &Occupations, kt: f64) -> f64 {
 /// Builds the real-space density `ρ(r_j) = Σ_n f_n·|ψ_n(r_j)|²` from band
 /// coefficients; integrates to `Σ_n f_n` by the basis normalisation.
 pub fn density_from_bands(basis: &PlaneWaveBasis, psi: &CMatrix, occ: &[f64]) -> Vec<f64> {
+    let mut rho = vec![0.0; basis.grid().len()];
+    let ws = Workspace::new();
+    density_into(basis, psi, occ, &mut rho, &ws);
+    rho
+}
+
+/// Allocation-free form of [`density_from_bands`]: overwrites `out` with the
+/// density, borrowing per-band fields from `ws`. Partial densities are
+/// collected in band order and summed sequentially, so the result is bitwise
+/// independent of the thread schedule.
+pub fn density_into(
+    basis: &PlaneWaveBasis,
+    psi: &CMatrix,
+    occ: &[f64],
+    out: &mut [f64],
+    ws: &Workspace,
+) {
     assert_eq!(psi.cols(), occ.len());
     let n_grid = basis.grid().len();
-    let partial: Vec<Vec<f64>> = (0..psi.cols())
+    assert_eq!(out.len(), n_grid);
+    let partial: Vec<BorrowedF64<'_>> = (0..psi.cols())
         .into_par_iter()
         .map(|n| {
-            if occ[n] <= 1e-14 {
-                return vec![0.0; n_grid];
+            let mut p = ws.borrow_f64(n_grid);
+            if occ[n] > 1e-14 {
+                let mut band = ws.borrow_c64(psi.rows());
+                psi.col_into(n, &mut band);
+                let mut real = ws.borrow_c64(n_grid);
+                basis.to_real_into(&band, &mut real, ws);
+                for (o, z) in p.iter_mut().zip(real.iter()) {
+                    *o = occ[n] * z.norm_sqr();
+                }
             }
-            let real = basis.to_real(&psi.col(n));
-            real.iter().map(|z| occ[n] * z.norm_sqr()).collect()
+            p
         })
         .collect();
-    let mut rho = vec![0.0; n_grid];
+    out.fill(0.0);
     for p in partial {
-        for (r, v) in rho.iter_mut().zip(p) {
+        for (r, &v) in out.iter_mut().zip(p.iter()) {
             *r += v;
         }
     }
-    rho
 }
 
 #[cfg(test)]

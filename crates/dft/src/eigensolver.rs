@@ -13,9 +13,10 @@
 
 use crate::hamiltonian::KsHamiltonian;
 use mqmd_linalg::eigen::zheev;
-use mqmd_linalg::gemm::{zgemm, zgemm_dagger_a};
-use mqmd_linalg::orthonorm::{cholesky_orthonormalize, mgs_orthonormalize};
+use mqmd_linalg::gemm::{zgemm, zgemm_dagger_a_into};
+use mqmd_linalg::orthonorm::{cholesky_orthonormalize_with, mgs_orthonormalize};
 use mqmd_linalg::CMatrix;
+use mqmd_util::workspace::{self, Workspace};
 use mqmd_util::{Complex64, MqmdError, Result};
 
 /// Convergence report of an eigensolve.
@@ -36,6 +37,66 @@ pub fn tpa_factor(x: f64) -> f64 {
     num / (num + 16.0 * x * x * x * x)
 }
 
+/// Preplanned storage for the eigensolvers: the fixed-shape block matrices
+/// of one Davidson iteration plus a [`Workspace`] arena for everything
+/// transient (FFT scratch, bands, subspace matrices). Built once per domain
+/// and reused across SCF iterations and MD steps, so steady-state iterations
+/// allocate nothing on the hot path.
+pub struct EigWorkspace {
+    /// Arena for transient buffers (bands, FFT fields, subspace matrices).
+    pub ws: Workspace,
+    h_psi: CMatrix,
+    psi_rot: CMatrix,
+    h_psi_rot: CMatrix,
+    res: CMatrix,
+    aug: CMatrix,
+    h_aug: CMatrix,
+    v_keep: CMatrix,
+}
+
+impl Default for EigWorkspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EigWorkspace {
+    /// Creates an empty workspace; buffers are shaped on first use.
+    pub fn new() -> Self {
+        Self {
+            ws: Workspace::new(),
+            h_psi: CMatrix::zeros(0, 0),
+            psi_rot: CMatrix::zeros(0, 0),
+            h_psi_rot: CMatrix::zeros(0, 0),
+            res: CMatrix::zeros(0, 0),
+            aug: CMatrix::zeros(0, 0),
+            h_aug: CMatrix::zeros(0, 0),
+            v_keep: CMatrix::zeros(0, 0),
+        }
+    }
+
+    /// Shapes every block matrix for an `Np × Nb` problem, reallocating only
+    /// on shape change (counted as plan allocations in the global stats).
+    fn ensure(&mut self, np: usize, nb: usize) {
+        Self::ensure_mat(&mut self.h_psi, np, nb);
+        Self::ensure_mat(&mut self.psi_rot, np, nb);
+        Self::ensure_mat(&mut self.h_psi_rot, np, nb);
+        Self::ensure_mat(&mut self.res, np, nb);
+        Self::ensure_mat(&mut self.aug, np, 2 * nb);
+        Self::ensure_mat(&mut self.h_aug, np, 2 * nb);
+        Self::ensure_mat(&mut self.v_keep, 2 * nb, nb);
+    }
+
+    fn ensure_mat(m: &mut CMatrix, rows: usize, cols: usize) {
+        if m.rows() == rows && m.cols() == cols {
+            workspace::record_reuse();
+        } else {
+            *m = CMatrix::zeros(rows, cols);
+            workspace::record_plan_alloc((rows * cols * size_of::<Complex64>()) as u64);
+        }
+    }
+}
+
 /// Preconditioned block-Davidson eigensolver: refines the `Nb` bands of
 /// `psi` toward the lowest eigenpairs of `h`.
 ///
@@ -48,36 +109,58 @@ pub fn block_davidson(
     max_iter: usize,
     tol: f64,
 ) -> Result<EigenReport> {
+    let mut ew = EigWorkspace::new();
+    block_davidson_with(h, psi, max_iter, tol, &mut ew)
+}
+
+/// Allocation-free form of [`block_davidson`]: all block matrices live in
+/// `ew` and rotations land in `psi` via buffer swaps, so steady-state
+/// iterations of a warm workspace perform no hot-path allocations.
+pub fn block_davidson_with(
+    h: &KsHamiltonian,
+    psi: &mut CMatrix,
+    max_iter: usize,
+    tol: f64,
+    ew: &mut EigWorkspace,
+) -> Result<EigenReport> {
     let np = psi.rows();
     let nb = psi.cols();
     assert_eq!(np, h.basis().len());
+    ew.ensure(np, nb);
     let mut last_res = f64::INFINITY;
     let mut eigenvalues = vec![0.0; nb];
 
     for iter in 1..=max_iter {
         // Rayleigh–Ritz on the current block.
-        let h_psi = h.apply(psi);
-        let hs = zgemm_dagger_a(psi, &h_psi);
-        let (theta, v) = zheev(&hs)?;
-        let mut psi_rot = CMatrix::zeros(np, nb);
-        zgemm(Complex64::ONE, psi, &v, Complex64::ZERO, &mut psi_rot);
-        let mut h_psi_rot = CMatrix::zeros(np, nb);
-        zgemm(Complex64::ONE, &h_psi, &v, Complex64::ZERO, &mut h_psi_rot);
+        h.apply_into(psi, &mut ew.h_psi, &ew.ws);
+        let mut hs = CMatrix::from_vec(nb, nb, ew.ws.take_c64(nb * nb));
+        zgemm_dagger_a_into(psi, &ew.h_psi, &mut hs, &ew.ws);
+        let eig = zheev(&hs);
+        ew.ws.give_c64(hs.into_data());
+        let (theta, v) = eig?;
+        zgemm(Complex64::ONE, psi, &v, Complex64::ZERO, &mut ew.psi_rot);
+        zgemm(
+            Complex64::ONE,
+            &ew.h_psi,
+            &v,
+            Complex64::ZERO,
+            &mut ew.h_psi_rot,
+        );
 
         // Residuals R = H·Ψ − Ψ·Θ.
-        let mut res = CMatrix::zeros(np, nb);
         let mut max_res: f64 = 0.0;
-        for n in 0..nb {
+        for (n, &theta_n) in theta.iter().enumerate().take(nb) {
             let mut norm2 = 0.0;
             for g in 0..np {
-                let r = h_psi_rot[(g, n)] - psi_rot[(g, n)].scale(theta[n]);
+                let r = ew.h_psi_rot[(g, n)] - ew.psi_rot[(g, n)].scale(theta_n);
                 norm2 += r.norm_sqr();
-                res[(g, n)] = r;
+                ew.res[(g, n)] = r;
             }
             max_res = max_res.max(norm2.sqrt());
         }
         eigenvalues.copy_from_slice(&theta[..nb]);
-        *psi = psi_rot.clone();
+        // Adopt the rotated block by swapping storage — no copy, no alloc.
+        std::mem::swap(psi, &mut ew.psi_rot);
         last_res = max_res;
         if max_res < tol {
             return Ok(EigenReport {
@@ -88,41 +171,50 @@ pub fn block_davidson(
         }
 
         // TPA-precondition the residuals band-wise.
-        for n in 0..nb {
-            let band = psi.col(n);
-            let ke = h.basis().kinetic_expectation(&band).max(1e-6);
-            for g in 0..np {
-                let x = 0.5 * h.basis().g2()[g] / ke;
-                res[(g, n)] = res[(g, n)].scale(tpa_factor(x));
+        {
+            let mut band = ew.ws.borrow_c64(np);
+            for n in 0..nb {
+                psi.col_into(n, &mut band);
+                let ke = h.basis().kinetic_expectation(&band).max(1e-6);
+                for g in 0..np {
+                    let x = 0.5 * h.basis().g2()[g] / ke;
+                    ew.res[(g, n)] = ew.res[(g, n)].scale(tpa_factor(x));
+                }
             }
         }
 
         // Augmented Rayleigh–Ritz in span{Ψ, K·R}.
-        let mut aug = CMatrix::zeros(np, 2 * nb);
         for g in 0..np {
             for n in 0..nb {
-                aug[(g, n)] = psi[(g, n)];
-                aug[(g, nb + n)] = res[(g, n)];
+                ew.aug[(g, n)] = psi[(g, n)];
+                ew.aug[(g, nb + n)] = ew.res[(g, n)];
             }
         }
-        if cholesky_orthonormalize(&mut aug).is_err() {
+        if cholesky_orthonormalize_with(&mut ew.aug, &ew.ws).is_err() {
             // Rank-deficient augmentation (residuals almost in span Ψ):
             // fall back to modified Gram–Schmidt, which simply renormalises.
-            mgs_orthonormalize(&mut aug);
+            mgs_orthonormalize(&mut ew.aug);
         }
-        let h_aug = h.apply(&aug);
-        let hs2 = zgemm_dagger_a(&aug, &h_aug);
-        let (_, v2) = zheev(&hs2)?;
+        h.apply_into(&ew.aug, &mut ew.h_aug, &ew.ws);
+        let mut hs2 = CMatrix::from_vec(2 * nb, 2 * nb, ew.ws.take_c64(4 * nb * nb));
+        zgemm_dagger_a_into(&ew.aug, &ew.h_aug, &mut hs2, &ew.ws);
+        let eig2 = zheev(&hs2);
+        ew.ws.give_c64(hs2.into_data());
+        let (_, v2) = eig2?;
         // Keep the lowest nb Ritz vectors.
-        let mut v_keep = CMatrix::zeros(2 * nb, nb);
         for i in 0..2 * nb {
             for n in 0..nb {
-                v_keep[(i, n)] = v2[(i, n)];
+                ew.v_keep[(i, n)] = v2[(i, n)];
             }
         }
-        let mut new_psi = CMatrix::zeros(np, nb);
-        zgemm(Complex64::ONE, &aug, &v_keep, Complex64::ZERO, &mut new_psi);
-        *psi = new_psi;
+        zgemm(
+            Complex64::ONE,
+            &ew.aug,
+            &ew.v_keep,
+            Complex64::ZERO,
+            &mut ew.psi_rot,
+        );
+        std::mem::swap(psi, &mut ew.psi_rot);
     }
 
     Err(MqmdError::Convergence {
@@ -138,55 +230,80 @@ pub fn block_davidson(
 /// fixed. Returns the final Rayleigh quotients.
 #[allow(clippy::needless_range_loop)]
 pub fn band_by_band(h: &KsHamiltonian, psi: &mut CMatrix, sweeps: usize, steps: usize) -> Vec<f64> {
+    let mut ew = EigWorkspace::new();
+    band_by_band_with(h, psi, sweeps, steps, &mut ew)
+}
+
+/// Allocation-free form of [`band_by_band`]: every per-band vector (band,
+/// `H·ψ`, search direction, `H·dir`) is borrowed once from `ew.ws` and
+/// reused across all sweeps and steps.
+#[allow(clippy::needless_range_loop)]
+pub fn band_by_band_with(
+    h: &KsHamiltonian,
+    psi: &mut CMatrix,
+    sweeps: usize,
+    steps: usize,
+    ew: &mut EigWorkspace,
+) -> Vec<f64> {
     let np = psi.rows();
     let nb = psi.cols();
     let mut eps = vec![0.0; nb];
+    let mut band = ew.ws.borrow_c64(np);
+    let mut h_band = ew.ws.borrow_c64(np);
+    let mut dir = ew.ws.borrow_c64(np);
+    let mut h_dir = ew.ws.borrow_c64(np);
 
     for _sweep in 0..sweeps {
         for n in 0..nb {
-            let mut band = psi.col(n);
+            psi.col_into(n, &mut band);
             // Project out lower (already-optimised) bands and renormalise.
             project_out(psi, n, &mut band);
             normalize(&mut band);
 
             for _ in 0..steps {
-                let h_band = h.apply_band(&band);
+                h.apply_band_into(&band, &mut h_band, &ew.ws);
                 let theta: f64 = band
                     .iter()
-                    .zip(&h_band)
+                    .zip(h_band.iter())
                     .map(|(c, h)| (c.conj() * *h).re)
                     .sum();
                 // Residual, preconditioned, orthogonalised to current band
                 // and lower bands.
                 let ke = h.basis().kinetic_expectation(&band).max(1e-6);
-                let mut dir: Vec<Complex64> = (0..np)
-                    .map(|g| {
-                        let r = h_band[g] - band[g].scale(theta);
-                        let x = 0.5 * h.basis().g2()[g] / ke;
-                        r.scale(tpa_factor(x))
-                    })
-                    .collect();
+                for g in 0..np {
+                    let r = h_band[g] - band[g].scale(theta);
+                    let x = 0.5 * h.basis().g2()[g] / ke;
+                    dir[g] = r.scale(tpa_factor(x));
+                }
                 project_out(psi, n, &mut dir);
-                let overlap: Complex64 = band.iter().zip(&dir).map(|(b, d)| b.conj() * *d).sum();
-                for (d, b) in dir.iter_mut().zip(&band) {
+                let overlap: Complex64 = band
+                    .iter()
+                    .zip(dir.iter())
+                    .map(|(b, d)| b.conj() * *d)
+                    .sum();
+                for (d, b) in dir.iter_mut().zip(band.iter()) {
                     *d -= overlap * *b;
                 }
                 let d_norm: f64 = dir.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
                 if d_norm < 1e-14 {
                     break;
                 }
-                for d in &mut dir {
+                for d in dir.iter_mut() {
                     *d = d.scale(1.0 / d_norm);
                 }
                 // Exact minimisation in the 2-D subspace {band, dir}.
-                let h_dir = h.apply_band(&dir);
+                h.apply_band_into(&dir, &mut h_dir, &ew.ws);
                 let a = theta;
                 let b2: f64 = dir
                     .iter()
-                    .zip(&h_dir)
+                    .zip(h_dir.iter())
                     .map(|(c, h)| (c.conj() * *h).re)
                     .sum();
-                let c: Complex64 = band.iter().zip(&h_dir).map(|(c, h)| c.conj() * *h).sum();
+                let c: Complex64 = band
+                    .iter()
+                    .zip(h_dir.iter())
+                    .map(|(c, h)| c.conj() * *h)
+                    .sum();
                 // Lowest eigenvector of [[a, c], [c*, b2]].
                 let diff = 0.5 * (b2 - a);
                 let rad = (diff * diff + c.norm_sqr()).sqrt();
@@ -208,10 +325,10 @@ pub fn band_by_band(h: &KsHamiltonian, psi: &mut CMatrix, sweeps: usize, steps: 
                 }
                 normalize(&mut band);
             }
-            let h_band = h.apply_band(&band);
+            h.apply_band_into(&band, &mut h_band, &ew.ws);
             eps[n] = band
                 .iter()
-                .zip(&h_band)
+                .zip(h_band.iter())
                 .map(|(c, h)| (c.conj() * *h).re)
                 .sum();
             psi.set_col(n, &band);
@@ -342,6 +459,42 @@ mod tests {
         let eps = band_by_band(&h, &mut psi_b, 12, 8);
         for (bb, dv) in eps.iter().zip(&rep.eigenvalues) {
             assert!((bb - dv).abs() < 1e-4, "band-by-band {bb} vs davidson {dv}");
+        }
+    }
+
+    /// Re-running a solve through one warm [`EigWorkspace`] must be bitwise
+    /// identical to the first run — pooled buffers and swapped blocks are
+    /// unobservable in the numerics.
+    #[test]
+    fn warm_workspace_solve_is_bitwise_identical() {
+        let b = small_basis();
+        let grid = b.grid();
+        let l = grid.lengths().0;
+        let v = grid.sample(|r| -0.5 * (std::f64::consts::TAU * r.x / l).cos());
+        let h = KsHamiltonian::new(&b, v, None);
+        let psi0 = b.random_bands(3, 23);
+        let mut ew = EigWorkspace::new();
+        let mut psi_a = psi0.clone();
+        let rep_a = block_davidson_with(&h, &mut psi_a, 100, 1e-7, &mut ew).unwrap();
+        let mut psi_b = psi0.clone();
+        let rep_b = block_davidson_with(&h, &mut psi_b, 100, 1e-7, &mut ew).unwrap();
+        assert_eq!(rep_a.iterations, rep_b.iterations);
+        for (i, (x, y)) in psi_a.data().iter().zip(psi_b.data()).enumerate() {
+            assert!(
+                x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits(),
+                "warm vs cold mismatch at {i}"
+            );
+        }
+        assert!(
+            ew.ws.stats().snapshot().hits > 0,
+            "second solve must reuse pooled buffers"
+        );
+        let mut psi_c = psi0.clone();
+        let eps_warm = band_by_band_with(&h, &mut psi_c, 2, 3, &mut ew);
+        let mut psi_d = psi0.clone();
+        let eps_cold = band_by_band(&h, &mut psi_d, 2, 3);
+        for (w, c) in eps_warm.iter().zip(&eps_cold) {
+            assert!(w.to_bits() == c.to_bits(), "band-by-band {w} vs {c}");
         }
     }
 

@@ -14,8 +14,9 @@
 
 use crate::pw::PlaneWaveBasis;
 use crate::species::Pseudopotential;
-use mqmd_linalg::gemm::{zgemm, zgemm_dagger_a};
+use mqmd_linalg::gemm::{zgemm, zgemm_dagger_a_into};
 use mqmd_linalg::CMatrix;
+use mqmd_util::workspace::{BorrowedC64, Workspace};
 use mqmd_util::{Complex64, Vec3};
 use rayon::prelude::*;
 
@@ -36,16 +37,24 @@ pub struct Nonlocal {
 pub struct KsHamiltonian<'a> {
     basis: &'a PlaneWaveBasis,
     /// Total local potential (ionic local + Hartree + XC + any boundary
-    /// potential) on the grid (Hartree).
+    /// potential) on the grid (Hartree). Public so SCF loops can update it
+    /// in place between iterations without rebuilding the Hamiltonian (the
+    /// projectors in `nonlocal` depend only on the ionic geometry).
     pub v_local: Vec<f64>,
-    /// Optional separable nonlocal channel.
-    pub nonlocal: Option<Nonlocal>,
+    /// Optional separable nonlocal channel, borrowed so callers can build
+    /// the projector matrix once per geometry and reuse it across SCF
+    /// iterations.
+    pub nonlocal: Option<&'a Nonlocal>,
 }
 
 impl<'a> KsHamiltonian<'a> {
     /// Creates a Hamiltonian from a local potential field (and optional
     /// nonlocal projectors).
-    pub fn new(basis: &'a PlaneWaveBasis, v_local: Vec<f64>, nonlocal: Option<Nonlocal>) -> Self {
+    pub fn new(
+        basis: &'a PlaneWaveBasis,
+        v_local: Vec<f64>,
+        nonlocal: Option<&'a Nonlocal>,
+    ) -> Self {
         assert_eq!(v_local.len(), basis.grid().len());
         Self {
             basis,
@@ -61,21 +70,44 @@ impl<'a> KsHamiltonian<'a> {
 
     /// All-band application `H·Ψ` (BLAS3 path, paper Eq. (5)).
     pub fn apply(&self, psi: &CMatrix) -> CMatrix {
+        let ws = Workspace::new();
+        let mut out = CMatrix::zeros(psi.rows(), psi.cols());
+        self.apply_into(psi, &mut out, &ws);
+        out
+    }
+
+    /// Allocation-free all-band application: overwrites `out` with `H·Ψ`,
+    /// borrowing every intermediate (per-band FFT fields, the projector
+    /// overlap matrix) from `ws`. Bitwise identical to [`Self::apply`].
+    pub fn apply_into(&self, psi: &CMatrix, out: &mut CMatrix, ws: &Workspace) {
         let _span = mqmd_util::trace::span("hamiltonian");
         let np = self.basis.len();
         let nb = psi.cols();
         assert_eq!(psi.rows(), np);
-        let mut out = CMatrix::zeros(np, nb);
+        assert_eq!(out.rows(), np);
+        assert_eq!(out.cols(), nb);
+        out.data_mut().fill(Complex64::ZERO);
 
         // Kinetic: diagonal in G.
-        self.basis.add_kinetic(psi, &mut out);
+        self.basis.add_kinetic(psi, out);
 
-        // Local: FFT per band, parallel over bands.
-        let local_cols: Vec<Vec<Complex64>> = (0..nb)
+        // Local: FFT per band, parallel over bands. Guards are collected in
+        // band order and accumulated sequentially, so the sum is bitwise
+        // independent of the thread schedule.
+        let grid_len = self.basis.grid().len();
+        let local_cols: Vec<BorrowedC64<'_>> = (0..nb)
             .into_par_iter()
             .map(|n| {
-                let band = psi.col(n);
-                self.apply_local_to_band(&band)
+                let mut band = ws.borrow_c64(np);
+                psi.col_into(n, &mut band);
+                let mut real = ws.borrow_c64(grid_len);
+                self.basis.to_real_into(&band, &mut real, ws);
+                for (z, &v) in real.iter_mut().zip(&self.v_local) {
+                    *z = z.scale(v);
+                }
+                mqmd_util::flops::count_flops(2 * grid_len as u64);
+                self.basis.to_recip_into(&real, &mut band, ws);
+                band
             })
             .collect();
         for (n, col) in local_cols.iter().enumerate() {
@@ -83,36 +115,57 @@ impl<'a> KsHamiltonian<'a> {
                 out[(g, n)] += col[g];
             }
         }
+        drop(local_cols);
 
-        // Nonlocal: B·D·(B†·Ψ) — two BLAS3 calls.
-        if let Some(nl) = &self.nonlocal {
-            let mut p = zgemm_dagger_a(&nl.b, psi); // N_proj × Nb
+        // Nonlocal: B·D·(B†·Ψ) — two BLAS3 calls, overlap matrix pooled.
+        if let Some(nl) = self.nonlocal {
+            let nproj = nl.d.len();
+            let mut p = CMatrix::from_vec(nproj, nb, ws.take_c64(nproj * nb));
+            zgemm_dagger_a_into(&nl.b, psi, &mut p, ws); // N_proj × Nb
             for (i, &di) in nl.d.iter().enumerate() {
                 for n in 0..nb {
                     p[(i, n)] = p[(i, n)].scale(di);
                 }
             }
-            zgemm(Complex64::ONE, &nl.b, &p, Complex64::ONE, &mut out);
+            zgemm(Complex64::ONE, &nl.b, &p, Complex64::ONE, out);
+            ws.give_c64(p.into_data());
         }
-        out
     }
 
     /// Single-band application `H·ψ` (BLAS2 path).
-    #[allow(clippy::needless_range_loop)] // lockstep walk of b, band, out
     pub fn apply_band(&self, band: &[Complex64]) -> Vec<Complex64> {
+        let ws = Workspace::new();
+        let mut out = vec![Complex64::ZERO; band.len()];
+        self.apply_band_into(band, &mut out, &ws);
+        out
+    }
+
+    /// Allocation-free single-band application: overwrites `out` with `H·ψ`,
+    /// borrowing FFT intermediates from `ws`. Bitwise identical to
+    /// [`Self::apply_band`].
+    #[allow(clippy::needless_range_loop)] // lockstep walk of b, band, out
+    pub fn apply_band_into(&self, band: &[Complex64], out: &mut [Complex64], ws: &Workspace) {
         let _span = mqmd_util::trace::span("hamiltonian");
         let np = self.basis.len();
         assert_eq!(band.len(), np);
-        let mut out: Vec<Complex64> = band
-            .iter()
-            .zip(self.basis.g2())
-            .map(|(c, &g2)| c.scale(0.5 * g2))
-            .collect();
-        let local = self.apply_local_to_band(band);
-        for (o, l) in out.iter_mut().zip(local) {
-            *o += l;
+        assert_eq!(out.len(), np);
+        for ((o, c), &g2) in out.iter_mut().zip(band).zip(self.basis.g2()) {
+            *o = c.scale(0.5 * g2);
         }
-        if let Some(nl) = &self.nonlocal {
+        {
+            let mut real = ws.borrow_c64(self.basis.grid().len());
+            self.basis.to_real_into(band, &mut real, ws);
+            for (z, &v) in real.iter_mut().zip(&self.v_local) {
+                *z = z.scale(v);
+            }
+            mqmd_util::flops::count_flops(2 * real.len() as u64);
+            let mut local = ws.borrow_c64(np);
+            self.basis.to_recip_into(&real, &mut local, ws);
+            for (o, l) in out.iter_mut().zip(local.iter()) {
+                *o += *l;
+            }
+        }
+        if let Some(nl) = self.nonlocal {
             let nproj = nl.d.len();
             for p_idx in 0..nproj {
                 // ⟨b_p|ψ⟩ then out += d_p·⟨b_p|ψ⟩·|b_p⟩ — vector ops only.
@@ -128,18 +181,6 @@ impl<'a> KsHamiltonian<'a> {
                 mqmd_util::flops::count_flops(16 * np as u64);
             }
         }
-        out
-    }
-
-    /// Applies only the local potential to one band via FFT:
-    /// recip → real, multiply by `v_local`, real → recip.
-    fn apply_local_to_band(&self, band: &[Complex64]) -> Vec<Complex64> {
-        let mut real = self.basis.to_real(band);
-        for (z, &v) in real.iter_mut().zip(&self.v_local) {
-            *z = z.scale(v);
-        }
-        mqmd_util::flops::count_flops(2 * real.len() as u64);
-        self.basis.to_recip(&real)
     }
 
     /// Rayleigh quotient `⟨ψ|H|ψ⟩` of a normalised band.
@@ -291,7 +332,7 @@ mod tests {
         let atoms = si_dimer(&b);
         let v = ionic_local_potential(b.grid(), &atoms);
         let nl = build_projectors(&b, &atoms);
-        let h = KsHamiltonian::new(&b, v, nl);
+        let h = KsHamiltonian::new(&b, v, nl.as_ref());
         let psi = b.random_bands(4, 3);
         let all = h.apply(&psi);
         for n in 0..4 {
@@ -302,13 +343,54 @@ mod tests {
         }
     }
 
+    /// The workspace-borrowing application paths must be *bitwise* identical
+    /// to the owned-return paths, including when the workspace is reused
+    /// across repeated applications (warm buffers must be unobservable).
+    #[test]
+    fn apply_into_matches_owned_paths_bitwise() {
+        let b = basis();
+        let atoms = si_dimer(&b);
+        let v = ionic_local_potential(b.grid(), &atoms);
+        let nl = build_projectors(&b, &atoms);
+        let h = KsHamiltonian::new(&b, v, nl.as_ref());
+        let psi = b.random_bands(4, 17);
+        let ws = Workspace::new();
+        let mut out = CMatrix::zeros(b.len(), 4);
+        let mut band_out = vec![Complex64::ZERO; b.len()];
+        for rep in 0..3 {
+            let owned = h.apply(&psi);
+            h.apply_into(&psi, &mut out, &ws);
+            for (i, (a, p)) in owned.data().iter().zip(out.data()).enumerate() {
+                assert!(
+                    a.re.to_bits() == p.re.to_bits() && a.im.to_bits() == p.im.to_bits(),
+                    "apply rep {rep} entry {i}: {a:?} vs {p:?}"
+                );
+            }
+            for n in 0..psi.cols() {
+                let band = psi.col(n);
+                let owned_b = h.apply_band(&band);
+                h.apply_band_into(&band, &mut band_out, &ws);
+                for (g, (a, p)) in owned_b.iter().zip(&band_out).enumerate() {
+                    assert!(
+                        a.re.to_bits() == p.re.to_bits() && a.im.to_bits() == p.im.to_bits(),
+                        "apply_band rep {rep} band {n} g {g}"
+                    );
+                }
+            }
+        }
+        assert!(
+            ws.stats().snapshot().hits > 0,
+            "repeated applications must reuse pooled buffers"
+        );
+    }
+
     #[test]
     fn hamiltonian_is_hermitian() {
         let b = basis();
         let atoms = si_dimer(&b);
         let v = ionic_local_potential(b.grid(), &atoms);
         let nl = build_projectors(&b, &atoms);
-        let h = KsHamiltonian::new(&b, v, nl);
+        let h = KsHamiltonian::new(&b, v, nl.as_ref());
         let psi = b.random_bands(2, 7);
         let phi = psi.col(0);
         let chi = psi.col(1);

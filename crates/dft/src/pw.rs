@@ -10,6 +10,7 @@ use mqmd_fft::freq::g_norm_sqr;
 use mqmd_fft::Fft3d;
 use mqmd_grid::UniformGrid3;
 use mqmd_linalg::CMatrix;
+use mqmd_util::workspace::Workspace;
 use mqmd_util::{Complex64, Vec3};
 
 /// A plane-wave basis bound to one grid and kinetic-energy cutoff.
@@ -96,31 +97,50 @@ impl PlaneWaveBasis {
     /// Transforms one coefficient vector to real space:
     /// `ψ(r_j) = (1/√V)·Σ_G c_G·e^{iG·r_j}` on the grid.
     pub fn to_real(&self, coeffs: &[Complex64]) -> Vec<Complex64> {
+        let mut data = vec![Complex64::ZERO; self.grid.len()];
+        let ws = Workspace::new();
+        self.to_real_into(coeffs, &mut data, &ws);
+        data
+    }
+
+    /// Allocation-free form of [`Self::to_real`]: writes the real-space field
+    /// into `out` (one grid's worth) and borrows FFT scratch from `ws`.
+    pub fn to_real_into(&self, coeffs: &[Complex64], out: &mut [Complex64], ws: &Workspace) {
         assert_eq!(coeffs.len(), self.len());
         let n = self.grid.len();
-        let mut data = vec![Complex64::ZERO; n];
+        assert_eq!(out.len(), n);
+        out.fill(Complex64::ZERO);
         for (c, &gi) in coeffs.iter().zip(&self.grid_index) {
-            data[gi] = *c;
+            out[gi] = *c;
         }
-        self.fft.inverse(&mut data);
+        self.fft.inverse_with(out, ws);
         let scale = n as f64 / self.grid.volume().sqrt();
-        for z in &mut data {
+        for z in out.iter_mut() {
             *z = z.scale(scale);
         }
-        data
     }
 
     /// Projects a real-space function back onto the basis (adjoint of
     /// [`Self::to_real`]): `c_G = (√V/N)·FFT(ψ)_G`.
     pub fn to_recip(&self, real: &[Complex64]) -> Vec<Complex64> {
+        let mut out = vec![Complex64::ZERO; self.len()];
+        let ws = Workspace::new();
+        self.to_recip_into(real, &mut out, &ws);
+        out
+    }
+
+    /// Allocation-free form of [`Self::to_recip`]: writes the `Np`
+    /// coefficients into `out`, borrowing the grid-sized FFT buffer from `ws`.
+    pub fn to_recip_into(&self, real: &[Complex64], out: &mut [Complex64], ws: &Workspace) {
         assert_eq!(real.len(), self.grid.len());
-        let mut data = real.to_vec();
-        self.fft.forward(&mut data);
+        assert_eq!(out.len(), self.len());
+        let mut data = ws.borrow_c64(self.grid.len());
+        data.copy_from_slice(real);
+        self.fft.forward_with(&mut data, ws);
         let scale = self.grid.volume().sqrt() / self.grid.len() as f64;
-        self.grid_index
-            .iter()
-            .map(|&gi| data[gi].scale(scale))
-            .collect()
+        for (o, &gi) in out.iter_mut().zip(&self.grid_index) {
+            *o = data[gi].scale(scale);
+        }
     }
 
     /// Random normalised starting bands (deterministic given the seed), with

@@ -7,16 +7,18 @@
 //! with the preconditioned block-Davidson solver, set occupations through
 //! the chemical potential, rebuild ρ, and mix.
 
-use crate::density::{density_from_bands, entropy_term, fermi_occupations};
-use crate::eigensolver::block_davidson;
+use crate::density::{density_into, entropy_term, fermi_occupations};
+use crate::eigensolver::{block_davidson_with, EigWorkspace};
 use crate::ewald::ewald;
 use crate::hamiltonian::{build_projectors, ionic_local_potential, KsHamiltonian};
 use crate::pw::PlaneWaveBasis;
 use crate::species::Pseudopotential;
 use crate::xc;
+use mqmd_linalg::gemm::{zgemm, zgemm_dagger_a_into};
 use mqmd_linalg::CMatrix;
 use mqmd_multigrid::FftPoisson;
-use mqmd_util::{events, MqmdError, Result, Vec3};
+use mqmd_util::workspace::{self, Workspace};
+use mqmd_util::{events, Complex64, MqmdError, Result, Vec3};
 
 /// SCF algorithm parameters.
 #[derive(Clone, Copy, Debug)]
@@ -132,16 +134,63 @@ pub fn effective_potential(
     rho: &[f64],
     poisson: &FftPoisson,
 ) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
-    let v_h = poisson.hartree(rho);
-    let mut v_xc_field = vec![0.0; rho.len()];
-    xc::vxc_field(rho, &mut v_xc_field);
-    let v_eff: Vec<f64> = v_ion
-        .iter()
-        .zip(&v_h)
-        .zip(&v_xc_field)
-        .map(|((a, b), c)| a + b + c)
-        .collect();
-    (v_eff, v_h, v_xc_field)
+    let mut v_eff = vec![0.0; rho.len()];
+    let mut v_h = vec![0.0; rho.len()];
+    let mut v_xc = vec![0.0; rho.len()];
+    let ws = Workspace::new();
+    effective_potential_into(v_ion, rho, poisson, &mut v_eff, &mut v_h, &mut v_xc, &ws);
+    (v_eff, v_h, v_xc)
+}
+
+/// Allocation-free form of [`effective_potential`]: writes the effective,
+/// Hartree, and XC potentials into caller-provided buffers, borrowing FFT
+/// scratch from `ws`.
+#[allow(clippy::too_many_arguments)]
+pub fn effective_potential_into(
+    v_ion: &[f64],
+    rho: &[f64],
+    poisson: &FftPoisson,
+    v_eff: &mut [f64],
+    v_h: &mut [f64],
+    v_xc: &mut [f64],
+    ws: &Workspace,
+) {
+    poisson.hartree_into(rho, v_h, ws);
+    xc::vxc_field(rho, v_xc);
+    for (((e, &a), &b), &c) in v_eff.iter_mut().zip(v_ion).zip(v_h.iter()).zip(v_xc.iter()) {
+        *e = a + b + c;
+    }
+}
+
+/// Preplanned per-run storage for [`run_scf_with`]: the eigensolver's block
+/// workspace plus the grid-sized SCF fields, reused across SCF iterations
+/// and — when the caller persists it — across MD steps.
+#[derive(Default)]
+pub struct ScfWorkspace {
+    /// Eigensolver blocks and the shared transient-buffer arena.
+    pub eig: EigWorkspace,
+    v_h: Vec<f64>,
+    v_xc: Vec<f64>,
+    rho_out: Vec<f64>,
+}
+
+impl ScfWorkspace {
+    /// Creates an empty workspace; buffers are shaped on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Shapes the grid-sized fields, reallocating only on grid change.
+    fn ensure(&mut self, n_grid: usize) {
+        for buf in [&mut self.v_h, &mut self.v_xc, &mut self.rho_out] {
+            if buf.len() == n_grid {
+                workspace::record_reuse();
+            } else {
+                *buf = vec![0.0; n_grid];
+                workspace::record_plan_alloc((n_grid * size_of::<f64>()) as u64);
+            }
+        }
+    }
 }
 
 /// Runs the SCF loop. `psi0` warm-starts the bands (QMD reuses the previous
@@ -154,6 +203,23 @@ pub fn run_scf(
     config: &ScfConfig,
     psi0: Option<CMatrix>,
 ) -> Result<ScfOutcome> {
+    let mut sw = ScfWorkspace::new();
+    run_scf_with(basis, atoms, n_electrons, config, psi0, &mut sw)
+}
+
+/// Allocation-free form of [`run_scf`]: every SCF iteration works out of the
+/// caller's [`ScfWorkspace`], so steady-state iterations after the first
+/// perform no hot-path workspace allocations. The projector matrix is built
+/// once per call (it depends only on the geometry) and the Hamiltonian's
+/// local potential is updated in place each iteration.
+pub fn run_scf_with(
+    basis: &PlaneWaveBasis,
+    atoms: &[(Pseudopotential, Vec3)],
+    n_electrons: f64,
+    config: &ScfConfig,
+    psi0: Option<CMatrix>,
+    sw: &mut ScfWorkspace,
+) -> Result<ScfOutcome> {
     let grid = basis.grid();
     let n_bands = ((n_electrons / 2.0).ceil() as usize + config.extra_bands).max(1);
     if n_bands > basis.len() {
@@ -164,8 +230,10 @@ pub fn run_scf(
         )));
     }
     let v_ion = ionic_local_potential(grid, atoms);
-    let nl_template = || build_projectors(basis, atoms);
+    let nonlocal = build_projectors(basis, atoms);
     let poisson = FftPoisson::new(grid.clone());
+    sw.ensure(grid.len());
+    let mut h = KsHamiltonian::new(basis, vec![0.0; grid.len()], nonlocal.as_ref());
     let ion_positions: Vec<Vec3> = atoms.iter().map(|(_, r)| *r).collect();
     let ion_charges: Vec<f64> = atoms.iter().map(|(p, _)| p.z_val).collect();
     let e_ewald = ewald(grid.lengths_vec(), &ion_positions, &ion_charges, None).energy;
@@ -180,17 +248,29 @@ pub fn run_scf(
         None => basis.random_bands(n_bands, 0xD1F7),
     };
 
-    let mut last = None;
+    let mut last_residual = f64::INFINITY;
     let mut alpha = config.mix_alpha;
     let mut prev_residual = f64::INFINITY;
     let mut best_residual = f64::INFINITY;
     let mut stall_count = 0usize;
     for iter in 1..=config.max_scf {
         let _span = mqmd_util::trace::span("scf_iter");
-        let (v_eff, v_h, v_xc_f) = effective_potential(&v_ion, &rho, &poisson);
-        let h = KsHamiltonian::new(basis, v_eff, nl_template());
-        let report = match block_davidson(&h, &mut psi, config.davidson_iters, config.davidson_tol)
-        {
+        effective_potential_into(
+            &v_ion,
+            &rho,
+            &poisson,
+            &mut h.v_local,
+            &mut sw.v_h,
+            &mut sw.v_xc,
+            &sw.eig.ws,
+        );
+        let report = match block_davidson_with(
+            &h,
+            &mut psi,
+            config.davidson_iters,
+            config.davidson_tol,
+            &mut sw.eig,
+        ) {
             Ok(r) => r,
             // Non-converged Davidson inside an SCF step is fine — the bands
             // still improved; recover the Ritz values for occupations. It
@@ -217,18 +297,20 @@ pub fn run_scf(
                         residual: dav_residual,
                     });
                 }
-                let h_psi = h.apply(&psi);
-                let hs = mqmd_linalg::gemm::zgemm_dagger_a(&psi, &h_psi);
-                let (vals, v) = mqmd_linalg::eigen::zheev(&hs)?;
-                let mut rot = CMatrix::zeros(psi.rows(), psi.cols());
-                mqmd_linalg::gemm::zgemm(
-                    mqmd_util::Complex64::ONE,
-                    &psi,
-                    &v,
-                    mqmd_util::Complex64::ZERO,
-                    &mut rot,
-                );
-                psi = rot;
+                let (np, nb) = (psi.rows(), psi.cols());
+                let ws = &sw.eig.ws;
+                let mut h_psi = CMatrix::from_vec(np, nb, ws.take_c64(np * nb));
+                h.apply_into(&psi, &mut h_psi, ws);
+                let mut hs = CMatrix::from_vec(nb, nb, ws.take_c64(nb * nb));
+                zgemm_dagger_a_into(&psi, &h_psi, &mut hs, ws);
+                let eig = mqmd_linalg::eigen::zheev(&hs);
+                ws.give_c64(hs.into_data());
+                ws.give_c64(h_psi.into_data());
+                let (vals, v) = eig?;
+                let mut rot = CMatrix::from_vec(np, nb, ws.take_c64(np * nb));
+                zgemm(Complex64::ONE, &psi, &v, Complex64::ZERO, &mut rot);
+                psi.data_mut().copy_from_slice(rot.data());
+                ws.give_c64(rot.into_data());
                 crate::eigensolver::EigenReport {
                     eigenvalues: vals,
                     iterations: config.davidson_iters,
@@ -239,12 +321,13 @@ pub fn run_scf(
         };
 
         let occ = fermi_occupations(&report.eigenvalues, n_electrons, config.kt);
-        let rho_out = density_from_bands(basis, &psi, &occ.f);
+        density_into(basis, &psi, &occ.f, &mut sw.rho_out, &sw.eig.ws);
+        let rho_out = &sw.rho_out;
 
         // Density residual ∫|Δρ|dV / N_e.
         let residual: f64 = rho
             .iter()
-            .zip(&rho_out)
+            .zip(rho_out)
             .map(|(a, b)| (a - b).abs())
             .sum::<f64>()
             * grid.dv()
@@ -257,22 +340,16 @@ pub fn run_scf(
             .zip(&occ.f)
             .map(|(e, f)| e * f)
             .sum();
-        let hartree_dc: f64 = grid.integrate(
-            &rho_out
-                .iter()
-                .zip(&v_h)
-                .map(|(r, v)| r * v)
-                .collect::<Vec<_>>(),
-        );
-        let vxc_rho: f64 = grid.integrate(
-            &rho_out
-                .iter()
-                .zip(&v_xc_f)
-                .map(|(r, v)| r * v)
-                .collect::<Vec<_>>(),
-        );
-        let e_h = poisson.hartree_energy(&rho_out);
-        let e_xc = xc::exc_energy(&rho_out, grid.dv());
+        let hartree_dc: f64 =
+            rho_out.iter().zip(&sw.v_h).map(|(r, v)| r * v).sum::<f64>() * grid.dv();
+        let vxc_rho: f64 = rho_out
+            .iter()
+            .zip(&sw.v_xc)
+            .map(|(r, v)| r * v)
+            .sum::<f64>()
+            * grid.dv();
+        let e_h = poisson.hartree_energy_with(rho_out, &sw.eig.ws);
+        let e_xc = xc::exc_energy(rho_out, grid.dv());
         let entropy = entropy_term(&occ, config.kt);
         let total = band - hartree_dc - vxc_rho + e_h + e_xc + e_ewald + entropy;
         let breakdown = EnergyBreakdown {
@@ -313,20 +390,13 @@ pub fn run_scf(
                 eigenvalues: report.eigenvalues,
                 occupations: occ.f,
                 mu: occ.mu,
-                density: rho_out,
+                density: rho_out.clone(),
                 psi,
                 scf_iterations: iter,
                 density_residual: residual,
             });
         }
-        last = Some((
-            total,
-            breakdown,
-            report.eigenvalues,
-            occ,
-            rho_out.clone(),
-            residual,
-        ));
+        last_residual = residual;
 
         // Stall watchdog: a residual that plateaus — no meaningful
         // improvement on the best value for a whole window — means the
@@ -366,16 +436,15 @@ pub fn run_scf(
             alpha = (alpha * 1.05).min(config.mix_alpha);
         }
         prev_residual = residual;
-        for (r_in, r_out) in rho.iter_mut().zip(&rho_out) {
+        for (r_in, r_out) in rho.iter_mut().zip(&sw.rho_out) {
             *r_in = (1.0 - alpha) * *r_in + alpha * r_out;
         }
     }
 
-    let residual = last.as_ref().map(|l| l.5).unwrap_or(f64::INFINITY);
     Err(MqmdError::Convergence {
         what: "SCF".into(),
         iterations: config.max_scf,
-        residual,
+        residual: last_residual,
     })
 }
 

@@ -9,7 +9,7 @@
 
 use crate::forces::total_forces;
 use crate::pw::PlaneWaveBasis;
-use crate::scf::{run_scf, EnergyBreakdown, ScfConfig};
+use crate::scf::{run_scf_with, EnergyBreakdown, ScfConfig, ScfWorkspace};
 use crate::species::Pseudopotential;
 use mqmd_grid::UniformGrid3;
 use mqmd_linalg::CMatrix;
@@ -62,6 +62,9 @@ pub struct SolvedState {
 pub struct DftSolver {
     config: DftConfig,
     psi_cache: Option<CMatrix>,
+    /// Preplanned SCF/eigensolver storage, persisted across ionic steps so
+    /// steady-state QMD steps run allocation-free on the hot path.
+    scf_ws: ScfWorkspace,
     /// Cumulative SCF iterations across calls (QMD bookkeeping, cf. the
     /// paper's 129,208 SCF iterations over 21,140 steps).
     pub total_scf_iterations: usize,
@@ -93,6 +96,7 @@ impl DftSolver {
         Self {
             config,
             psi_cache: None,
+            scf_ws: ScfWorkspace::new(),
             total_scf_iterations: 0,
         }
     }
@@ -121,7 +125,14 @@ impl DftSolver {
             .take()
             .filter(|p| p.rows() == basis.len() && p.cols() == n_bands);
 
-        let out = run_scf(&basis, &atoms, n_electrons, &self.config.scf, psi0)?;
+        let out = run_scf_with(
+            &basis,
+            &atoms,
+            n_electrons,
+            &self.config.scf,
+            psi0,
+            &mut self.scf_ws,
+        )?;
         let forces = total_forces(&basis, &atoms, &out.density, &out.psi, &out.occupations);
         self.total_scf_iterations += out.scf_iterations;
         let state = SolvedState {

@@ -3,13 +3,49 @@
 //! Layout: `index = (ix·ny + iy)·nz + iz` (z fastest). The transform is a
 //! pencil decomposition — all z-lines, then all y-lines, then all x-lines —
 //! with rayon parallelism across pencils, mirroring the butterfly network
-//! the paper draws inside each domain (Fig 3, red lines). Each worker uses a
-//! thread-local gather buffer so strided axes still feed the 1-D kernel with
-//! contiguous data.
+//! the paper draws inside each domain (Fig 3, red lines). Strided axes
+//! gather each pencil into a contiguous scratch line before feeding the 1-D
+//! kernel; that scratch never comes from a fresh `vec!`:
+//!
+//! * [`Fft3d::forward`] / [`Fft3d::inverse`] reuse a **thread-local**
+//!   scratch line, so repeated transforms on the same worker thread are
+//!   allocation-free;
+//! * [`Fft3d::forward_with`] / [`Fft3d::inverse_with`] borrow the line from
+//!   a caller-provided [`Workspace`] arena — the SCF hot path uses these so
+//!   steady-state iterations perform zero allocations and every gather
+//!   buffer shows up in the workspace hit/miss ledger.
+//!
+//! Scratch reuse cannot perturb results: a gather fully overwrites the
+//! line before the 1-D kernel reads it, and each pencil's transform is
+//! independent of task chunking, so outputs stay bitwise identical across
+//! thread counts and scratch strategies (`tests/determinism.rs` enforces
+//! this).
 
 use crate::fft1d::Fft1d;
+use mqmd_util::workspace::Workspace;
 use mqmd_util::Complex64;
 use rayon::prelude::*;
+use std::cell::RefCell;
+
+thread_local! {
+    /// Per-thread gather line reused by the non-workspace entry points.
+    static SCRATCH: RefCell<Vec<Complex64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` on a zero-filled thread-local scratch line of `len` elements,
+/// growing (and recording the allocation of) the line only when a larger
+/// length is first requested on this thread.
+fn with_tl_scratch<R>(len: usize, f: impl FnOnce(&mut [Complex64]) -> R) -> R {
+    SCRATCH.with(|cell| {
+        let mut v = cell.borrow_mut();
+        if v.capacity() < len {
+            mqmd_util::trace::add_alloc(1, (len * size_of::<Complex64>()) as u64);
+        }
+        v.clear();
+        v.resize(len, Complex64::ZERO);
+        f(&mut v)
+    })
+}
 
 /// A planned 3-D FFT of fixed dimensions.
 pub struct Fft3d {
@@ -61,25 +97,47 @@ impl Fft3d {
         (ix * self.ny + iy) * self.nz + iz
     }
 
-    /// In-place forward transform.
+    /// In-place forward transform (thread-local gather scratch).
     pub fn forward(&self, data: &mut [Complex64]) {
-        self.transform(data, true);
+        self.transform(data, true, None);
     }
 
-    /// In-place inverse transform (scaled by `1/(nx·ny·nz)`).
+    /// In-place inverse transform (scaled by `1/(nx·ny·nz)`; thread-local
+    /// gather scratch).
     pub fn inverse(&self, data: &mut [Complex64]) {
-        self.transform(data, false);
+        self.transform(data, false, None);
+    }
+
+    /// In-place forward transform with gather scratch borrowed from `ws`.
+    /// Bitwise identical to [`Fft3d::forward`].
+    pub fn forward_with(&self, data: &mut [Complex64], ws: &Workspace) {
+        self.transform(data, true, Some(ws));
+    }
+
+    /// In-place inverse transform with gather scratch borrowed from `ws`.
+    /// Bitwise identical to [`Fft3d::inverse`].
+    pub fn inverse_with(&self, data: &mut [Complex64], ws: &Workspace) {
+        self.transform(data, false, Some(ws));
+    }
+
+    /// Runs `work` on a zero-filled scratch line of `len` elements, pulled
+    /// from `ws` when given, the thread-local line otherwise.
+    fn with_scratch(ws: Option<&Workspace>, len: usize, work: impl FnOnce(&mut [Complex64])) {
+        match ws {
+            Some(ws) => work(&mut ws.borrow_c64(len)),
+            None => with_tl_scratch(len, work),
+        }
     }
 
     #[allow(clippy::needless_range_loop)] // strided pencil gather/scatter
-    fn transform(&self, data: &mut [Complex64], fwd: bool) {
+    fn transform(&self, data: &mut [Complex64], fwd: bool, ws: Option<&Workspace>) {
         let _span = mqmd_util::trace::span("fft");
         assert_eq!(data.len(), self.len(), "buffer length mismatch");
         // Three axis sweeps, each streaming the field once in and once out.
         mqmd_util::trace::add_bytes(6 * 16 * data.len() as u64);
         let (nx, ny, nz) = (self.nx, self.ny, self.nz);
 
-        // Axis z: contiguous lines of length nz.
+        // Axis z: contiguous lines of length nz — no gather needed.
         if nz > 1 {
             data.par_chunks_mut(nz).for_each(|line| {
                 if fwd {
@@ -90,53 +148,65 @@ impl Fft3d {
             });
         }
 
-        // Axis y: stride nz within each x-plane; parallel over x-planes.
+        // Axis y: stride nz within each x-plane; parallel over x-planes,
+        // one scratch acquisition per plane task.
         if ny > 1 {
             data.par_chunks_mut(ny * nz).for_each(|plane| {
-                let mut buf = vec![Complex64::ZERO; ny];
-                for iz in 0..nz {
-                    for iy in 0..ny {
-                        buf[iy] = plane[iy * nz + iz];
+                Self::with_scratch(ws, ny, |buf| {
+                    for iz in 0..nz {
+                        for iy in 0..ny {
+                            buf[iy] = plane[iy * nz + iz];
+                        }
+                        if fwd {
+                            self.plan_y.forward(buf);
+                        } else {
+                            self.plan_y.inverse(buf);
+                        }
+                        for iy in 0..ny {
+                            plane[iy * nz + iz] = buf[iy];
+                        }
                     }
-                    if fwd {
-                        self.plan_y.forward(&mut buf);
-                    } else {
-                        self.plan_y.inverse(&mut buf);
-                    }
-                    for iy in 0..ny {
-                        plane[iy * nz + iz] = buf[iy];
-                    }
-                }
+                });
             });
         }
 
-        // Axis x: stride ny*nz; parallel over (iy, iz) pencils by splitting
-        // the yz index range. We cannot hand out disjoint &mut slices along a
-        // strided axis, so gather into per-task buffers and scatter through a
-        // raw pointer wrapper (each yz pencil touches a disjoint index set).
+        // Axis x: stride ny*nz; parallel over (iy, iz) pencils. The yz
+        // range is split into a bounded number of chunks so each task
+        // acquires scratch once, not once per pencil. We cannot hand out
+        // disjoint &mut slices along a strided axis, so gather into the
+        // scratch line and scatter through a raw pointer wrapper (each yz
+        // pencil touches a disjoint index set).
         if nx > 1 {
             let stride = ny * nz;
+            let chunk = stride
+                .div_ceil(rayon::current_num_threads().max(1) * 8)
+                .max(1);
+            let n_chunks = stride.div_ceil(chunk);
             let ptr = SendPtr(data.as_mut_ptr());
-            (0..stride).into_par_iter().for_each(|yz| {
+            (0..n_chunks).into_par_iter().for_each(|c| {
                 let p = ptr; // copy the Send wrapper into the closure
-                let mut buf = vec![Complex64::ZERO; nx];
-                // SAFETY: pencil `yz` reads/writes only indices yz + ix*stride,
-                // which are disjoint across distinct yz values in [0, stride).
-                unsafe {
-                    for ix in 0..nx {
-                        buf[ix] = *p.0.add(yz + ix * stride);
+                Self::with_scratch(ws, nx, |buf| {
+                    for yz in c * chunk..(c * chunk + chunk).min(stride) {
+                        // SAFETY: pencil `yz` reads/writes only indices
+                        // yz + ix*stride, which are disjoint across distinct
+                        // yz values in [0, stride).
+                        unsafe {
+                            for ix in 0..nx {
+                                buf[ix] = *p.0.add(yz + ix * stride);
+                            }
+                        }
+                        if fwd {
+                            self.plan_x.forward(buf);
+                        } else {
+                            self.plan_x.inverse(buf);
+                        }
+                        unsafe {
+                            for ix in 0..nx {
+                                *p.0.add(yz + ix * stride) = buf[ix];
+                            }
+                        }
                     }
-                }
-                if fwd {
-                    self.plan_x.forward(&mut buf);
-                } else {
-                    self.plan_x.inverse(&mut buf);
-                }
-                unsafe {
-                    for ix in 0..nx {
-                        *p.0.add(yz + ix * stride) = buf[ix];
-                    }
-                }
+                });
             });
         }
     }

@@ -8,6 +8,7 @@
 //! numerics).
 
 use mqmd_fft::{Fft1d, Fft3d};
+use mqmd_util::workspace::Workspace;
 use mqmd_util::Complex64;
 use rayon::ThreadPoolBuilder;
 
@@ -99,6 +100,69 @@ fn fft3d_inverse_is_thread_count_invariant() {
         d
     };
     assert_bits_eq(&one, &many, "inverse 1t vs 4t");
+}
+
+/// Regression test for the gather-scratch reuse: warm (reused) scratch
+/// must give bit-identical results to cold scratch, across thread counts.
+/// Before the thread-local line existed, every pencil task allocated a
+/// fresh `vec!`; reuse must not be observable in the numerics.
+#[test]
+fn fft3d_scratch_reuse_is_bitwise_deterministic() {
+    for (nx, ny, nz) in [(16, 16, 16), (3, 5, 7), (12, 10, 6)] {
+        let plan = Fft3d::new(nx, ny, nz);
+        let input = random_field(plan.len(), (nx * 7 + ny * 5 + nz) as u64);
+        // Cold reference on a fresh 1-thread pool (fresh worker threads =
+        // fresh thread-local scratch).
+        let cold = forward_with_threads(&plan, &input, Some(1));
+        for threads in [1usize, 2, 4] {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("pool");
+            pool.install(|| {
+                // Warm the scratch with unrelated data of the same and of a
+                // *different* size, then transform the real input twice.
+                let mut junk = random_field(plan.len(), 999);
+                plan.forward(&mut junk);
+                let small = Fft3d::new(4, 4, 4);
+                let mut junk_small = random_field(small.len(), 998);
+                small.forward(&mut junk_small);
+                for rep in 0..2 {
+                    let mut warm = input.to_vec();
+                    plan.forward(&mut warm);
+                    assert_bits_eq(
+                        &cold,
+                        &warm,
+                        &format!("{nx}x{ny}x{nz} warm rep {rep} @ {threads}t"),
+                    );
+                }
+            });
+        }
+    }
+}
+
+/// The workspace-borrowing entry points must be bitwise identical to the
+/// thread-local ones, for both transform directions, and reusing one
+/// workspace across many transforms must not be observable.
+#[test]
+fn fft3d_workspace_path_matches_owned_path_bitwise() {
+    let ws = Workspace::new();
+    for (nx, ny, nz) in [(16, 16, 16), (3, 5, 7), (8, 4, 2)] {
+        let plan = Fft3d::new(nx, ny, nz);
+        let input = random_field(plan.len(), (nx * 31 + ny * 3 + nz) as u64);
+        for rep in 0..3 {
+            let mut owned = input.clone();
+            plan.forward(&mut owned);
+            let mut pooled = input.clone();
+            plan.forward_with(&mut pooled, &ws);
+            assert_bits_eq(&owned, &pooled, &format!("fwd {nx}x{ny}x{nz} rep {rep}"));
+            plan.inverse(&mut owned);
+            plan.inverse_with(&mut pooled, &ws);
+            assert_bits_eq(&owned, &pooled, &format!("inv {nx}x{ny}x{nz} rep {rep}"));
+        }
+    }
+    let s = ws.stats().snapshot();
+    assert!(s.hits > 0, "repeated transforms must reuse pooled scratch");
 }
 
 #[test]

@@ -78,6 +78,12 @@ impl CMatrix {
         &mut self.data
     }
 
+    /// Consumes the matrix, releasing its row-major storage (e.g. back to a
+    /// `mqmd_util::workspace::Workspace` the storage was taken from).
+    pub fn into_data(self) -> Vec<Complex64> {
+        self.data
+    }
+
     /// Borrow of row `i`.
     #[inline(always)]
     pub fn row(&self, i: usize) -> &[Complex64] {
@@ -93,6 +99,23 @@ impl CMatrix {
     /// Copies column `j` into a new vector (a single Kohn–Sham band).
     pub fn col(&self, j: usize) -> Vec<Complex64> {
         (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Copies column `j` into a caller-provided buffer (the allocation-free
+    /// form of [`CMatrix::col`]).
+    pub fn col_into(&self, j: usize, out: &mut [Complex64]) {
+        assert_eq!(out.len(), self.rows);
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self[(i, j)];
+        }
+    }
+
+    /// Swaps the contents of columns `j` in `self` and `v`.
+    pub fn swap_col(&mut self, j: usize, v: &mut [Complex64]) {
+        assert_eq!(v.len(), self.rows);
+        for i in 0..self.rows {
+            std::mem::swap(&mut self[(i, j)], &mut v[i]);
+        }
     }
 
     /// Overwrites column `j` from a slice.
@@ -219,6 +242,20 @@ mod tests {
         m.set_col(1, &band);
         assert_eq!(m.col(1), band);
         assert_eq!(m.col(0), vec![Complex64::ZERO; 4]);
+    }
+
+    #[test]
+    fn col_into_and_swap_col() {
+        let mut m = CMatrix::from_fn(4, 3, |i, j| Complex64::new(i as f64, j as f64));
+        let mut buf = vec![Complex64::ZERO; 4];
+        m.col_into(1, &mut buf);
+        assert_eq!(buf, m.col(1));
+        let mut other: Vec<Complex64> = (0..4).map(|i| Complex64::new(-(i as f64), 9.0)).collect();
+        let expect_col = other.clone();
+        let expect_buf = m.col(2);
+        m.swap_col(2, &mut other);
+        assert_eq!(m.col(2), expect_col);
+        assert_eq!(other, expect_buf);
     }
 
     #[test]

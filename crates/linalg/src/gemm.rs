@@ -17,6 +17,7 @@
 use crate::cmatrix::CMatrix;
 use crate::matrix::Matrix;
 use mqmd_util::flops::{count_flops, gemm_flops, zgemm_flops};
+use mqmd_util::workspace::{BorrowedC64, Workspace};
 use mqmd_util::Complex64;
 use rayon::prelude::*;
 
@@ -155,10 +156,26 @@ pub fn zgemv(alpha: Complex64, a: &CMatrix, x: &[Complex64], beta: Complex64, y:
 /// the band overlap matrix `S = Ψ†Ψ` that feeds the Cholesky
 /// orthonormalisation.
 pub fn zgemm_dagger_a(a: &CMatrix, b: &CMatrix) -> CMatrix {
+    let ws = Workspace::new();
+    let mut out = CMatrix::zeros(a.cols(), b.cols());
+    zgemm_dagger_a_into(a, b, &mut out, &ws);
+    out
+}
+
+/// Allocation-free form of [`zgemm_dagger_a`]: writes `A†·B` into `out`
+/// (which must already be `A.cols × B.cols`) and draws the per-chunk partial
+/// accumulators from `ws`.
+///
+/// The plane-wave range is split into fixed-size chunks and the per-chunk
+/// partials are summed *sequentially in chunk order*, so the result is
+/// bitwise identical to the owned-return path for any thread count.
+pub fn zgemm_dagger_a_into(a: &CMatrix, b: &CMatrix, out: &mut CMatrix, ws: &Workspace) {
     let _span = mqmd_util::trace::span("gemm");
     let (np, na) = (a.rows(), a.cols());
     let nb = b.cols();
     assert_eq!(b.rows(), np, "row mismatch");
+    assert_eq!(out.rows(), na, "out row mismatch");
+    assert_eq!(out.cols(), nb, "out col mismatch");
     count_flops(zgemm_flops(na as u64, nb as u64, np as u64));
 
     // Accumulate over rows of A/B (the plane-wave index); parallelise by
@@ -166,12 +183,12 @@ pub fn zgemm_dagger_a(a: &CMatrix, b: &CMatrix) -> CMatrix {
     let a_data = a.data();
     let b_data = b.data();
     let chunk = 1024usize.max(np / (4 * rayon::current_num_threads().max(1)) + 1);
-    let partials: Vec<Vec<Complex64>> = (0..np)
+    let partials: Vec<BorrowedC64<'_>> = (0..np)
         .into_par_iter()
         .step_by(chunk)
         .map(|g0| {
             let g1 = (g0 + chunk).min(np);
-            let mut acc = vec![Complex64::ZERO; na * nb];
+            let mut acc = ws.borrow_c64(na * nb);
             for g in g0..g1 {
                 let a_row = &a_data[g * na..(g + 1) * na];
                 let b_row = &b_data[g * nb..(g + 1) * nb];
@@ -187,13 +204,13 @@ pub fn zgemm_dagger_a(a: &CMatrix, b: &CMatrix) -> CMatrix {
         })
         .collect();
 
-    let mut out = vec![Complex64::ZERO; na * nb];
+    let out_data = out.data_mut();
+    out_data.fill(Complex64::ZERO);
     for p in partials {
-        for (o, v) in out.iter_mut().zip(p) {
+        for (o, &v) in out_data.iter_mut().zip(p.iter()) {
             *o += v;
         }
     }
-    CMatrix::from_vec(na, nb, out)
 }
 
 /// Column-by-column emulation of GEMM via repeated GEMV — the BLAS2 baseline
@@ -301,6 +318,30 @@ mod tests {
             &mut s2,
         );
         assert!(s.max_abs_diff(&s2) < 1e-12);
+    }
+
+    #[test]
+    fn dagger_a_into_matches_owned_bitwise() {
+        let a = CMatrix::from_fn(130, 6, |i, j| {
+            Complex64::new((i as f64).sin() * 0.2, (j as f64 + 1.0).cos())
+        });
+        let b = CMatrix::from_fn(130, 4, |i, j| {
+            Complex64::new((i + j) as f64 * 0.01, (i as f64) * -0.03)
+        });
+        let owned = zgemm_dagger_a(&a, &b);
+        let ws = Workspace::new();
+        let mut pooled = CMatrix::zeros(6, 4);
+        for _ in 0..3 {
+            zgemm_dagger_a_into(&a, &b, &mut pooled, &ws);
+            for (x, y) in owned.data().iter().zip(pooled.data()) {
+                assert_eq!(x.re.to_bits(), y.re.to_bits());
+                assert_eq!(x.im.to_bits(), y.im.to_bits());
+            }
+        }
+        assert!(
+            ws.stats().snapshot().hits > 0,
+            "repeated calls must reuse pooled accumulators"
+        );
     }
 
     #[test]

@@ -12,17 +12,28 @@
 
 use crate::cholesky::zpotrf;
 use crate::cmatrix::CMatrix;
-use crate::gemm::{zgemm, zgemm_dagger_a};
+use crate::gemm::{zgemm, zgemm_dagger_a, zgemm_dagger_a_into};
 use crate::triangular::ztrtri_lower;
+use mqmd_util::workspace::Workspace;
 use mqmd_util::{Complex64, Result};
 
 /// Orthonormalises the columns of `psi` in place via overlap + Cholesky
 /// (the paper's §3.3 kernel). Returns the overlap matrix's departure from
 /// identity before the update, `‖S − I‖_F`, a useful convergence diagnostic.
 pub fn cholesky_orthonormalize(psi: &mut CMatrix) -> Result<f64> {
+    let ws = Workspace::new();
+    cholesky_orthonormalize_with(psi, &ws)
+}
+
+/// Allocation-free form of [`cholesky_orthonormalize`]: the overlap matrix
+/// and the rotated-band buffer are drawn from `ws`, so a warm arena makes
+/// the per-iteration orthonormalisation free of hot-path allocations. The
+/// small triangular factors (`Nb × Nb`) remain plain owned values.
+pub fn cholesky_orthonormalize_with(psi: &mut CMatrix, ws: &Workspace) -> Result<f64> {
     let _span = mqmd_util::trace::span("orthonorm");
     let nb = psi.cols();
-    let s = zgemm_dagger_a(psi, psi);
+    let mut s = CMatrix::from_vec(nb, nb, ws.take_c64(nb * nb));
+    zgemm_dagger_a_into(psi, psi, &mut s, ws);
     let mut dev = 0.0;
     for i in 0..nb {
         for j in 0..nb {
@@ -34,13 +45,16 @@ pub fn cholesky_orthonormalize(psi: &mut CMatrix) -> Result<f64> {
             dev += (s[(i, j)] - target).norm_sqr();
         }
     }
-    let l = zpotrf(&s)?;
+    let chol = zpotrf(&s);
+    ws.give_c64(s.into_data());
+    let l = chol?;
     let linv = ztrtri_lower(&l);
     // Ψ' = Ψ·(L⁻¹)†  — one BLAS3 call.
     let linv_dag = linv.dagger();
-    let mut out = CMatrix::zeros(psi.rows(), nb);
+    let mut out = CMatrix::from_vec(psi.rows(), nb, ws.take_c64(psi.rows() * nb));
     zgemm(Complex64::ONE, psi, &linv_dag, Complex64::ZERO, &mut out);
-    *psi = out;
+    psi.data_mut().copy_from_slice(out.data());
+    ws.give_c64(out.into_data());
     Ok(dev.sqrt())
 }
 
@@ -140,6 +154,27 @@ mod tests {
         mgs_orthonormalize(&mut b);
         assert!(orthonormality_defect(&a) < 1e-10);
         assert!(orthonormality_defect(&b) < 1e-10);
+    }
+
+    /// The pooled-workspace form must be bitwise identical to the owned
+    /// path, warm or cold — the arena is unobservable in the numerics.
+    #[test]
+    fn with_workspace_is_bitwise_identical() {
+        let psi0 = random_bands(96, 5);
+        let mut owned = psi0.clone();
+        let dev_owned = cholesky_orthonormalize(&mut owned).unwrap();
+        let ws = mqmd_util::workspace::Workspace::new();
+        for _ in 0..2 {
+            // First pass misses (cold arena), second hits — same bits.
+            let mut pooled = psi0.clone();
+            let dev_pooled = cholesky_orthonormalize_with(&mut pooled, &ws).unwrap();
+            assert_eq!(dev_owned.to_bits(), dev_pooled.to_bits());
+            for (a, b) in owned.data().iter().zip(pooled.data()) {
+                assert_eq!(a.re.to_bits(), b.re.to_bits());
+                assert_eq!(a.im.to_bits(), b.im.to_bits());
+            }
+        }
+        assert!(ws.stats().snapshot().hits > 0, "warm pass must reuse");
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use mqmd_fft::freq::g_norm_sqr;
 use mqmd_fft::Fft3d;
 use mqmd_grid::UniformGrid3;
+use mqmd_util::workspace::Workspace;
 use mqmd_util::Complex64;
 
 /// A planned FFT Poisson solver bound to one grid.
@@ -35,13 +36,28 @@ impl FftPoisson {
 
     /// Solves `∇²V = −4πρ` for the Hartree potential `V` (zero mean).
     pub fn hartree(&self, rho: &[f64]) -> Vec<f64> {
+        let mut v = vec![0.0; rho.len()];
+        let ws = Workspace::new();
+        self.hartree_into(rho, &mut v, &ws);
+        v
+    }
+
+    /// Allocation-free form of [`Self::hartree`]: writes the potential into
+    /// `out`, borrowing the complex FFT field from `ws`.
+    pub fn hartree_into(&self, rho: &[f64], out: &mut [f64], ws: &Workspace) {
         let _span = mqmd_util::trace::span("poisson");
         assert_eq!(rho.len(), self.grid.len());
-        let mut data: Vec<Complex64> = rho.iter().map(|&x| Complex64::from_re(x)).collect();
-        self.fft.forward(&mut data);
+        assert_eq!(out.len(), self.grid.len());
+        let mut data = ws.borrow_c64(self.grid.len());
+        for (z, &x) in data.iter_mut().zip(rho) {
+            *z = Complex64::from_re(x);
+        }
+        self.fft.forward_with(&mut data, ws);
         self.apply_greens_function(&mut data);
-        self.fft.inverse(&mut data);
-        data.into_iter().map(|z| z.re).collect()
+        self.fft.inverse_with(&mut data, ws);
+        for (o, z) in out.iter_mut().zip(data.iter()) {
+            *o = z.re;
+        }
     }
 
     /// Multiplies by the periodic Coulomb Green's function `4π/G²` in place
@@ -66,10 +82,16 @@ impl FftPoisson {
 
     /// Hartree energy `½·∫ρ(r)·V_H(r) d³r` of a density.
     pub fn hartree_energy(&self, rho: &[f64]) -> f64 {
-        let v = self.hartree(rho);
-        0.5 * self
-            .grid
-            .integrate(&rho.iter().zip(&v).map(|(r, vh)| r * vh).collect::<Vec<_>>())
+        let ws = Workspace::new();
+        self.hartree_energy_with(rho, &ws)
+    }
+
+    /// Allocation-free form of [`Self::hartree_energy`]: the potential field
+    /// is borrowed from `ws`.
+    pub fn hartree_energy_with(&self, rho: &[f64], ws: &Workspace) -> f64 {
+        let mut v = ws.borrow_f64(self.grid.len());
+        self.hartree_into(rho, &mut v, ws);
+        0.5 * rho.iter().zip(v.iter()).map(|(r, vh)| r * vh).sum::<f64>() * self.grid.dv()
     }
 }
 

@@ -23,4 +23,4 @@ pub mod transfer;
 pub mod vcycle;
 
 pub use fftpoisson::FftPoisson;
-pub use vcycle::PoissonMultigrid;
+pub use vcycle::{MgHierarchy, PoissonMultigrid};

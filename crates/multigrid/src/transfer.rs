@@ -20,12 +20,24 @@ pub fn coarsen(fine: &UniformGrid3) -> UniformGrid3 {
 /// average of the co-located fine cell and its neighbours (weights
 /// 8/4/2/1 ÷ 64), with periodic wrapping.
 pub fn restrict(fine_grid: &UniformGrid3, fine: &[f64], coarse_grid: &UniformGrid3) -> Vec<f64> {
+    let mut out = vec![0.0; coarse_grid.len()];
+    restrict_into(fine_grid, fine, coarse_grid, &mut out);
+    out
+}
+
+/// Allocation-free form of [`restrict`]: writes the coarse field into `out`.
+pub fn restrict_into(
+    fine_grid: &UniformGrid3,
+    fine: &[f64],
+    coarse_grid: &UniformGrid3,
+    out: &mut [f64],
+) {
     let (nx, ny, nz) = fine_grid.dims();
     let (cx, cy, cz) = coarse_grid.dims();
     assert_eq!((cx, cy, cz), (nx / 2, ny / 2, nz / 2));
     assert_eq!(fine.len(), fine_grid.len());
+    assert_eq!(out.len(), coarse_grid.len());
 
-    let mut out = vec![0.0; coarse_grid.len()];
     for icx in 0..cx {
         for icy in 0..cy {
             for icz in 0..cz {
@@ -50,7 +62,6 @@ pub fn restrict(fine_grid: &UniformGrid3, fine: &[f64], coarse_grid: &UniformGri
             }
         }
     }
-    out
 }
 
 /// Trilinear prolongation: interpolates a coarse field onto the fine grid

@@ -2,9 +2,9 @@
 
 use crate::smoother::rbgs_sweep;
 use crate::stencil::{norm, remove_mean, residual};
-use crate::transfer::{coarsen, prolong_add, restrict};
+use crate::transfer::{coarsen, prolong_add, restrict_into};
 use mqmd_grid::UniformGrid3;
-use mqmd_util::{MqmdError, Result};
+use mqmd_util::{workspace, MqmdError, Result};
 
 /// Configuration of the multigrid solver.
 #[derive(Clone, Copy, Debug)]
@@ -53,6 +53,39 @@ pub struct PoissonMultigrid {
     config: MgConfig,
 }
 
+/// Per-level scratch of one non-coarsest V-cycle level.
+struct LevelBufs {
+    r: Vec<f64>,
+    coarse_rhs: Vec<f64>,
+    coarse_u: Vec<f64>,
+}
+
+/// Preplanned scratch for [`PoissonMultigrid::solve_with`]: the residual and
+/// coarse-correction buffers of every V-cycle level plus the fine-level
+/// rhs/residual pair, allocated once by [`PoissonMultigrid::plan`] and reused
+/// across cycles, solves, and SCF iterations.
+pub struct MgHierarchy {
+    levels: Vec<LevelBufs>,
+    rhs: Vec<f64>,
+    r: Vec<f64>,
+    scratch: Vec<f64>,
+    factors: Vec<f64>,
+}
+
+impl MgHierarchy {
+    /// Fine-grid point count this hierarchy was planned for — lets callers
+    /// that cache a hierarchy across solves check it still matches the
+    /// solver's grid before reusing it.
+    pub fn fine_len(&self) -> usize {
+        self.rhs.len()
+    }
+
+    /// Number of coarse levels planned below the fine grid.
+    pub fn coarse_levels(&self) -> usize {
+        self.levels.len()
+    }
+}
+
 impl PoissonMultigrid {
     /// Builds the grid hierarchy under the given fine grid.
     pub fn new(fine: UniformGrid3, config: MgConfig) -> Self {
@@ -81,33 +114,67 @@ impl PoissonMultigrid {
         self.levels.len()
     }
 
+    /// Plans the per-level scratch buffers for [`Self::solve_with`] /
+    /// [`Self::hartree_with`]. Build once per solver, reuse across solves.
+    pub fn plan(&self) -> MgHierarchy {
+        let mut bufs = Vec::with_capacity(self.levels.len().saturating_sub(1));
+        let mut doubles = 3 * self.levels[0].len();
+        for w in self.levels.windows(2) {
+            doubles += w[0].len() + 2 * w[1].len();
+            bufs.push(LevelBufs {
+                r: vec![0.0; w[0].len()],
+                coarse_rhs: vec![0.0; w[1].len()],
+                coarse_u: vec![0.0; w[1].len()],
+            });
+        }
+        workspace::record_plan_alloc((doubles * size_of::<f64>()) as u64);
+        MgHierarchy {
+            levels: bufs,
+            rhs: vec![0.0; self.levels[0].len()],
+            r: vec![0.0; self.levels[0].len()],
+            scratch: vec![0.0; self.levels[0].len()],
+            factors: Vec::new(),
+        }
+    }
+
     /// Solves `∇²u = f` (periodic, `f` projected to zero mean), writing the
     /// zero-mean solution into `u` (used as the initial guess).
     pub fn solve(&self, u: &mut [f64], f: &[f64]) -> Result<MgReport> {
+        let mut hier = self.plan();
+        self.solve_with(u, f, &mut hier)
+    }
+
+    /// Allocation-free form of [`Self::solve`]: all per-level scratch comes
+    /// from a hierarchy planned by [`Self::plan`].
+    pub fn solve_with(&self, u: &mut [f64], f: &[f64], hier: &mut MgHierarchy) -> Result<MgReport> {
         let fine = &self.levels[0];
         assert_eq!(u.len(), fine.len());
         assert_eq!(f.len(), fine.len());
-        let mut rhs = f.to_vec();
-        remove_mean(&mut rhs);
-        let f_norm = norm(&rhs).max(1e-300);
+        assert_eq!(
+            hier.levels.len() + 1,
+            self.levels.len(),
+            "hierarchy was planned for a different solver"
+        );
+        hier.rhs.copy_from_slice(f);
+        remove_mean(&mut hier.rhs);
+        let f_norm = norm(&hier.rhs).max(1e-300);
 
-        let mut r = vec![0.0; fine.len()];
-        residual(fine, u, &rhs, &mut r);
-        let mut prev = norm(&r);
+        residual(fine, u, &hier.rhs, &mut hier.r);
+        let mut prev = norm(&hier.r);
         let first = prev;
-        let mut factors = Vec::new();
+        hier.factors.clear();
 
         for cycle in 1..=self.config.max_cycles {
-            self.vcycle(0, u, &rhs);
+            self.vcycle(0, u, &hier.rhs, &mut hier.levels);
             remove_mean(u);
-            residual(fine, u, &rhs, &mut r);
-            let cur = norm(&r);
+            residual(fine, u, &hier.rhs, &mut hier.r);
+            let cur = norm(&hier.r);
             if prev > 0.0 {
-                factors.push((cur / prev).max(1e-16));
+                hier.factors.push((cur / prev).max(1e-16));
             }
             prev = cur;
             if cur / f_norm < self.config.tol {
-                let contraction = geometric_mean(&factors, first, cur);
+                let contraction = geometric_mean(&hier.factors, first, cur);
                 return Ok(MgReport {
                     cycles: cycle,
                     rel_residual: cur / f_norm,
@@ -124,17 +191,33 @@ impl PoissonMultigrid {
 
     /// Convenience wrapper solving the Hartree problem `∇²V = −4πρ`.
     pub fn hartree(&self, rho: &[f64]) -> Result<Vec<f64>> {
-        let _span = mqmd_util::trace::span("poisson");
-        let rhs: Vec<f64> = rho
-            .iter()
-            .map(|&x| -4.0 * std::f64::consts::PI * x)
-            .collect();
         let mut v = vec![0.0; self.levels[0].len()];
-        self.solve(&mut v, &rhs)?;
+        let mut hier = self.plan();
+        self.hartree_with(rho, &mut v, &mut hier)?;
         Ok(v)
     }
 
-    fn vcycle(&self, level: usize, u: &mut [f64], f: &[f64]) {
+    /// Allocation-free form of [`Self::hartree`]: writes the potential into
+    /// `v` (zeroed first, so results match [`Self::hartree`] exactly).
+    pub fn hartree_with(
+        &self,
+        rho: &[f64],
+        v: &mut [f64],
+        hier: &mut MgHierarchy,
+    ) -> Result<MgReport> {
+        let _span = mqmd_util::trace::span("poisson");
+        assert_eq!(rho.len(), self.levels[0].len());
+        let mut rhs = std::mem::take(&mut hier.scratch);
+        for (s, &x) in rhs.iter_mut().zip(rho) {
+            *s = -4.0 * std::f64::consts::PI * x;
+        }
+        v.fill(0.0);
+        let out = self.solve_with(v, &rhs, hier);
+        hier.scratch = rhs;
+        out
+    }
+
+    fn vcycle(&self, level: usize, u: &mut [f64], f: &[f64], bufs: &mut [LevelBufs]) {
         let grid = &self.levels[level];
         if level + 1 == self.levels.len() {
             for _ in 0..self.config.coarse_sweeps {
@@ -143,17 +226,19 @@ impl PoissonMultigrid {
             remove_mean(u);
             return;
         }
+        let (b, rest) = bufs
+            .split_first_mut()
+            .expect("one buffer set per non-coarsest level");
         for _ in 0..self.config.pre_smooth {
             rbgs_sweep(grid, u, f);
         }
-        let mut r = vec![0.0; grid.len()];
-        residual(grid, u, f, &mut r);
+        residual(grid, u, f, &mut b.r);
         let coarse_grid = &self.levels[level + 1];
-        let mut coarse_rhs = restrict(grid, &r, coarse_grid);
-        remove_mean(&mut coarse_rhs);
-        let mut coarse_u = vec![0.0; coarse_grid.len()];
-        self.vcycle(level + 1, &mut coarse_u, &coarse_rhs);
-        prolong_add(coarse_grid, &coarse_u, grid, u);
+        restrict_into(grid, &b.r, coarse_grid, &mut b.coarse_rhs);
+        remove_mean(&mut b.coarse_rhs);
+        b.coarse_u.fill(0.0);
+        self.vcycle(level + 1, &mut b.coarse_u, &b.coarse_rhs, rest);
+        prolong_add(coarse_grid, &b.coarse_u, grid, u);
         for _ in 0..self.config.post_smooth {
             rbgs_sweep(grid, u, f);
         }
@@ -250,6 +335,29 @@ mod tests {
         let mut u = vec![0.0; f.len()];
         let report = mg.solve(&mut u, &f).expect("must converge");
         assert!(report.rel_residual < 1e-8);
+    }
+
+    /// A warm (reused) hierarchy must give bitwise-identical solutions to a
+    /// freshly planned one — pooled level buffers are unobservable.
+    #[test]
+    fn warm_hierarchy_is_bitwise_identical() {
+        let l = 6.0;
+        let g = UniformGrid3::cubic(16, l);
+        let k = TAU / l;
+        let rho_a = g.sample(|r| (k * r.x).cos() * (k * r.y).sin());
+        let rho_b = g.sample(|r| 0.7 * (2.0 * k * r.z).cos() + (k * r.x).sin());
+        let mg = PoissonMultigrid::with_defaults(g.clone());
+        let mut hier = mg.plan();
+        let mut warm = vec![0.0; g.len()];
+        // Dirty the hierarchy with an unrelated solve, then compare.
+        mg.hartree_with(&rho_b, &mut warm, &mut hier).unwrap();
+        for rho in [&rho_a, &rho_b] {
+            let cold = mg.hartree(rho).unwrap();
+            mg.hartree_with(rho, &mut warm, &mut hier).unwrap();
+            for (i, (a, b)) in cold.iter().zip(&warm).enumerate() {
+                assert!(a.to_bits() == b.to_bits(), "mismatch at {i}: {a} vs {b}");
+            }
+        }
     }
 
     #[test]

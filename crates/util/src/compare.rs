@@ -15,9 +15,18 @@
 //! The standard errors come straight from the v2 profile schema (derived
 //! from each kernel's latency histogram); v1 profiles carry none, so for
 //! them the gate degrades gracefully to the pure relative check.
+//!
+//! v3 profiles additionally carry per-phase allocation counters and a
+//! directly measured steady-state workspace-miss gauge. With
+//! [`CompareConfig::gate_allocs`] set, the gate also diffs those: the
+//! per-kernel alloc columns are informational (allocation counts shift
+//! with thread count and SCF iteration count), but the steady-state gauge
+//! is deterministic by construction, so *any* growth over the baseline
+//! hard-fails — re-introducing even one per-iteration allocation in the
+//! SCF hot path trips the gate.
 
 use crate::error::Result;
-use crate::metrics::{kernel_table, KernelStats};
+use crate::metrics::{kernel_table, steady_scf_misses, KernelStats};
 use std::collections::BTreeMap;
 
 /// Tunable thresholds for [`compare_tables`].
@@ -30,6 +39,9 @@ pub struct CompareConfig {
     /// Kernels whose baseline per-call mean is below this (seconds) are
     /// reported but never gated — they sit in timer-resolution noise.
     pub min_mean_secs: f64,
+    /// Also gate the v3 steady-state workspace-miss gauge: fail when the
+    /// candidate's steady-state SCF miss count grows over the baseline's.
+    pub gate_allocs: bool,
 }
 
 impl Default for CompareConfig {
@@ -38,6 +50,7 @@ impl Default for CompareConfig {
             rel_tolerance: 0.5,
             noise_sigmas: 3.0,
             min_mean_secs: 1e-6,
+            gate_allocs: false,
         }
     }
 }
@@ -69,6 +82,10 @@ pub struct KernelDelta {
     pub cand_mean: f64,
     /// Absolute slowdown threshold applied (seconds).
     pub threshold: f64,
+    /// Baseline heap allocations per call (0 for pre-v3 profiles).
+    pub base_allocs: f64,
+    /// Candidate heap allocations per call (0 for pre-v3 profiles).
+    pub cand_allocs: f64,
     /// Gate outcome.
     pub verdict: Verdict,
 }
@@ -84,11 +101,25 @@ impl KernelDelta {
     }
 }
 
+/// Outcome of the v3 steady-state allocation gate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AllocGate {
+    /// Baseline steady-state SCF workspace misses.
+    pub base: u64,
+    /// Candidate steady-state SCF workspace misses.
+    pub cand: u64,
+    /// Whether the gate fails (candidate grew over baseline).
+    pub failed: bool,
+}
+
 /// Full comparison result.
 #[derive(Clone, Debug, Default)]
 pub struct CompareReport {
     /// One row per kernel seen in either profile, sorted by name.
     pub rows: Vec<KernelDelta>,
+    /// Steady-state allocation gate, when `gate_allocs` was requested and
+    /// both profiles carry the v3 gauge.
+    pub alloc_gate: Option<AllocGate>,
 }
 
 impl CompareReport {
@@ -100,16 +131,26 @@ impl CompareReport {
             .count()
     }
 
-    /// Whether the gate should fail.
+    /// Whether the gate should fail (timing regression or steady-state
+    /// allocation growth).
     pub fn has_regressions(&self) -> bool {
-        self.regressions() > 0
+        self.regressions() > 0 || self.alloc_gate.is_some_and(|g| g.failed)
     }
 
-    /// Renders the human-readable regression table.
+    /// Renders the human-readable regression table, including the per-call
+    /// allocation diff when either profile carries v3 counters.
     pub fn table(&self) -> String {
+        let with_allocs = self
+            .rows
+            .iter()
+            .any(|r| r.base_allocs > 0.0 || r.cand_allocs > 0.0);
         let mut out = String::from(
-            "kernel                    base/call      cand/call     change    threshold  verdict\n",
+            "kernel                    base/call      cand/call     change    threshold  verdict",
         );
+        if with_allocs {
+            out.push_str("    alloc/call (base -> cand)");
+        }
+        out.push('\n');
         for r in &self.rows {
             let verdict = match r.verdict {
                 Verdict::Ok => "ok",
@@ -119,13 +160,28 @@ impl CompareReport {
                 Verdict::Unpaired => "unpaired",
             };
             out.push_str(&format!(
-                "{:<24} {:>11.3e} s {:>11.3e} s {:>+8.1}% {:>11.3e}  {}\n",
+                "{:<24} {:>11.3e} s {:>11.3e} s {:>+8.1}% {:>11.3e}  {}",
                 r.name,
                 r.base_mean,
                 r.cand_mean,
                 r.rel_change() * 100.0,
                 r.threshold,
                 verdict
+            ));
+            if with_allocs {
+                out.push_str(&format!(
+                    "{:>12.1} -> {:<8.1}",
+                    r.base_allocs, r.cand_allocs
+                ));
+            }
+            out.push('\n');
+        }
+        if let Some(g) = self.alloc_gate {
+            out.push_str(&format!(
+                "\nsteady-state SCF workspace misses: {} -> {}  [{}]\n",
+                g.base,
+                g.cand,
+                if g.failed { "ALLOC REGRESSED" } else { "ok" }
             ));
         }
         out
@@ -171,6 +227,8 @@ pub fn compare_tables(
                     base_mean: mb,
                     cand_mean: mc,
                     threshold,
+                    base_allocs: b.allocs_per_call(),
+                    cand_allocs: c.allocs_per_call(),
                     verdict,
                 }
             }
@@ -179,21 +237,38 @@ pub fn compare_tables(
                 base_mean: b.map(per_call_mean).unwrap_or(0.0),
                 cand_mean: c.map(per_call_mean).unwrap_or(0.0),
                 threshold: 0.0,
+                base_allocs: b.map(KernelStats::allocs_per_call).unwrap_or(0.0),
+                cand_allocs: c.map(KernelStats::allocs_per_call).unwrap_or(0.0),
                 verdict: Verdict::Unpaired,
             },
         };
         rows.push(row);
     }
-    CompareReport { rows }
+    CompareReport {
+        rows,
+        alloc_gate: None,
+    }
 }
 
-/// Parses two profile documents (schema v1 or v2) and compares them.
+/// Parses two profile documents (schema v1, v2, or v3) and compares them.
+/// With [`CompareConfig::gate_allocs`], the v3 steady-state workspace-miss
+/// gauges are also diffed; a candidate gauge above the baseline's fails the
+/// gate. A baseline without the gauge (pre-v3) skips the allocation gate; a
+/// candidate without it while gating is requested fails it — the candidate
+/// pipeline stopped measuring the thing being gated.
 pub fn compare_profiles(base: &str, cand: &str, cfg: &CompareConfig) -> Result<CompareReport> {
-    Ok(compare_tables(
-        &kernel_table(base)?,
-        &kernel_table(cand)?,
-        cfg,
-    ))
+    let mut report = compare_tables(&kernel_table(base)?, &kernel_table(cand)?, cfg);
+    if cfg.gate_allocs {
+        if let Some(base_gauge) = steady_scf_misses(base)? {
+            let cand_gauge = steady_scf_misses(cand)?;
+            report.alloc_gate = Some(AllocGate {
+                base: base_gauge,
+                cand: cand_gauge.unwrap_or(u64::MAX),
+                failed: cand_gauge.is_none_or(|c| c > base_gauge),
+            });
+        }
+    }
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -247,6 +322,7 @@ mod tests {
             rel_tolerance: 0.0,
             noise_sigmas: 3.0,
             min_mean_secs: 1e-6,
+            gate_allocs: false,
         };
         let report = compare_tables(&base, &cand, &tight);
         assert!(report.has_regressions());
@@ -286,5 +362,74 @@ mod tests {
         let report = compare_tables(&base, &cand, &CompareConfig::default());
         assert!(!report.has_regressions());
         assert_eq!(report.rows[0].verdict, Verdict::Improved);
+    }
+
+    fn profile_doc(schema: &str, allocs: u64, gauge: Option<u64>) -> String {
+        let alloc_block = match gauge {
+            Some(g) => format!(
+                ", \"alloc\": {{\"workspace_hits\": 10, \"workspace_misses\": {allocs}, \
+                 \"workspace_miss_bytes\": 0, \"steady_scf_workspace_misses\": {g}}}"
+            ),
+            None => String::new(),
+        };
+        format!(
+            "{{\"schema\": \"{schema}\", \"kernels\": {{\
+             \"scf_iter\": {{\"calls\": 10, \"seconds\": 1.0, \"flops\": 100, \
+             \"alloc_count\": {allocs}, \"alloc_bytes\": 0}}}}{alloc_block}}}"
+        )
+    }
+
+    #[test]
+    fn alloc_gate_passes_when_steady_misses_do_not_grow() {
+        let cfg = CompareConfig {
+            gate_allocs: true,
+            ..Default::default()
+        };
+        let base = profile_doc("mqmd-profile-v3", 40, Some(0));
+        let cand = profile_doc("mqmd-profile-v3", 44, Some(0));
+        let report = compare_profiles(&base, &cand, &cfg).unwrap();
+        let gate = report.alloc_gate.expect("gauge present in both");
+        assert!(!gate.failed);
+        assert!(!report.has_regressions());
+        // Per-kernel alloc columns are informational, shown in the table.
+        assert!(report.table().contains("alloc/call"));
+        assert!(report.table().contains("steady-state SCF workspace misses"));
+    }
+
+    #[test]
+    fn alloc_gate_fails_on_steady_miss_growth() {
+        let cfg = CompareConfig {
+            gate_allocs: true,
+            ..Default::default()
+        };
+        let base = profile_doc("mqmd-profile-v3", 40, Some(0));
+        let cand = profile_doc("mqmd-profile-v3", 40, Some(3));
+        let report = compare_profiles(&base, &cand, &cfg).unwrap();
+        assert!(report.alloc_gate.unwrap().failed);
+        assert!(report.has_regressions(), "alloc growth fails the gate");
+        assert_eq!(report.regressions(), 0, "no timing regression involved");
+        assert!(report.table().contains("ALLOC REGRESSED"));
+    }
+
+    #[test]
+    fn alloc_gate_skips_pre_v3_baseline_but_requires_candidate_gauge() {
+        let cfg = CompareConfig {
+            gate_allocs: true,
+            ..Default::default()
+        };
+        // Pre-v3 baseline: nothing to gate against.
+        let v2_base = profile_doc("mqmd-profile-v2", 0, None);
+        let cand = profile_doc("mqmd-profile-v3", 40, Some(0));
+        let report = compare_profiles(&v2_base, &cand, &cfg).unwrap();
+        assert!(report.alloc_gate.is_none());
+        assert!(!report.has_regressions());
+        // v3 baseline but candidate stopped measuring: fail.
+        let base = profile_doc("mqmd-profile-v3", 40, Some(0));
+        let v2_cand = profile_doc("mqmd-profile-v2", 0, None);
+        let report = compare_profiles(&base, &v2_cand, &cfg).unwrap();
+        assert!(report.alloc_gate.unwrap().failed);
+        // And without the flag the gauges are ignored entirely.
+        let report = compare_profiles(&base, &v2_cand, &CompareConfig::default()).unwrap();
+        assert!(report.alloc_gate.is_none());
     }
 }

@@ -5,7 +5,8 @@
 //! xoshiro256++ RNG, least-squares fitting (including the Arrhenius fits used
 //! by the hydrogen-on-demand analysis), running statistics, FLOP accounting,
 //! run telemetry (structured events, latency histograms, Chrome-trace
-//! export, profile comparison), and the workspace error type.
+//! export, profile comparison), the reusable scratch-buffer arena behind
+//! the allocation-free SCF hot path, and the workspace error type.
 //!
 //! Everything in this crate is dependency-free numerical plumbing; the
 //! physics lives in the higher crates.
@@ -25,6 +26,7 @@ pub mod stats;
 pub mod timer;
 pub mod trace;
 pub mod vec3;
+pub mod workspace;
 
 pub use complex::Complex64;
 pub use error::{MqmdError, Result};

@@ -9,25 +9,37 @@
 //! [`kernel_table`] extracts the flattened per-kernel
 //! `(calls, seconds, flops)` aggregates back out of a parsed document.
 //!
-//! Schema (`mqmd-profile-v2`; the parser also accepts `mqmd-profile-v1`
-//! documents, which simply lack the latency-distribution fields):
+//! Schema (`mqmd-profile-v3`; the parser also accepts `mqmd-profile-v2`,
+//! which lacks the allocation fields, and `mqmd-profile-v1`, which
+//! additionally lacks the latency-distribution fields):
 //!
 //! ```json
 //! {
-//!   "schema": "mqmd-profile-v2",
+//!   "schema": "mqmd-profile-v3",
 //!   "trace": { "name": "root", "calls": 1, "wall_secs": ..., "flops": ...,
 //!              "bytes": ..., "comm_msgs": ..., "comm_bytes": ...,
-//!              "comm_cost_secs": ..., "children": [ ... ] },
+//!              "comm_cost_secs": ..., "alloc_count": ..., "alloc_bytes": ...,
+//!              "children": [ ... ] },
 //!   "kernels": { "gemm": { "calls": ..., "seconds": ..., "flops": ...,
 //!                          "gflops": ..., "p50_secs": ..., "p95_secs": ...,
-//!                          "p99_secs": ..., "std_err_secs": ... }, ... }
+//!                          "p99_secs": ..., "std_err_secs": ...,
+//!                          "alloc_count": ..., "alloc_bytes": ... }, ... },
+//!   "alloc": { "workspace_hits": ..., "workspace_misses": ...,
+//!              "workspace_miss_bytes": ...,
+//!              "steady_scf_workspace_misses": ... }
 //! }
 //! ```
 //!
 //! The v2 per-kernel quantiles come from the span histograms
 //! ([`crate::hist`]); `std_err_secs` is the standard error of one call's
 //! wall time, reconstructed from the histogram buckets — the noise floor
-//! `repro_compare` uses to separate regressions from jitter.
+//! `repro_compare` uses to separate regressions from jitter. The v3
+//! `alloc_count`/`alloc_bytes` fields count per-phase heap allocations
+//! (workspace misses plus instrumented fresh `Vec`s) recorded via
+//! [`crate::trace::add_alloc`]; the top-level `alloc` block (written by
+//! [`alloc_block`]) summarises the [`crate::workspace`] arena traffic, and
+//! its `steady_scf_workspace_misses` gauge is what `repro_compare
+//! --gate-allocs` hard-fails on.
 
 use crate::error::{MqmdError, Result};
 use crate::trace::TraceNode;
@@ -407,9 +419,12 @@ fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Json> {
 // ---------------------------------------------------------------------------
 
 /// Current schema identifier written into profile documents.
-pub const PROFILE_SCHEMA: &str = "mqmd-profile-v2";
+pub const PROFILE_SCHEMA: &str = "mqmd-profile-v3";
 /// Previous schema, still accepted by [`kernel_table`] (its kernel
-/// entries lack the latency-quantile fields).
+/// entries lack the allocation fields).
+pub const PROFILE_SCHEMA_V2: &str = "mqmd-profile-v2";
+/// Oldest accepted schema (lacks both the latency-quantile and the
+/// allocation fields).
 pub const PROFILE_SCHEMA_V1: &str = "mqmd-profile-v1";
 
 /// Renders a trace node (and recursively its children) as JSON. Nodes
@@ -424,6 +439,14 @@ pub fn trace_to_json(node: &TraceNode) -> Json {
         ("comm_msgs".to_string(), Json::Num(node.comm_msgs as f64)),
         ("comm_bytes".to_string(), Json::Num(node.comm_bytes as f64)),
         ("comm_cost_secs".to_string(), Json::Num(node.comm_cost_secs)),
+        (
+            "alloc_count".to_string(),
+            Json::Num(node.alloc_count as f64),
+        ),
+        (
+            "alloc_bytes".to_string(),
+            Json::Num(node.alloc_bytes as f64),
+        ),
     ];
     if !node.hist.is_empty() {
         for (key, q) in [("p50_secs", 0.5), ("p95_secs", 0.95), ("p99_secs", 0.99)] {
@@ -456,6 +479,10 @@ pub struct KernelStats {
     pub p99_secs: f64,
     /// Standard error of one call's wall time (histogram-derived).
     pub std_err_secs: f64,
+    /// Heap allocations attributed to the kernel (0 for pre-v3 profiles).
+    pub alloc_count: u64,
+    /// Bytes requested by those allocations (0 for pre-v3 profiles).
+    pub alloc_bytes: u64,
 }
 
 impl KernelStats {
@@ -472,6 +499,15 @@ impl KernelStats {
     pub fn gflops(&self) -> f64 {
         if self.seconds > 0.0 {
             self.flops as f64 / self.seconds / 1e9
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean heap allocations per call (0 when never called).
+    pub fn allocs_per_call(&self) -> f64 {
+        if self.calls > 0 {
+            self.alloc_count as f64 / self.calls as f64
         } else {
             0.0
         }
@@ -502,6 +538,8 @@ pub fn profile_report(
                     ("p95_secs", Json::Num(agg.wall_quantile_secs(0.95))),
                     ("p99_secs", Json::Num(agg.wall_quantile_secs(0.99))),
                     ("std_err_secs", Json::Num(std_err_secs)),
+                    ("alloc_count", Json::Num(agg.alloc_count as f64)),
+                    ("alloc_bytes", Json::Num(agg.alloc_bytes as f64)),
                 ]),
             ));
         }
@@ -515,19 +553,24 @@ pub fn profile_report(
     Json::Obj(pairs)
 }
 
-/// Parses a profile document (schema v1 or v2) and returns its flattened
-/// kernel table. Rejects documents with a missing or unknown schema tag.
-/// v1 documents yield zeroed quantile/noise fields.
+/// Validates a profile document's schema tag (v1, v2, or v3).
+fn check_schema(doc: &Json) -> Result<()> {
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(PROFILE_SCHEMA) | Some(PROFILE_SCHEMA_V2) | Some(PROFILE_SCHEMA_V1) => Ok(()),
+        other => Err(MqmdError::Parse(format!(
+            "expected schema {PROFILE_SCHEMA:?}, {PROFILE_SCHEMA_V2:?} or \
+             {PROFILE_SCHEMA_V1:?}, found {other:?}"
+        ))),
+    }
+}
+
+/// Parses a profile document (schema v1, v2, or v3) and returns its
+/// flattened kernel table. Rejects documents with a missing or unknown
+/// schema tag. Fields a document's schema generation predates (quantiles
+/// before v2, allocation counters before v3) parse as zero.
 pub fn kernel_table(text: &str) -> Result<BTreeMap<String, KernelStats>> {
     let doc = parse_json(text)?;
-    match doc.get("schema").and_then(Json::as_str) {
-        Some(PROFILE_SCHEMA) | Some(PROFILE_SCHEMA_V1) => {}
-        other => {
-            return Err(MqmdError::Parse(format!(
-                "expected schema {PROFILE_SCHEMA:?} or {PROFILE_SCHEMA_V1:?}, found {other:?}"
-            )))
-        }
-    }
+    check_schema(&doc)?;
     let kernels = doc
         .get("kernels")
         .ok_or_else(|| MqmdError::Parse("profile missing 'kernels'".into()))?;
@@ -545,10 +588,42 @@ pub fn kernel_table(text: &str) -> Result<BTreeMap<String, KernelStats>> {
             p95_secs: f(entry, "p95_secs"),
             p99_secs: f(entry, "p99_secs"),
             std_err_secs: f(entry, "std_err_secs"),
+            alloc_count: entry.get("alloc_count").and_then(Json::as_u64).unwrap_or(0),
+            alloc_bytes: entry.get("alloc_bytes").and_then(Json::as_u64).unwrap_or(0),
         };
         out.insert(name.clone(), stats);
     }
     Ok(out)
+}
+
+/// Builds the v3 top-level `alloc` block from the process-wide workspace
+/// counters plus the directly measured steady-state miss gauge (workspace
+/// misses during one post-warm-up QMD step — 0 when every hot-path borrow
+/// is a reuse).
+pub fn alloc_block(
+    total: &crate::workspace::AllocSnapshot,
+    steady_scf_workspace_misses: u64,
+) -> Json {
+    Json::obj([
+        ("workspace_hits", Json::Num(total.hits as f64)),
+        ("workspace_misses", Json::Num(total.misses as f64)),
+        ("workspace_miss_bytes", Json::Num(total.miss_bytes as f64)),
+        (
+            "steady_scf_workspace_misses",
+            Json::Num(steady_scf_workspace_misses as f64),
+        ),
+    ])
+}
+
+/// Reads the steady-state SCF workspace-miss gauge from a profile
+/// document. `Ok(None)` for pre-v3 profiles (no `alloc` block).
+pub fn steady_scf_misses(text: &str) -> Result<Option<u64>> {
+    let doc = parse_json(text)?;
+    check_schema(&doc)?;
+    Ok(doc
+        .get("alloc")
+        .and_then(|a| a.get("steady_scf_workspace_misses"))
+        .and_then(Json::as_u64))
 }
 
 #[cfg(test)]
@@ -567,6 +642,8 @@ mod tests {
             comm_msgs: 3,
             comm_bytes: 96,
             comm_cost_secs: 1e-5,
+            alloc_count: 0,
+            alloc_bytes: 0,
             hist: HistSnapshot::empty(),
             children: vec![TraceNode {
                 name: "gemm".into(),
@@ -577,6 +654,8 @@ mod tests {
                 comm_msgs: 0,
                 comm_bytes: 0,
                 comm_cost_secs: 0.0,
+                alloc_count: 12,
+                alloc_bytes: 6144,
                 // four per-call latencies in ns, roughly matching wall_secs
                 hist: HistSnapshot::from_samples(&[
                     300_000_000,
@@ -621,7 +700,7 @@ mod tests {
     }
 
     #[test]
-    fn profile_report_round_trips_kernels_v2() {
+    fn profile_report_round_trips_kernels_v3() {
         let node = sample_node();
         let doc = profile_report(&node, &["gemm", "never_entered"], vec![]);
         let text = doc.pretty();
@@ -642,6 +721,48 @@ mod tests {
         assert!((g.p99_secs - 0.45).abs() / 0.45 < 0.0625);
         assert!(g.p50_secs <= g.p95_secs && g.p95_secs <= g.p99_secs);
         assert!(g.std_err_secs > 0.0);
+        // v3: per-kernel allocation counters round-trip
+        assert_eq!(g.alloc_count, 12);
+        assert_eq!(g.alloc_bytes, 6144);
+        assert!((g.allocs_per_call() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kernel_table_accepts_v2_schema() {
+        let text = format!(
+            "{{\"schema\": \"{PROFILE_SCHEMA_V2}\", \"kernels\": {{\
+             \"fft\": {{\"calls\": 7, \"seconds\": 0.25, \"flops\": 1200,\
+             \"p50_secs\": 0.03, \"std_err_secs\": 1e-4}}}}}}"
+        );
+        let table = kernel_table(&text).unwrap();
+        let f = &table["fft"];
+        assert_eq!(f.calls, 7);
+        assert!((f.p50_secs - 0.03).abs() < 1e-12);
+        // v2 documents carry no allocation fields: they default to 0
+        assert_eq!(f.alloc_count, 0);
+        assert_eq!(f.alloc_bytes, 0);
+        // ...and no alloc block
+        assert_eq!(steady_scf_misses(&text).unwrap(), None);
+    }
+
+    #[test]
+    fn alloc_block_round_trips() {
+        let snap = crate::workspace::AllocSnapshot {
+            hits: 100,
+            misses: 7,
+            miss_bytes: 8192,
+        };
+        let doc = Json::obj([
+            ("schema", Json::Str(PROFILE_SCHEMA.into())),
+            ("kernels", Json::Obj(vec![])),
+            ("alloc", alloc_block(&snap, 0)),
+        ]);
+        let text = doc.pretty();
+        assert_eq!(steady_scf_misses(&text).unwrap(), Some(0));
+        let parsed = parse_json(&text).unwrap();
+        let alloc = parsed.get("alloc").unwrap();
+        assert_eq!(alloc.get("workspace_hits").unwrap().as_u64(), Some(100));
+        assert_eq!(alloc.get("workspace_misses").unwrap().as_u64(), Some(7));
     }
 
     #[test]

@@ -60,6 +60,11 @@ pub struct SpanCounters {
     pub comm_bytes: AtomicU64,
     /// Hop-weighted modelled communication cost, seconds (f64 bits).
     pub comm_cost_bits: AtomicU64,
+    /// Heap allocations attributed to this span (workspace misses and any
+    /// instrumented fresh `Vec`s; inclusive).
+    pub alloc_count: AtomicU64,
+    /// Bytes requested by those allocations (inclusive).
+    pub alloc_bytes: AtomicU64,
 }
 
 impl SpanCounters {
@@ -308,6 +313,17 @@ pub fn add_comm(msgs: u64, bytes: u64, cost_secs: f64) {
     });
 }
 
+/// Attributes `count` heap allocations totalling `bytes` bytes to the
+/// innermost open span. Called by [`crate::workspace`] on pool misses;
+/// hand-instrumented allocation sites may call it directly.
+#[inline]
+pub fn add_alloc(count: u64, bytes: u64) {
+    with_current(|c| {
+        c.alloc_count.fetch_add(count, Ordering::Relaxed);
+        c.alloc_bytes.fetch_add(bytes, Ordering::Relaxed);
+    });
+}
+
 /// Immutable snapshot of one span-tree node.
 #[derive(Clone, Debug, PartialEq)]
 pub struct TraceNode {
@@ -327,6 +343,10 @@ pub struct TraceNode {
     pub comm_bytes: u64,
     /// Hop-weighted modelled communication cost, seconds (inclusive).
     pub comm_cost_secs: f64,
+    /// Heap allocations attributed to the span (inclusive).
+    pub alloc_count: u64,
+    /// Bytes requested by those allocations (inclusive).
+    pub alloc_bytes: u64,
     /// Per-entry wall-time distribution (nanosecond samples, one per
     /// call), from which p50/p95/p99 derive.
     pub hist: HistSnapshot,
@@ -379,6 +399,8 @@ impl TraceNode {
                     comm_msgs: 0,
                     comm_bytes: 0,
                     comm_cost_secs: 0.0,
+                    alloc_count: 0,
+                    alloc_bytes: 0,
                     hist: HistSnapshot::empty(),
                     children: Vec::new(),
                 });
@@ -389,6 +411,8 @@ impl TraceNode {
                 a.comm_msgs += n.comm_msgs;
                 a.comm_bytes += n.comm_bytes;
                 a.comm_cost_secs += n.comm_cost_secs;
+                a.alloc_count += n.alloc_count;
+                a.alloc_bytes += n.alloc_bytes;
                 a.hist.merge(&n.hist);
             }
         });
@@ -416,6 +440,8 @@ fn snapshot_node(reg: &Registry, id: usize) -> TraceNode {
         comm_msgs: c.comm_msgs.load(Ordering::Relaxed),
         comm_bytes: c.comm_bytes.load(Ordering::Relaxed),
         comm_cost_secs: c.comm_cost_secs(),
+        alloc_count: c.alloc_count.load(Ordering::Relaxed),
+        alloc_bytes: c.alloc_bytes.load(Ordering::Relaxed),
         hist: node.hist.snapshot(),
         children: node
             .children
@@ -501,6 +527,7 @@ mod tests {
                 add_flops(7);
                 add_bytes(100);
                 add_comm(2, 64, 1.5e-6);
+                add_alloc(3, 4096);
             }
         }
         set_enabled(false);
@@ -513,6 +540,9 @@ mod tests {
         assert_eq!(inner.comm_msgs, 2);
         assert_eq!(inner.comm_bytes, 64);
         assert!((inner.comm_cost_secs - 1.5e-6).abs() < 1e-18);
+        assert_eq!(outer.alloc_count, 0, "allocs attribute to innermost span");
+        assert_eq!(inner.alloc_count, 3);
+        assert_eq!(inner.alloc_bytes, 4096);
     }
 
     #[test]

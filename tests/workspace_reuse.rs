@@ -1,0 +1,136 @@
+//! Tier-1 acceptance for the plan/workspace refactor: once the first
+//! SCF pass (or QMD step) has warmed every plan and workspace, further
+//! steady-state work performs **zero** hot-path workspace misses — every
+//! transient buffer is served from the arena and every plan-shaped buffer
+//! is reused, all the way from the QMD step down to FFT scratch.
+//!
+//! The tests run the exact measurement `repro_profile` publishes and
+//! `repro_compare --gate-allocs` gates on: snapshot the global allocation
+//! ledger after a warm-up run, do one more unit of steady-state work, and
+//! assert the miss delta is zero. They pin the rayon pool to one thread so
+//! the arena's high-water mark is deterministic (concurrent borrows can
+//! legitimately widen the pool on first contention).
+
+use metascale_qmd::core::global::{BoundaryMode, HartreeSolver, LdcConfig, LdcSolver};
+use metascale_qmd::core::qmd::QmdDriver;
+use metascale_qmd::dft::pw::PlaneWaveBasis;
+use metascale_qmd::dft::scf::{run_scf_with, ScfConfig, ScfWorkspace};
+use metascale_qmd::dft::species::Pseudopotential;
+use metascale_qmd::grid::UniformGrid3;
+use metascale_qmd::md::thermostat::Berendsen;
+use metascale_qmd::md::AtomicSystem;
+use metascale_qmd::util::constants::Element;
+use metascale_qmd::util::{workspace, Vec3};
+
+/// Serialises the tests in this binary: they all read the global
+/// allocation ledger, and a concurrent test's arena traffic would leak
+/// into the measured window.
+fn ledger_lock() -> std::sync::MutexGuard<'static, ()> {
+    static GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    GATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Runs `f` on a single-thread rayon pool and returns the global
+/// workspace hit/miss delta it produced.
+fn alloc_delta(f: impl FnOnce() + Send) -> metascale_qmd::util::workspace::AllocSnapshot {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .expect("single-thread pool");
+    let before = workspace::global_stats().snapshot();
+    pool.install(f);
+    workspace::global_stats().snapshot().since(&before)
+}
+
+fn h2_atoms() -> Vec<(Pseudopotential, Vec3)> {
+    let p = Pseudopotential::for_element(Element::H);
+    vec![(p, Vec3::new(3.3, 4.0, 4.0)), (p, Vec3::new(4.7, 4.0, 4.0))]
+}
+
+/// Conventional plane-wave SCF: a second `run_scf_with` call against a
+/// persisted [`ScfWorkspace`] — the unit of work every steady-state QMD
+/// step repeats — must not miss the arena once.
+#[test]
+fn steady_state_scf_has_zero_workspace_misses() {
+    let _g = ledger_lock();
+    let basis = PlaneWaveBasis::new(UniformGrid3::cubic(10, 8.0), 3.0);
+    let atoms = h2_atoms();
+    let cfg = ScfConfig::default();
+    let mut sw = ScfWorkspace::new();
+
+    let mut psi = None;
+    let warm = alloc_delta(|| {
+        let out = run_scf_with(&basis, &atoms, 2.0, &cfg, None, &mut sw)
+            .expect("cold H2 SCF must converge");
+        psi = Some(out.psi);
+    });
+    assert!(warm.misses > 0, "cold run must populate the arena");
+
+    let steady = alloc_delta(|| {
+        run_scf_with(&basis, &atoms, 2.0, &cfg, psi.take(), &mut sw)
+            .expect("warm H2 SCF must converge");
+    });
+    assert_eq!(
+        steady.misses, 0,
+        "steady-state SCF hit the allocator: {} misses ({} bytes)",
+        steady.misses, steady.miss_bytes
+    );
+    assert_eq!(steady.miss_bytes, 0);
+    assert!(
+        steady.hits > 0,
+        "steady-state SCF must actually borrow from the warm arena"
+    );
+}
+
+/// Full QMD step through the LDC pipeline: after one warm-up step the
+/// solver's persisted caches (per-domain eigensolver workspaces, global
+/// Hartree scratch, multigrid hierarchy) serve the next step entirely.
+fn qmd_second_step_is_miss_free(hartree: HartreeSolver) {
+    let _g = ledger_lock();
+    let mut system = AtomicSystem::new(
+        Vec3::splat(8.0),
+        vec![Element::H, Element::H],
+        vec![Vec3::new(3.3, 4.0, 4.0), Vec3::new(4.7, 4.0, 4.0)],
+    );
+    let mut ldc = LdcSolver::new(LdcConfig {
+        nd: (1, 1, 1),
+        buffer: 0.0,
+        mode: BoundaryMode::Periodic,
+        hartree,
+        tol_density: 1e-4,
+        ..Default::default()
+    });
+    let mut driver = QmdDriver::new(
+        10.0,
+        Some(Berendsen {
+            t_target: 300.0,
+            tau: 50.0,
+        }),
+    );
+
+    let warm = alloc_delta(|| {
+        driver.run(&mut system, &mut ldc, 1);
+    });
+    assert!(warm.misses > 0, "first QMD step must populate the arena");
+
+    let steady = alloc_delta(|| {
+        driver.run(&mut system, &mut ldc, 1);
+    });
+    assert_eq!(
+        steady.misses, 0,
+        "steady-state QMD step ({hartree:?} Hartree) hit the allocator: \
+         {} misses ({} bytes)",
+        steady.misses, steady.miss_bytes
+    );
+    assert!(steady.hits > 0, "second step must reuse the warm arena");
+}
+
+#[test]
+fn steady_state_qmd_step_fft_hartree_has_zero_workspace_misses() {
+    qmd_second_step_is_miss_free(HartreeSolver::Fft);
+}
+
+#[test]
+fn steady_state_qmd_step_multigrid_hartree_has_zero_workspace_misses() {
+    qmd_second_step_is_miss_free(HartreeSolver::Multigrid);
+}
