@@ -14,15 +14,20 @@
 //! `--gate-allocs` additionally diffs the v3 steady-state SCF workspace-miss
 //! gauges and hard-fails if the candidate's grew over the baseline's.
 //!
-//! Exit codes: 0 = no regression, 1 = regression detected (timing or
-//! allocation), 2 = bad arguments or unreadable/invalid profiles.
+//! `--gate-recovery` additionally checks the candidate's v4 recovery
+//! ledger: every injected fault must be balanced by a recorded recovery
+//! or a typed abort, and no abort may appear.
+//!
+//! Exit codes: 0 = no regression, 1 = regression detected (timing,
+//! allocation, or recovery ledger), 2 = bad arguments or
+//! unreadable/invalid profiles.
 
 use mqmd_util::compare::{compare_profiles, CompareConfig};
 
 fn usage() -> ! {
     eprintln!(
         "usage: repro_compare <baseline.json> <candidate.json> \
-         [--rel-tol X] [--sigmas Y] [--min-mean Z] [--gate-allocs]"
+         [--rel-tol X] [--sigmas Y] [--min-mean Z] [--gate-allocs] [--gate-recovery]"
     );
     std::process::exit(2);
 }
@@ -48,6 +53,7 @@ fn main() {
             "--sigmas" => cfg.noise_sigmas = parse_value(&mut args, "--sigmas"),
             "--min-mean" => cfg.min_mean_secs = parse_value(&mut args, "--min-mean"),
             "--gate-allocs" => cfg.gate_allocs = true,
+            "--gate-recovery" => cfg.gate_recovery = true,
             _ if arg.starts_with("--") => usage(),
             _ => paths.push(arg),
         }
@@ -87,6 +93,12 @@ fn main() {
         }
         if report.alloc_gate.is_some_and(|g| g.failed) {
             println!("steady-state SCF allocation count grew");
+        }
+        if let Some(g) = report.recovery_gate.filter(|g| g.failed) {
+            println!(
+                "recovery ledger failed: {} injected, {} recovered, {} aborted",
+                g.injected, g.recovered, g.aborted
+            );
         }
         std::process::exit(1);
     }

@@ -166,6 +166,13 @@ fn main() {
             "alloc".to_string(),
             alloc_block(&total_alloc, steady.misses),
         ),
+        // All-zero in this fault-free run (the plane stays idle); chaos
+        // campaigns populate it and `repro_compare --gate-recovery`
+        // checks the ledger balances.
+        (
+            "recovery".to_string(),
+            mqmd_util::metrics::recovery_block(&mqmd_util::faults::stats()),
+        ),
     ];
     let doc = profile_report(&node, KERNELS, extra);
     if let Err(e) = std::fs::write(&out_path, doc.pretty()) {

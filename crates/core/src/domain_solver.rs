@@ -17,7 +17,7 @@ use mqmd_grid::{Domain, DomainDecomposition, UniformGrid3};
 use mqmd_linalg::gemm::{zgemm, zgemm_dagger_a_into};
 use mqmd_linalg::CMatrix;
 use mqmd_md::AtomicSystem;
-use mqmd_util::{events, Result, Vec3};
+use mqmd_util::{events, faults, MqmdError, Result, Vec3};
 
 /// Geometry-dependent, SCF-independent data of one domain.
 pub struct DomainSetup {
@@ -201,6 +201,23 @@ pub fn solve_domain_with(
     let sw = mqmd_util::timer::Stopwatch::start();
     assert_eq!(v_hxc.len(), setup.grid.len());
     assert_eq!(v_bc.len(), setup.grid.len());
+    // Fault plane: one relaxed load when idle. An injected eigensolver
+    // breakdown surfaces as a typed error *before* any workspace buffers
+    // are taken; a NaN injection poisons the warm-start bands below so the
+    // corruption flows through the numerics and must be caught by the
+    // output validation at the end of this function.
+    let mut poison_psi = false;
+    match faults::poll(faults::Site::Domain(setup.domain.id as u64)) {
+        Some(faults::FaultKind::DavidsonDiverge) => {
+            return Err(MqmdError::Convergence {
+                what: format!("domain {} Davidson (injected fault)", setup.domain.id),
+                iterations: 0,
+                residual: f64::INFINITY,
+            });
+        }
+        Some(faults::FaultKind::DensityNan) => poison_psi = true,
+        _ => {}
+    }
     let mut v_eff = ew.ws.take_f64(setup.grid.len());
     for (o, ((a, b), c)) in v_eff
         .iter_mut()
@@ -216,6 +233,9 @@ pub fn solve_domain_with(
             .basis
             .random_bands(setup.n_bands, 0xC0DE ^ setup.domain.id as u64),
     };
+    if poison_psi {
+        psi.data_mut()[0] = mqmd_util::Complex64::new(f64::NAN, 0.0);
+    }
     let np = setup.basis.len();
     let nb = setup.n_bands;
     let report = match block_davidson_with(&h, &mut psi, max_iter, tol, ew) {
@@ -309,6 +329,21 @@ pub fn solve_domain_with(
         }
     }
     ew.ws.give_f64(h.v_local);
+    // Output validation: NaN anywhere in the bands poisons the weights
+    // (w = Σ |ψ|²·pα), so the O(n_bands) scan below catches corrupted
+    // densities too. A non-finite result must surface as a typed error the
+    // per-domain retry ladder in `global.rs` can handle — never flow into
+    // the global density assembly.
+    let finite = report.eigenvalues.iter().all(|e| e.is_finite())
+        && weights.iter().all(|w| w.is_finite())
+        && h_weights.iter().all(|h| h.is_finite());
+    if !finite {
+        return Err(MqmdError::Convergence {
+            what: format!("domain {} produced non-finite bands", setup.domain.id),
+            iterations: report.iterations,
+            residual: f64::NAN,
+        });
+    }
     events::emit(events::Event::DomainSolve {
         domain: setup.domain.id as u32,
         bands: setup.n_bands as u32,

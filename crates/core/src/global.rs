@@ -33,10 +33,17 @@ use mqmd_linalg::CMatrix;
 use mqmd_md::{AtomicSystem, ForceField, ForceResult};
 use mqmd_multigrid::{FftPoisson, MgHierarchy, PoissonMultigrid};
 use mqmd_util::workspace::{self, Workspace};
-use mqmd_util::{MqmdError, Result, Vec3};
+use mqmd_util::{faults, MqmdError, Result, Vec3};
 use rayon::prelude::*;
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
+
+/// Poison-safe lock for the wave-function/workspace caches: a panicking
+/// domain solve on a sibling rayon thread must not wedge every later SCF
+/// iteration (the caches hold plain data, always valid to reuse).
+fn lock_cache<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Treatment of the artificial domain boundary.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -173,6 +180,9 @@ pub struct LdcSolver {
     /// Configuration (public: benches sweep `buffer`/`mode` in place).
     pub config: LdcConfig,
     psi_cache: HashMap<usize, CMatrix>,
+    /// Last solve's per-domain densities ρα — checkpoint payload only
+    /// (never seeds the next solve, so restart determinism is preserved).
+    rho_cache: HashMap<usize, Vec<f64>>,
     /// Per-domain eigensolver workspaces, persisted across SCF iterations
     /// and MD steps so steady-state domain solves run allocation-free.
     eig_cache: HashMap<usize, EigWorkspace>,
@@ -247,6 +257,7 @@ impl LdcSolver {
         Self {
             config,
             psi_cache: HashMap::new(),
+            rho_cache: HashMap::new(),
             eig_cache: HashMap::new(),
             mg_hier: None,
             gws: Workspace::new(),
@@ -258,8 +269,87 @@ impl LdcSolver {
     /// domain topology or basis parameters between calls).
     pub fn clear_cache(&mut self) {
         self.psi_cache.clear();
+        self.rho_cache.clear();
         self.eig_cache.clear();
         self.mg_hier = None;
+    }
+
+    /// Serialises the solver's restartable state (warm-start wave functions
+    /// per domain, last per-domain densities, cumulative SCF count) for a
+    /// [`mqmd_md::io::Checkpoint`]'s opaque solver payload. Domains are
+    /// written in id order so equal states produce equal bytes.
+    pub fn export_state(&self) -> Vec<u8> {
+        use bytes::{BufMut, BytesMut};
+        let mut buf = BytesMut::new();
+        mqmd_md::io::write_varint(&mut buf, self.total_scf_iterations as u64);
+        let mut psi_ids: Vec<usize> = self.psi_cache.keys().copied().collect();
+        psi_ids.sort_unstable();
+        mqmd_md::io::write_varint(&mut buf, psi_ids.len() as u64);
+        for id in psi_ids {
+            let m = &self.psi_cache[&id];
+            mqmd_md::io::write_varint(&mut buf, id as u64);
+            mqmd_md::io::write_varint(&mut buf, m.rows() as u64);
+            mqmd_md::io::write_varint(&mut buf, m.cols() as u64);
+            for z in m.data() {
+                buf.put_f64(z.re);
+                buf.put_f64(z.im);
+            }
+        }
+        let mut rho_ids: Vec<usize> = self.rho_cache.keys().copied().collect();
+        rho_ids.sort_unstable();
+        mqmd_md::io::write_varint(&mut buf, rho_ids.len() as u64);
+        for id in rho_ids {
+            let rho = &self.rho_cache[&id];
+            mqmd_md::io::write_varint(&mut buf, id as u64);
+            mqmd_md::io::write_varint(&mut buf, rho.len() as u64);
+            for &x in rho {
+                buf.put_f64(x);
+            }
+        }
+        buf.freeze().to_vec()
+    }
+
+    /// Restores state captured by [`LdcSolver::export_state`]. Eigensolver
+    /// workspaces and multigrid plans are scratch and rebuilt lazily.
+    pub fn import_state(&mut self, data: &[u8]) -> Result<()> {
+        use bytes::Bytes;
+        use mqmd_md::io::read_varint;
+        let mut buf = Bytes::from(data.to_vec());
+        self.total_scf_iterations = read_varint(&mut buf)? as usize;
+        self.psi_cache.clear();
+        self.rho_cache.clear();
+        let n_psi = read_varint(&mut buf)? as usize;
+        for _ in 0..n_psi {
+            let id = read_varint(&mut buf)? as usize;
+            let rows = read_varint(&mut buf)? as usize;
+            let cols = read_varint(&mut buf)? as usize;
+            let n = rows
+                .checked_mul(cols)
+                .filter(|&n| buf.len() >= 16 * n)
+                .ok_or_else(|| MqmdError::Io("truncated solver state (psi)".into()))?;
+            let mut data = Vec::with_capacity(n);
+            for _ in 0..n {
+                use bytes::Buf;
+                data.push(mqmd_util::Complex64::new(buf.get_f64(), buf.get_f64()));
+            }
+            self.psi_cache
+                .insert(id, CMatrix::from_vec(rows, cols, data));
+        }
+        let n_rho = read_varint(&mut buf)? as usize;
+        for _ in 0..n_rho {
+            let id = read_varint(&mut buf)? as usize;
+            let len = read_varint(&mut buf)? as usize;
+            if buf.len() < 8 * len {
+                return Err(MqmdError::Io("truncated solver state (rho)".into()));
+            }
+            let mut rho = Vec::with_capacity(len);
+            for _ in 0..len {
+                use bytes::Buf;
+                rho.push(buf.get_f64());
+            }
+            self.rho_cache.insert(id, rho);
+        }
+        Ok(())
     }
 
     /// Solves the electronic structure of `system` with LDC-DFT.
@@ -386,16 +476,15 @@ impl LdcSolver {
                         }
                         _ => vec![0.0; setup.grid.len()],
                     };
-                    let psi0 = psi_cache
-                        .lock()
-                        .expect("psi cache lock")
-                        .remove(&setup.domain.id);
-                    let mut ew = eig_cache
-                        .lock()
-                        .expect("eig cache lock")
+                    let psi0 = lock_cache(&psi_cache).remove(&setup.domain.id);
+                    // Keep a copy of the warm-start bands for the retry
+                    // ladder only while a fault plan is installed — healthy
+                    // production runs pay nothing for the rescue path.
+                    let psi0_backup = if faults::active() { psi0.clone() } else { None };
+                    let mut ew = lock_cache(&eig_cache)
                         .remove(&setup.domain.id)
                         .unwrap_or_default();
-                    let bands = solve_domain_with(
+                    let first = solve_domain_with(
                         setup,
                         &v_hxc_local,
                         &v_bc,
@@ -404,10 +493,67 @@ impl LdcSolver {
                         cfg.davidson_tol,
                         &mut ew,
                     );
-                    eig_cache
-                        .lock()
-                        .expect("eig cache lock")
-                        .insert(setup.domain.id, ew);
+                    let bands = match first {
+                        Ok(b) => Ok(b),
+                        Err(first_err) => {
+                            // Retry ladder, mirroring a failed-rank requeue:
+                            // rung 1 re-runs from the cached bands (if the
+                            // fault plane kept a copy), rung 2 from scratch;
+                            // both on a fresh workspace, since the failed
+                            // solve may have left the old one inconsistent.
+                            let site = faults::Site::Domain(setup.domain.id as u64).describe();
+                            let mut rescued = None;
+                            if let Some(p) = psi0_backup {
+                                let retry_sw = mqmd_util::timer::Stopwatch::start();
+                                let mut ew_retry = EigWorkspace::default();
+                                if let Ok(b) = solve_domain_with(
+                                    setup,
+                                    &v_hxc_local,
+                                    &v_bc,
+                                    Some(p),
+                                    cfg.davidson_iters,
+                                    cfg.davidson_tol,
+                                    &mut ew_retry,
+                                ) {
+                                    faults::record_recovery(
+                                        "domain_retry_cached",
+                                        site.clone(),
+                                        1,
+                                        retry_sw.seconds(),
+                                    );
+                                    ew = ew_retry;
+                                    rescued = Some(b);
+                                }
+                            }
+                            if rescued.is_none() {
+                                let retry_sw = mqmd_util::timer::Stopwatch::start();
+                                let mut ew_retry = EigWorkspace::default();
+                                match solve_domain_with(
+                                    setup,
+                                    &v_hxc_local,
+                                    &v_bc,
+                                    None,
+                                    cfg.davidson_iters,
+                                    cfg.davidson_tol,
+                                    &mut ew_retry,
+                                ) {
+                                    Ok(b) => {
+                                        faults::record_recovery(
+                                            "domain_retry_scratch",
+                                            site.clone(),
+                                            2,
+                                            retry_sw.seconds(),
+                                        );
+                                        ew = ew_retry;
+                                        rescued = Some(b);
+                                    }
+                                    Err(_) => faults::record_abort("domain_abort", site, 2),
+                                }
+                            }
+                            rescued.ok_or(first_err)
+                        }
+                    };
+                    lock_cache(&eig_cache).insert(setup.domain.id, ew);
                     Ok((setup.domain.id, bands?))
                 })
                 .collect::<Result<Vec<_>>>()?;
@@ -426,7 +572,7 @@ impl LdcSolver {
             let mut entropy = 0.0;
             let mut e_bc_dc = 0.0;
             {
-                let mut cache = psi_cache.lock().expect("psi cache lock");
+                let mut cache = lock_cache(&psi_cache);
                 for (setup, (id, bands)) in setups.iter().zip(solved) {
                     debug_assert_eq!(setup.domain.id, id);
                     let mut rho_a = vec![0.0; setup.grid.len()];
@@ -554,10 +700,11 @@ impl LdcSolver {
             }
         }
 
-        self.psi_cache = psi_cache.into_inner().expect("psi cache lock");
-        self.eig_cache = eig_cache.into_inner().expect("eig cache lock");
+        self.psi_cache = psi_cache.into_inner().unwrap_or_else(|e| e.into_inner());
+        self.eig_cache = eig_cache.into_inner().unwrap_or_else(|e| e.into_inner());
         self.mg_hier = mg_hier.take();
         self.gws = gws;
+        self.rho_cache = rho_domains;
         let (energy, mu, density, residual, spectrum, iters, breakdown) =
             outcome.expect("at least one SCF iteration ran");
         if residual >= cfg.tol_density {
@@ -693,14 +840,12 @@ pub fn assemble_density(
 }
 
 impl ForceField for LdcSolver {
-    fn compute(&mut self, system: &AtomicSystem) -> ForceResult {
-        let state = self
-            .solve(system)
-            .expect("LDC-DFT SCF failed to converge inside the MD loop");
-        ForceResult {
+    fn try_compute(&mut self, system: &AtomicSystem) -> Result<ForceResult> {
+        let state = self.solve(system)?;
+        Ok(ForceResult {
             energy: state.energy,
             forces: state.forces,
-        }
+        })
     }
 }
 

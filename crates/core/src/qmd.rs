@@ -9,10 +9,12 @@
 use crate::global::LdcSolver;
 use mqmd_md::forcefield::ForceField;
 use mqmd_md::integrator::VelocityVerlet;
+use mqmd_md::io::Checkpoint;
 use mqmd_md::thermostat::Thermostat;
 use mqmd_md::AtomicSystem;
 use mqmd_util::events;
 use mqmd_util::timer::Stopwatch;
+use mqmd_util::Result;
 
 /// A force backend that also reports cumulative SCF iterations — both the
 /// conventional O(N³) solver and the LDC solver qualify.
@@ -111,13 +113,68 @@ impl<T: Thermostat> QmdDriver<T> {
         self
     }
 
-    /// Runs `steps` QMD steps.
+    /// Captures the full restartable state after `step` completed steps:
+    /// atoms + velocities, the integrator's cached end-of-step forces,
+    /// thermostat state, and the solver's opaque payload (for
+    /// [`LdcSolver`], its per-domain wave functions and densities via
+    /// [`LdcSolver::export_state`]). A run resumed from the result replays
+    /// bitwise.
+    pub fn checkpoint(
+        &self,
+        step: u64,
+        system: &AtomicSystem,
+        solver_state: Vec<u8>,
+    ) -> Checkpoint {
+        Checkpoint {
+            step,
+            system: system.clone(),
+            cached_forces: self.integrator.cached_forces().cloned(),
+            thermostat: self
+                .thermostat
+                .as_ref()
+                .map(|t| t.state())
+                .unwrap_or_default(),
+            solver: solver_state,
+        }
+    }
+
+    /// Restores integrator and thermostat state from a checkpoint and
+    /// returns the atomic system plus the opaque solver payload (feed it to
+    /// [`LdcSolver::import_state`]). The caller resumes with
+    /// `try_run(&mut system, ...)` for the remaining steps.
+    pub fn restore(&mut self, ckp: &Checkpoint) -> (AtomicSystem, Vec<u8>) {
+        match &ckp.cached_forces {
+            Some(f) => self.integrator.preload_forces(f.clone()),
+            None => self.integrator.reset(),
+        }
+        if let Some(t) = &mut self.thermostat {
+            t.restore(&ckp.thermostat);
+        }
+        (ckp.system.clone(), ckp.solver.clone())
+    }
+
+    /// Runs `steps` QMD steps. Panics if the force backend fails
+    /// unrecoverably — use [`QmdDriver::try_run`] to propagate instead.
     pub fn run<F: ScfForceField>(
         &mut self,
         system: &mut AtomicSystem,
         solver: &mut F,
         steps: usize,
     ) -> QmdReport {
+        self.try_run(system, solver, steps)
+            .expect("QMD force backend failed; use try_run to recover")
+    }
+
+    /// Fallible form of [`QmdDriver::run`]: a solver failure that survives
+    /// every recovery ladder below (SCF rescue, per-domain retries)
+    /// surfaces here as a typed error with the completed prefix of the run
+    /// lost — callers restart from their last checkpoint.
+    pub fn try_run<F: ScfForceField>(
+        &mut self,
+        system: &mut AtomicSystem,
+        solver: &mut F,
+        steps: usize,
+    ) -> Result<QmdReport> {
         let sw = Stopwatch::start();
         let scf_before = solver.scf_iterations();
         let mut energies = Vec::with_capacity(steps);
@@ -127,7 +184,7 @@ impl<T: Thermostat> QmdDriver<T> {
         let mut max_drift = 0.0f64;
         for step in 0..steps {
             let _span = mqmd_util::trace::span("qmd_step");
-            let e_pot = self.integrator.step(system, solver);
+            let e_pot = self.integrator.try_step(system, solver)?;
             if let Some(t) = &mut self.thermostat {
                 t.apply(system, self.integrator.dt);
                 // Velocities changed: forces cache is still valid (positions
@@ -167,7 +224,7 @@ impl<T: Thermostat> QmdDriver<T> {
         let scf_iterations = solver.scf_iterations() - scf_before;
         let atom_iterations_per_sec =
             system.len() as f64 * scf_iterations as f64 / wall_seconds.max(1e-12);
-        QmdReport {
+        Ok(QmdReport {
             steps: energies.len(),
             scf_iterations,
             energies,
@@ -176,7 +233,7 @@ impl<T: Thermostat> QmdDriver<T> {
             atom_iterations_per_sec,
             watchdog_trips,
             max_drift,
-        }
+        })
     }
 }
 

@@ -6,9 +6,20 @@
 //! iteration: build `V_eff[ρ] = V_ion + V_H[ρ] + V_xc[ρ]`, refine the bands
 //! with the preconditioned block-Davidson solver, set occupations through
 //! the chemical potential, rebuild ρ, and mix.
+//!
+//! The loop is self-healing: instead of failing on the first anomaly, a
+//! rescue ladder answers non-finite residuals/energies with mixing
+//! backoff and a restart from the last good density (regenerating any
+//! NaN-poisoned bands), and repeated Davidson breakdowns with a
+//! band-by-band steepest-descent fallback — bounded by
+//! [`ScfConfig::rescue_attempts`] and `max_scf`, so the loop still
+//! terminates with a typed error when rescue cannot help. Injection
+//! points for the deterministic fault plane ([`mqmd_util::faults`]) sit
+//! at the density and eigensolver boundaries so chaos campaigns exercise
+//! exactly these paths.
 
 use crate::density::{density_into, entropy_term, fermi_occupations};
-use crate::eigensolver::{block_davidson_with, EigWorkspace};
+use crate::eigensolver::{band_by_band_with, block_davidson_with, EigWorkspace};
 use crate::ewald::ewald;
 use crate::hamiltonian::{build_projectors, ionic_local_potential, KsHamiltonian};
 use crate::pw::PlaneWaveBasis;
@@ -18,7 +29,7 @@ use mqmd_linalg::gemm::{zgemm, zgemm_dagger_a_into};
 use mqmd_linalg::CMatrix;
 use mqmd_multigrid::FftPoisson;
 use mqmd_util::workspace::{self, Workspace};
-use mqmd_util::{events, Complex64, MqmdError, Result, Vec3};
+use mqmd_util::{events, faults, Complex64, MqmdError, Result, Vec3};
 
 /// SCF algorithm parameters.
 #[derive(Clone, Copy, Debug)]
@@ -44,6 +55,11 @@ pub struct ScfConfig {
     /// When a watchdog trips, abort the SCF loop with a convergence error
     /// instead of continuing to iterate.
     pub fail_fast: bool,
+    /// Rescue-ladder budget: how many times a non-finite residual/energy
+    /// may be answered by mixing backoff + restart from the last good
+    /// density before the loop surfaces a typed error (0 restores the
+    /// old fail-on-first-NaN behaviour).
+    pub rescue_attempts: usize,
 }
 
 impl Default for ScfConfig {
@@ -58,6 +74,7 @@ impl Default for ScfConfig {
             extra_bands: 4,
             stall_window: 8,
             fail_fast: false,
+            rescue_attempts: 3,
         }
     }
 }
@@ -253,8 +270,36 @@ pub fn run_scf_with(
     let mut prev_residual = f64::INFINITY;
     let mut best_residual = f64::INFINITY;
     let mut stall_count = 0usize;
+    // Rescue-ladder state: the best density seen so far (restored when an
+    // iteration goes non-finite), the rescue budget, the Davidson failure
+    // streak that escalates Ritz recovery to the band-by-band fallback,
+    // and whether an injected mixing kick awaits its backoff.
+    let mut last_good = rho.clone();
+    let mut last_good_residual = f64::INFINITY;
+    let mut rescues_used = 0usize;
+    let mut davidson_streak = 0usize;
+    let mut kick_pending = false;
     for iter in 1..=config.max_scf {
         let _span = mqmd_util::trace::span("scf_iter");
+        let iter_start = std::time::Instant::now();
+        // Fault plane: one poll per SCF iteration (a relaxed load when
+        // idle). Density faults strike the input density; Davidson faults
+        // force the eigensolver's error path below.
+        let mut injected_davidson_failure = false;
+        match faults::poll(faults::Site::Scf) {
+            Some(faults::FaultKind::DensityNan) => rho[0] = f64::NAN,
+            Some(faults::FaultKind::MixingKick { factor }) => {
+                // Charge sloshing: a high-frequency alternating component.
+                let mut sign = 1.0;
+                for r in rho.iter_mut() {
+                    *r = (*r * (1.0 + sign * factor)).max(1e-12);
+                    sign = -sign;
+                }
+                kick_pending = true;
+            }
+            Some(faults::FaultKind::DavidsonDiverge) => injected_davidson_failure = true,
+            _ => {}
+        }
         effective_potential_into(
             &v_ion,
             &rho,
@@ -264,19 +309,33 @@ pub fn run_scf_with(
             &mut sw.v_xc,
             &sw.eig.ws,
         );
-        let report = match block_davidson_with(
-            &h,
-            &mut psi,
-            config.davidson_iters,
-            config.davidson_tol,
-            &mut sw.eig,
-        ) {
-            Ok(r) => r,
+        let davidson_result = if injected_davidson_failure {
+            Err(MqmdError::Convergence {
+                what: "Davidson (injected fault)".into(),
+                iterations: 0,
+                residual: f64::INFINITY,
+            })
+        } else {
+            block_davidson_with(
+                &h,
+                &mut psi,
+                config.davidson_iters,
+                config.davidson_tol,
+                &mut sw.eig,
+            )
+        };
+        let report = match davidson_result {
+            Ok(r) => {
+                davidson_streak = 0;
+                r
+            }
             // Non-converged Davidson inside an SCF step is fine — the bands
             // still improved; recover the Ritz values for occupations. It
             // is still worth telling the telemetry stream: the recovered
             // report carries `residual: NaN`, which used to vanish
-            // silently.
+            // silently. A *streak* of failures means subspace iteration
+            // itself has broken down, so the ladder escalates to the
+            // band-by-band steepest-descent fallback.
             Err(MqmdError::Convergence {
                 residual: dav_residual,
                 ..
@@ -297,24 +356,60 @@ pub fn run_scf_with(
                         residual: dav_residual,
                     });
                 }
-                let (np, nb) = (psi.rows(), psi.cols());
-                let ws = &sw.eig.ws;
-                let mut h_psi = CMatrix::from_vec(np, nb, ws.take_c64(np * nb));
-                h.apply_into(&psi, &mut h_psi, ws);
-                let mut hs = CMatrix::from_vec(nb, nb, ws.take_c64(nb * nb));
-                zgemm_dagger_a_into(&psi, &h_psi, &mut hs, ws);
-                let eig = mqmd_linalg::eigen::zheev(&hs);
-                ws.give_c64(hs.into_data());
-                ws.give_c64(h_psi.into_data());
-                let (vals, v) = eig?;
-                let mut rot = CMatrix::from_vec(np, nb, ws.take_c64(np * nb));
-                zgemm(Complex64::ONE, &psi, &v, Complex64::ZERO, &mut rot);
-                psi.data_mut().copy_from_slice(rot.data());
-                ws.give_c64(rot.into_data());
-                crate::eigensolver::EigenReport {
-                    eigenvalues: vals,
-                    iterations: config.davidson_iters,
-                    residual: f64::NAN,
+                davidson_streak += 1;
+                let rescue_start = std::time::Instant::now();
+                if davidson_streak >= 2 {
+                    // Rung 3: band-by-band relaxation. Slower but cannot
+                    // diverge — each band does bounded 2-D line searches.
+                    let vals = band_by_band_with(&h, &mut psi, 2, 4, &mut sw.eig);
+                    davidson_streak = 0;
+                    faults::record_recovery(
+                        "scf_band_by_band",
+                        faults::Site::Scf.describe(),
+                        iter as u32,
+                        rescue_start.elapsed().as_secs_f64(),
+                    );
+                    crate::eigensolver::EigenReport {
+                        eigenvalues: vals,
+                        iterations: config.davidson_iters,
+                        residual: f64::NAN,
+                    }
+                } else {
+                    let (np, nb) = (psi.rows(), psi.cols());
+                    let ws = &sw.eig.ws;
+                    let mut h_psi = CMatrix::from_vec(np, nb, ws.take_c64(np * nb));
+                    h.apply_into(&psi, &mut h_psi, ws);
+                    let mut hs = CMatrix::from_vec(nb, nb, ws.take_c64(nb * nb));
+                    zgemm_dagger_a_into(&psi, &h_psi, &mut hs, ws);
+                    let eig = mqmd_linalg::eigen::zheev(&hs);
+                    ws.give_c64(hs.into_data());
+                    ws.give_c64(h_psi.into_data());
+                    let (vals, v) = match eig {
+                        Ok(x) => x,
+                        Err(e) => {
+                            faults::record_abort(
+                                "scf_eigensolver_abort",
+                                faults::Site::Scf.describe(),
+                                iter as u32,
+                            );
+                            return Err(e);
+                        }
+                    };
+                    let mut rot = CMatrix::from_vec(np, nb, ws.take_c64(np * nb));
+                    zgemm(Complex64::ONE, &psi, &v, Complex64::ZERO, &mut rot);
+                    psi.data_mut().copy_from_slice(rot.data());
+                    ws.give_c64(rot.into_data());
+                    faults::record_recovery(
+                        "scf_ritz_recovery",
+                        faults::Site::Scf.describe(),
+                        iter as u32,
+                        rescue_start.elapsed().as_secs_f64(),
+                    );
+                    crate::eigensolver::EigenReport {
+                        eigenvalues: vals,
+                        iterations: config.davidson_iters,
+                        residual: f64::NAN,
+                    }
                 }
             }
             Err(e) => return Err(e),
@@ -369,21 +464,69 @@ pub fn run_scf_with(
             mix: alpha,
         });
 
-        if residual.is_nan() {
+        if !residual.is_finite() || !total.is_finite() {
             events::emit(events::Event::WatchdogTrip {
                 watchdog: "scf_residual_nan",
                 message: format!("density residual is NaN at SCF iteration {iter}"),
                 value: residual,
                 bound: config.tol_density,
             });
-            return Err(MqmdError::Convergence {
-                what: "SCF (NaN residual)".into(),
-                iterations: iter,
-                residual,
-            });
+            if config.fail_fast || rescues_used >= config.rescue_attempts {
+                faults::record_abort(
+                    "scf_abort",
+                    faults::Site::Scf.describe(),
+                    rescues_used as u32,
+                );
+                return Err(MqmdError::Convergence {
+                    what: "SCF (NaN residual)".into(),
+                    iterations: iter,
+                    residual,
+                });
+            }
+            // Rungs 1+2 of the rescue ladder: back the mixer off hard and
+            // restart from the last good density, regenerating the bands
+            // if the NaN reached them. The iteration counter keeps
+            // advancing, so the loop still terminates.
+            rescues_used += 1;
+            alpha = (alpha * 0.5).max(0.02);
+            rho.copy_from_slice(&last_good);
+            if psi
+                .data()
+                .iter()
+                .any(|z| !z.re.is_finite() || !z.im.is_finite())
+            {
+                psi = basis.random_bands(n_bands, 0xD1F7 ^ iter as u64);
+            }
+            prev_residual = f64::INFINITY;
+            best_residual = f64::INFINITY;
+            stall_count = 0;
+            davidson_streak = 0;
+            faults::record_recovery(
+                "scf_restart_last_good",
+                faults::Site::Scf.describe(),
+                rescues_used as u32,
+                iter_start.elapsed().as_secs_f64(),
+            );
+            continue;
+        }
+
+        // Remember the best finite-residual input density as the rescue
+        // ladder's restart point.
+        if residual < last_good_residual {
+            last_good_residual = residual;
+            last_good.copy_from_slice(&rho);
         }
 
         if residual < config.tol_density {
+            if kick_pending {
+                // The slosh died out before the mixer had to back off.
+                faults::record_recovery(
+                    "scf_mixing_backoff",
+                    faults::Site::Scf.describe(),
+                    iter as u32,
+                    0.0,
+                );
+            }
             return Ok(ScfOutcome {
                 energy: total,
                 breakdown,
@@ -432,6 +575,16 @@ pub fn run_scf_with(
         // sloshing), recover slowly while it shrinks.
         if residual > prev_residual {
             alpha = (alpha * 0.6).max(0.05);
+            if kick_pending {
+                // The backoff just absorbed the injected slosh.
+                kick_pending = false;
+                faults::record_recovery(
+                    "scf_mixing_backoff",
+                    faults::Site::Scf.describe(),
+                    iter as u32,
+                    iter_start.elapsed().as_secs_f64(),
+                );
+            }
         } else {
             alpha = (alpha * 1.05).min(config.mix_alpha);
         }
@@ -441,6 +594,16 @@ pub fn run_scf_with(
         }
     }
 
+    if kick_pending {
+        // An injected slosh was never absorbed and the loop ran out of
+        // iterations: account it as an abort so the campaign ledger
+        // balances.
+        faults::record_abort(
+            "scf_max_iterations",
+            faults::Site::Scf.describe(),
+            config.max_scf as u32,
+        );
+    }
     Err(MqmdError::Convergence {
         what: "SCF".into(),
         iterations: config.max_scf,

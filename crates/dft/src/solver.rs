@@ -151,14 +151,12 @@ impl DftSolver {
 }
 
 impl ForceField for DftSolver {
-    fn compute(&mut self, system: &AtomicSystem) -> ForceResult {
-        let state = self
-            .solve(system)
-            .expect("DFT SCF failed to converge inside the MD loop");
-        ForceResult {
+    fn try_compute(&mut self, system: &AtomicSystem) -> Result<ForceResult> {
+        let state = self.solve(system)?;
+        Ok(ForceResult {
             energy: state.energy,
             forces: state.forces,
-        }
+        })
     }
 }
 

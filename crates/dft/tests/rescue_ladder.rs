@@ -1,0 +1,183 @@
+//! Fault-plane tests for the SCF rescue ladder: injected density NaN,
+//! forced Davidson divergence, and charge-sloshing kicks must either be
+//! recovered back to the fault-free energy or surface as typed errors —
+//! never NaN, never a hang.
+//!
+//! These live in their own test binary (not `scf.rs` unit tests) because
+//! the fault plan is process-global: unit tests running concurrently
+//! would poll the same `Site::Scf` counter and poach the injected
+//! faults. Every test here takes the `gate()` mutex.
+
+use mqmd_dft::pw::PlaneWaveBasis;
+use mqmd_dft::scf::{run_scf, ScfConfig};
+use mqmd_dft::species::Pseudopotential;
+use mqmd_grid::UniformGrid3;
+use mqmd_util::constants::Element;
+use mqmd_util::faults::{self, FaultKind, FaultPlan, Site};
+use mqmd_util::{MqmdError, Vec3};
+use proptest::prelude::*;
+
+fn gate() -> std::sync::MutexGuard<'static, ()> {
+    static GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    GATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn h2_atoms() -> Vec<(Pseudopotential, Vec3)> {
+    let p = Pseudopotential::for_element(Element::H);
+    vec![(p, Vec3::new(3.3, 4.0, 4.0)), (p, Vec3::new(4.7, 4.0, 4.0))]
+}
+
+fn small_basis() -> PlaneWaveBasis {
+    PlaneWaveBasis::new(UniformGrid3::cubic(10, 8.0), 3.0)
+}
+
+/// Fault-free reference energy, computed once.
+fn reference_energy() -> f64 {
+    static REF: std::sync::OnceLock<f64> = std::sync::OnceLock::new();
+    *REF.get_or_init(|| {
+        faults::clear();
+        run_scf(
+            &small_basis(),
+            &h2_atoms(),
+            2.0,
+            &ScfConfig::default(),
+            None,
+        )
+        .expect("fault-free H2 SCF must converge")
+        .energy
+    })
+}
+
+/// Runs H2 SCF under `plan` and returns the outcome, always clearing the
+/// plane afterwards.
+fn run_under_plan(
+    plan: FaultPlan,
+    cfg: &ScfConfig,
+) -> mqmd_util::Result<mqmd_dft::scf::ScfOutcome> {
+    faults::install(plan);
+    let out = run_scf(&small_basis(), &h2_atoms(), 2.0, cfg, None);
+    faults::clear();
+    out
+}
+
+#[test]
+fn injected_density_nan_is_rescued_to_reference_energy() {
+    let _g = gate();
+    let e_ref = reference_energy();
+    faults::reset_stats();
+    let mut plan = FaultPlan::new();
+    plan.push(FaultKind::DensityNan, Site::Scf, 2);
+    let out = run_under_plan(plan, &ScfConfig::default()).expect("ladder must rescue the NaN");
+    assert!(out.energy.is_finite());
+    assert!(
+        (out.energy - e_ref).abs() < 1e-4,
+        "rescued energy {} vs reference {}",
+        out.energy,
+        e_ref
+    );
+    assert!(out.density.iter().all(|r| r.is_finite()));
+    let s = faults::stats();
+    assert_eq!(s.injected, 1);
+    assert!(s.recovered >= 1);
+    assert_eq!(s.aborted, 0);
+    assert!(s.by_action.contains_key("scf_restart_last_good"));
+    assert!(s.recompute_seconds >= 0.0);
+}
+
+#[test]
+fn repeated_davidson_divergence_escalates_to_band_by_band() {
+    let _g = gate();
+    let e_ref = reference_energy();
+    faults::reset_stats();
+    let mut plan = FaultPlan::new();
+    plan.push(FaultKind::DavidsonDiverge, Site::Scf, 1);
+    plan.push(FaultKind::DavidsonDiverge, Site::Scf, 2);
+    let out = run_under_plan(plan, &ScfConfig::default())
+        .expect("ladder must survive consecutive Davidson breakdowns");
+    assert!((out.energy - e_ref).abs() < 1e-4);
+    let s = faults::stats();
+    assert_eq!(s.injected, 2);
+    // First breakdown: Ritz recovery; second in a row: band-by-band.
+    assert!(s.by_action.contains_key("scf_ritz_recovery"));
+    assert!(s.by_action.contains_key("scf_band_by_band"));
+}
+
+#[test]
+fn mixing_kick_is_absorbed_by_backoff() {
+    let _g = gate();
+    let e_ref = reference_energy();
+    faults::reset_stats();
+    let mut plan = FaultPlan::new();
+    plan.push(FaultKind::MixingKick { factor: 1.5 }, Site::Scf, 2);
+    let out = run_under_plan(plan, &ScfConfig::default()).expect("slosh must be absorbed");
+    assert!((out.energy - e_ref).abs() < 1e-4);
+    let s = faults::stats();
+    assert_eq!(s.injected, 1);
+    assert!(s.by_action.contains_key("scf_mixing_backoff"));
+    assert_eq!(s.injected, s.recovered.min(s.injected) + s.aborted);
+}
+
+#[test]
+fn exhausted_rescue_budget_is_a_typed_error() {
+    let _g = gate();
+    faults::reset_stats();
+    let mut plan = FaultPlan::new();
+    plan.push(FaultKind::DensityNan, Site::Scf, 1);
+    let cfg = ScfConfig {
+        rescue_attempts: 0,
+        ..Default::default()
+    };
+    let out = run_under_plan(plan, &cfg);
+    assert!(matches!(out, Err(MqmdError::Convergence { .. })));
+    let s = faults::stats();
+    assert_eq!(s.injected, 1);
+    assert_eq!(s.aborted, 1);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Satellite: under arbitrary bounded fault schedules the ladder
+    /// either converges back to the fault-free energy or reports a typed
+    /// error — it never returns NaN and never loops past `max_scf`.
+    #[test]
+    fn arbitrary_fault_schedules_never_escape(codes in prop::collection::vec(0..24u64, 1..5)) {
+        let _g = gate();
+        let e_ref = reference_energy();
+        faults::reset_stats();
+        let mut plan = FaultPlan::new();
+        for &code in &codes {
+            let at = 1 + code / 3; // iterations 1..=8
+            match code % 3 {
+                0 => plan.push(FaultKind::DensityNan, Site::Scf, at),
+                1 => plan.push(FaultKind::DavidsonDiverge, Site::Scf, at),
+                _ => plan.push(
+                    FaultKind::MixingKick { factor: 0.5 + (code % 4) as f64 * 0.5 },
+                    Site::Scf,
+                    at,
+                ),
+            }
+        }
+        match run_under_plan(plan, &ScfConfig::default()) {
+            Ok(out) => {
+                prop_assert!(out.energy.is_finite());
+                prop_assert!(out.density_residual.is_finite());
+                prop_assert!(out.density.iter().all(|r| r.is_finite()));
+                prop_assert!(out.psi.data().iter().all(|z| z.re.is_finite() && z.im.is_finite()));
+                prop_assert!(
+                    (out.energy - e_ref).abs() < 1e-3,
+                    "recovered energy {} strayed from reference {}",
+                    out.energy,
+                    e_ref
+                );
+            }
+            // Typed error is an accepted outcome; panics/NaN are not.
+            Err(MqmdError::Convergence { residual, .. }) => {
+                prop_assert!(residual.is_nan() || residual >= 0.0);
+            }
+            Err(e) => return Err(proptest::test_runner::TestCaseError::Fail(
+                format!("unexpected error class: {e}"),
+            )),
+        }
+    }
+}

@@ -9,7 +9,7 @@
 
 use crate::neighbor::NeighborList;
 use crate::structure::AtomicSystem;
-use mqmd_util::Vec3;
+use mqmd_util::{Result, Vec3};
 
 /// Potential energy and per-atom forces, both in atomic units.
 #[derive(Clone, Debug)]
@@ -21,9 +21,23 @@ pub struct ForceResult {
 }
 
 /// Anything that can produce energies and forces for an atomic system.
+///
+/// Implementors provide the fallible [`ForceField::try_compute`]; quantum
+/// backends propagate SCF/eigensolver failures through it so the MD loop
+/// can checkpoint-recover instead of crashing. The infallible
+/// [`ForceField::compute`] convenience panics on failure and is fine for
+/// classical potentials, which cannot fail.
 pub trait ForceField {
-    /// Computes the potential energy and forces for the current positions.
-    fn compute(&mut self, system: &AtomicSystem) -> ForceResult;
+    /// Computes the potential energy and forces for the current positions,
+    /// propagating any solver failure.
+    fn try_compute(&mut self, system: &AtomicSystem) -> Result<ForceResult>;
+
+    /// Infallible convenience wrapper; panics if the force computation
+    /// fails (classical potentials never do).
+    fn compute(&mut self, system: &AtomicSystem) -> ForceResult {
+        self.try_compute(system)
+            .expect("force computation failed; use try_compute to recover")
+    }
 }
 
 /// Truncated-and-shifted Lennard-Jones 12-6 pair potential.
@@ -66,7 +80,7 @@ impl LennardJones {
 }
 
 impl ForceField for LennardJones {
-    fn compute(&mut self, system: &AtomicSystem) -> ForceResult {
+    fn try_compute(&mut self, system: &AtomicSystem) -> Result<ForceResult> {
         let list = NeighborList::build(system, self.cutoff);
         let mut energy = 0.0;
         let mut forces = vec![Vec3::ZERO; system.len()];
@@ -83,7 +97,7 @@ impl ForceField for LennardJones {
             forces[j] += f;
             forces[i] -= f;
         }
-        ForceResult { energy, forces }
+        Ok(ForceResult { energy, forces })
     }
 }
 
@@ -101,7 +115,7 @@ pub struct HarmonicPair {
 }
 
 impl ForceField for HarmonicPair {
-    fn compute(&mut self, system: &AtomicSystem) -> ForceResult {
+    fn try_compute(&mut self, system: &AtomicSystem) -> Result<ForceResult> {
         let list = NeighborList::build(system, self.cutoff);
         let mut energy = 0.0;
         let mut forces = vec![Vec3::ZERO; system.len()];
@@ -115,7 +129,7 @@ impl ForceField for HarmonicPair {
             forces[j] += f;
             forces[i] -= f;
         }
-        ForceResult { energy, forces }
+        Ok(ForceResult { energy, forces })
     }
 }
 

@@ -8,6 +8,7 @@
 
 use crate::forcefield::{ForceField, ForceResult};
 use crate::structure::AtomicSystem;
+use mqmd_util::Result;
 
 /// Velocity-Verlet propagator owning the force cache between steps.
 pub struct VelocityVerlet {
@@ -29,13 +30,39 @@ impl VelocityVerlet {
         self.cached = None;
     }
 
+    /// The cached end-of-step forces, if any (checkpointing reads these so
+    /// a resumed run replays bitwise instead of recomputing the half-kick).
+    pub fn cached_forces(&self) -> Option<&ForceResult> {
+        self.cached.as_ref()
+    }
+
+    /// Preloads the force cache (checkpoint restore).
+    pub fn preload_forces(&mut self, forces: ForceResult) {
+        self.cached = Some(forces);
+    }
+
     /// Advances one step; returns the potential energy after the step.
+    /// Panics if the force field fails — quantum backends should use
+    /// [`VelocityVerlet::try_step`] and recover.
     pub fn step<F: ForceField>(&mut self, system: &mut AtomicSystem, field: &mut F) -> f64 {
+        self.try_step(system, field)
+            .expect("force field failed inside the MD step; use try_step to recover")
+    }
+
+    /// Fallible form of [`VelocityVerlet::step`]. On error the force cache
+    /// is left empty and the system may sit mid-step (positions advanced,
+    /// second half-kick missing) — callers recover by restoring a
+    /// checkpointed state, not by re-stepping.
+    pub fn try_step<F: ForceField>(
+        &mut self,
+        system: &mut AtomicSystem,
+        field: &mut F,
+    ) -> Result<f64> {
         let n = system.len();
         let dt = self.dt;
         let forces_old = match self.cached.take() {
             Some(f) => f,
-            None => field.compute(system),
+            None => field.try_compute(system)?,
         };
 
         // v(t+dt/2), r(t+dt)
@@ -46,14 +73,14 @@ impl VelocityVerlet {
                 (system.positions[i] + system.velocities[i] * dt).wrap(system.cell);
         }
         // v(t+dt)
-        let forces_new = field.compute(system);
+        let forces_new = field.try_compute(system)?;
         for i in 0..n {
             let a = forces_new.forces[i] / system.mass(i);
             system.velocities[i] += a * (0.5 * dt);
         }
         let e_pot = forces_new.energy;
         self.cached = Some(forces_new);
-        e_pot
+        Ok(e_pot)
     }
 
     /// Runs `steps` steps, returning the per-step total energies

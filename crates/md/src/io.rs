@@ -9,10 +9,13 @@
 //! (Hilbert curve + LEB128 varints) plus a simple binary trajectory
 //! container.
 
+use crate::forcefield::ForceResult;
 use crate::structure::AtomicSystem;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use mqmd_grid::hilbert::{hilbert_decode, hilbert_encode};
+use mqmd_util::constants::Element;
 use mqmd_util::{MqmdError, Result, Vec3};
+use std::path::{Path, PathBuf};
 
 /// Maximum quantisation bits per axis (3·21 = 63 curve bits fit in u64).
 pub const MAX_BITS: u32 = 21;
@@ -257,6 +260,255 @@ impl Trajectory {
     pub fn ratio(&self) -> f64 {
         let raw: usize = self.frames.iter().map(|(_, f)| f.raw_bytes()).sum();
         raw as f64 / self.compressed_bytes().max(1) as f64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint/restart
+// ---------------------------------------------------------------------------
+
+/// Magic bytes of the checkpoint format.
+const CKP_MAGIC: &[u8; 8] = b"MQMDCKP1";
+
+/// FNV-1a 64-bit hash — the checkpoint integrity checksum. Not
+/// cryptographic; it detects the torn writes and bit flips a crashed or
+/// faulty node leaves behind.
+pub fn fnv1a64(data: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Full restartable state of a QMD run at a step boundary: atoms,
+/// velocities, the integrator's cached end-of-step forces, thermostat
+/// state, and an opaque solver payload (the LDC solver stores its
+/// per-domain bands and densities there) — everything needed for a resumed
+/// run to replay bitwise. Serialised with a trailing [`fnv1a64`] checksum
+/// so corruption is rejected at load instead of propagating into physics.
+#[derive(Clone, Debug)]
+pub struct Checkpoint {
+    /// MD step the checkpoint was taken after.
+    pub step: u64,
+    /// Atomic state (cell, species, positions, velocities).
+    pub system: AtomicSystem,
+    /// The integrator's cached forces, if a step has completed.
+    pub cached_forces: Option<ForceResult>,
+    /// Opaque thermostat state ([`crate::thermostat::Thermostat::state`]).
+    pub thermostat: Vec<f64>,
+    /// Opaque solver payload (e.g. LDC per-domain wave functions).
+    pub solver: Vec<u8>,
+}
+
+impl Checkpoint {
+    /// Serialises with the checksum trailer.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_slice(CKP_MAGIC);
+        write_varint(&mut buf, self.step);
+        buf.put_f64(self.system.cell.x);
+        buf.put_f64(self.system.cell.y);
+        buf.put_f64(self.system.cell.z);
+        let n = self.system.len();
+        write_varint(&mut buf, n as u64);
+        for &e in &self.system.species {
+            write_varint(&mut buf, e.atomic_number() as u64);
+        }
+        for r in &self.system.positions {
+            buf.put_f64(r.x);
+            buf.put_f64(r.y);
+            buf.put_f64(r.z);
+        }
+        for v in &self.system.velocities {
+            buf.put_f64(v.x);
+            buf.put_f64(v.y);
+            buf.put_f64(v.z);
+        }
+        match &self.cached_forces {
+            Some(f) => {
+                buf.put_u8(1);
+                buf.put_f64(f.energy);
+                for g in &f.forces {
+                    buf.put_f64(g.x);
+                    buf.put_f64(g.y);
+                    buf.put_f64(g.z);
+                }
+            }
+            None => buf.put_u8(0),
+        }
+        write_varint(&mut buf, self.thermostat.len() as u64);
+        for &x in &self.thermostat {
+            buf.put_f64(x);
+        }
+        write_varint(&mut buf, self.solver.len() as u64);
+        buf.put_slice(&self.solver);
+        let checksum = fnv1a64(&buf);
+        buf.put_u64(checksum);
+        buf.freeze()
+    }
+
+    /// Deserialises, verifying magic and checksum.
+    pub fn from_bytes(data: Bytes) -> Result<Self> {
+        if data.len() < CKP_MAGIC.len() + 8 || &data[..CKP_MAGIC.len()] != CKP_MAGIC {
+            return Err(MqmdError::Io("not a MQMD checkpoint (bad magic)".into()));
+        }
+        let body_len = data.len() - 8;
+        let stored = u64::from_be_bytes(data[body_len..].try_into().expect("8-byte trailer"));
+        if fnv1a64(&data[..body_len]) != stored {
+            return Err(MqmdError::Io(
+                "checkpoint checksum mismatch (corrupt or torn write)".into(),
+            ));
+        }
+        let mut buf = data;
+        let mut buf = buf.split_to(body_len);
+        buf.advance(CKP_MAGIC.len());
+        let step = read_varint(&mut buf)?;
+        let need = |buf: &Bytes, n: usize| -> Result<()> {
+            if buf.remaining() < n {
+                Err(MqmdError::Io("truncated checkpoint".into()))
+            } else {
+                Ok(())
+            }
+        };
+        need(&buf, 24)?;
+        let cell = Vec3::new(buf.get_f64(), buf.get_f64(), buf.get_f64());
+        let n = read_varint(&mut buf)? as usize;
+        if n > (1 << 32) {
+            return Err(MqmdError::Io(format!("implausible atom count {n}")));
+        }
+        let mut species = Vec::with_capacity(n);
+        for _ in 0..n {
+            let z = read_varint(&mut buf)? as u32;
+            let e = Element::ALL
+                .into_iter()
+                .find(|e| e.atomic_number() == z)
+                .ok_or_else(|| MqmdError::Io(format!("unknown atomic number {z}")))?;
+            species.push(e);
+        }
+        let read_vec3s = |buf: &mut Bytes, n: usize| -> Result<Vec<Vec3>> {
+            need(buf, 24 * n)?;
+            Ok((0..n)
+                .map(|_| Vec3::new(buf.get_f64(), buf.get_f64(), buf.get_f64()))
+                .collect())
+        };
+        let positions = read_vec3s(&mut buf, n)?;
+        let velocities = read_vec3s(&mut buf, n)?;
+        need(&buf, 1)?;
+        let cached_forces = match buf.get_u8() {
+            0 => None,
+            1 => {
+                need(&buf, 8 + 24 * n)?;
+                let energy = buf.get_f64();
+                let forces = read_vec3s(&mut buf, n)?;
+                Some(ForceResult { energy, forces })
+            }
+            other => {
+                return Err(MqmdError::Io(format!("bad force-cache tag {other}")));
+            }
+        };
+        let n_thermo = read_varint(&mut buf)? as usize;
+        need(&buf, 8 * n_thermo)?;
+        let thermostat = (0..n_thermo).map(|_| buf.get_f64()).collect();
+        let n_solver = read_varint(&mut buf)? as usize;
+        need(&buf, n_solver)?;
+        let solver = buf.split_to(n_solver).to_vec();
+        let mut system = AtomicSystem::new(cell, species, positions);
+        system.velocities = velocities;
+        Ok(Self {
+            step,
+            system,
+            cached_forces,
+            thermostat,
+            solver,
+        })
+    }
+
+    /// Writes atomically: serialise to `<path>.tmp` in the same directory,
+    /// then rename over `path` — a crash mid-write never clobbers the
+    /// previous good checkpoint.
+    pub fn save(&self, path: &Path) -> Result<()> {
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, self.to_bytes())?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Loads and verifies a checkpoint file.
+    pub fn load(path: &Path) -> Result<Self> {
+        let data = std::fs::read(path)?;
+        Self::from_bytes(Bytes::from(data))
+    }
+}
+
+/// Keeps the last `keep` checkpoints in a directory and rolls back past
+/// corrupt files on load — the production pattern where a bad node can
+/// leave its most recent checkpoint torn.
+pub struct CheckpointStore {
+    dir: PathBuf,
+    keep: usize,
+}
+
+impl CheckpointStore {
+    /// Opens (creating if needed) a store rooted at `dir` retaining the
+    /// newest `keep` checkpoints.
+    pub fn open(dir: impl Into<PathBuf>, keep: usize) -> Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self {
+            dir,
+            keep: keep.max(1),
+        })
+    }
+
+    fn path_for(&self, step: u64) -> PathBuf {
+        self.dir.join(format!("ckp_{step:012}.mqmdckp"))
+    }
+
+    /// Checkpoint files currently in the store, oldest first.
+    pub fn list(&self) -> Result<Vec<PathBuf>> {
+        let mut files: Vec<PathBuf> = std::fs::read_dir(&self.dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "mqmdckp"))
+            .collect();
+        files.sort();
+        Ok(files)
+    }
+
+    /// Saves a checkpoint (atomic write) and prunes beyond the retention
+    /// budget.
+    pub fn save(&self, ckp: &Checkpoint) -> Result<PathBuf> {
+        let path = self.path_for(ckp.step);
+        ckp.save(&path)?;
+        let files = self.list()?;
+        if files.len() > self.keep {
+            for old in &files[..files.len() - self.keep] {
+                std::fs::remove_file(old).ok();
+            }
+        }
+        Ok(path)
+    }
+
+    /// Loads the newest checkpoint that passes its checksum, skipping (and
+    /// reporting via the event stream) any corrupt files on the way back.
+    /// `Ok(None)` when no valid checkpoint exists.
+    pub fn load_latest(&self) -> Result<Option<Checkpoint>> {
+        for path in self.list()?.into_iter().rev() {
+            match Checkpoint::load(&path) {
+                Ok(ckp) => return Ok(Some(ckp)),
+                Err(e) => {
+                    mqmd_util::events::emit(mqmd_util::events::Event::WatchdogTrip {
+                        watchdog: "checkpoint_corrupt",
+                        message: format!("skipping {}: {e}", path.display()),
+                        value: 1.0,
+                        bound: 0.0,
+                    });
+                }
+            }
+        }
+        Ok(None)
     }
 }
 

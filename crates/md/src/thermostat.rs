@@ -14,6 +14,12 @@ pub trait Thermostat {
     fn apply(&mut self, system: &mut AtomicSystem, dt: f64);
     /// Target temperature in Kelvin.
     fn target(&self) -> f64;
+    /// Internal state for checkpointing (empty for stateless thermostats).
+    fn state(&self) -> Vec<f64> {
+        Vec::new()
+    }
+    /// Restores state captured by [`Thermostat::state`].
+    fn restore(&mut self, _state: &[f64]) {}
 }
 
 /// Berendsen weak-coupling thermostat: exponential relaxation of the
@@ -91,6 +97,16 @@ impl Thermostat for NoseHoover {
 
     fn target(&self) -> f64 {
         self.t_target
+    }
+
+    fn state(&self) -> Vec<f64> {
+        vec![self.xi]
+    }
+
+    fn restore(&mut self, state: &[f64]) {
+        if let Some(&xi) = state.first() {
+            self.xi = xi;
+        }
     }
 }
 

@@ -6,14 +6,55 @@
 //! band↔space switch (§3.3).
 
 use crate::machine::MachineSpec;
+use mqmd_util::faults::MachineFaults;
+
+/// BG/Q router cut-through delay paid per hop beyond the first.
+const PER_HOP: f64 = 45e-9;
 
 /// Time to send one point-to-point message of `bytes`, traversing `hops`
 /// torus links (store-and-forward per hop is pessimistic on BG/Q's
 /// cut-through router, so only the first hop pays full latency and each
 /// extra hop adds a small per-hop delay).
 pub fn p2p_time(m: &MachineSpec, bytes: f64, hops: usize) -> f64 {
-    const PER_HOP: f64 = 45e-9; // BG/Q router cut-through delay
     m.mpi_latency + hops.saturating_sub(1) as f64 * PER_HOP + bytes / m.link_bandwidth
+}
+
+/// [`p2p_time`] on a degraded machine: lost nodes stretch the route by
+/// [`MachineFaults::extra_hops`] detour hops and degraded dimensions
+/// divide the usable link bandwidth by the worst remaining fraction.
+/// Identical to [`p2p_time`] when `mf` is healthy.
+pub fn p2p_time_faulty(m: &MachineSpec, bytes: f64, hops: usize, mf: &MachineFaults) -> f64 {
+    if mf.is_healthy() {
+        return p2p_time(m, bytes, hops);
+    }
+    m.mpi_latency
+        + (hops + mf.extra_hops()).saturating_sub(1) as f64 * PER_HOP
+        + bytes / (m.link_bandwidth * mf.worst_degrade())
+}
+
+/// [`allreduce_time`] on a degraded machine: every tree round pays the
+/// node-loss detour hops and runs at the worst surviving link bandwidth.
+pub fn allreduce_time_faulty(m: &MachineSpec, bytes: f64, p: usize, mf: &MachineFaults) -> f64 {
+    if p <= 1 {
+        return 0.0;
+    }
+    let rounds = (p as f64).log2().ceil();
+    rounds
+        * (m.mpi_latency
+            + mf.extra_hops() as f64 * PER_HOP
+            + bytes / (m.link_bandwidth * mf.worst_degrade()))
+}
+
+/// Recomputation time a node loss forces: each lost node's
+/// `domains_per_node` domain solves are redistributed onto its surviving
+/// successor ([`crate::topology::FaultyTorus::remap`]) and redone
+/// serially there, at `per_domain_seconds` each.
+pub fn node_loss_recompute_time(
+    per_domain_seconds: f64,
+    domains_per_node: usize,
+    mf: &MachineFaults,
+) -> f64 {
+    mf.lost_nodes.len() as f64 * domains_per_node as f64 * per_domain_seconds.max(0.0)
 }
 
 /// Binomial-tree allreduce of `bytes` over `p` ranks: `⌈log₂p⌉` rounds of
@@ -111,6 +152,35 @@ mod tests {
         let m = bgq();
         let t = p2p_time(&m, 2e9, 1); // 2 GB at 2 GB/s ≈ 1 s
         assert!((t - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn faulty_models_reduce_to_healthy_without_faults() {
+        let m = bgq();
+        let mf = MachineFaults::default();
+        assert_eq!(p2p_time_faulty(&m, 4096.0, 3, &mf), p2p_time(&m, 4096.0, 3));
+        assert_eq!(
+            allreduce_time_faulty(&m, 1024.0, 64, &mf),
+            allreduce_time(&m, 1024.0, 64)
+        );
+        assert_eq!(node_loss_recompute_time(2.0, 8, &mf), 0.0);
+    }
+
+    #[test]
+    fn degraded_links_and_detours_cost_time() {
+        let m = bgq();
+        let mf = MachineFaults {
+            lost_nodes: vec![3],
+            degraded_links: vec![(1, 0.5)],
+        };
+        // Half bandwidth roughly doubles the bandwidth term of a large
+        // message; two detour hops add router delay.
+        let healthy = p2p_time(&m, 2e9, 1);
+        let faulty = p2p_time_faulty(&m, 2e9, 1, &mf);
+        assert!(faulty > 1.9 * healthy, "{faulty} vs {healthy}");
+        assert!(allreduce_time_faulty(&m, 1024.0, 64, &mf) > allreduce_time(&m, 1024.0, 64));
+        // One lost node hosting 8 domains at 2 s each → 16 s recompute.
+        assert_eq!(node_loss_recompute_time(2.0, 8, &mf), 16.0);
     }
 
     #[test]

@@ -16,8 +16,9 @@
 //! ambient [`mqmd_util::trace`] span (so profiles attribute communication
 //! to the phase that performed it).
 
-use crate::collectives::p2p_time;
+use crate::collectives::{p2p_time, p2p_time_faulty};
 use crate::machine::MachineSpec;
+use mqmd_util::faults;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Barrier, Mutex};
@@ -93,9 +94,16 @@ impl Comm {
     }
 
     /// Sends a message to `dest` (non-blocking, unbounded buffering).
+    /// With a fault plan active, pricing runs on the degraded machine:
+    /// detour hops around lost nodes and the worst surviving link
+    /// bandwidth ([`p2p_time_faulty`]). Idle plane: one relaxed load.
     pub fn send(&self, dest: usize, data: Vec<f64>) {
         let bytes = (data.len() * std::mem::size_of::<f64>()) as u64;
-        let cost = p2p_time(&self.model, bytes as f64, 1);
+        let cost = if faults::active() {
+            p2p_time_faulty(&self.model, bytes as f64, 1, &faults::machine_faults())
+        } else {
+            p2p_time(&self.model, bytes as f64, 1)
+        };
         self.stats.record(bytes, cost);
         mqmd_util::trace::add_comm(1, bytes, cost);
         self.senders[dest]
@@ -178,6 +186,26 @@ impl Comm {
     }
 }
 
+/// Applies any fault the active plan addresses at this rank's spawn.
+/// A straggler sleeps out its startup delay before the rank program
+/// begins — the executor's collectives then absorb the skew (every other
+/// rank waits at its first `recv`/barrier) — and the wait is booked as
+/// recovery recompute time. Fault kinds without executor semantics are
+/// absorbed outright so the campaign ledger still balances. A no-op
+/// costing one relaxed load when the plane is idle.
+fn absorb_rank_faults(rank: usize) {
+    use faults::{FaultKind, Site};
+    let site = Site::Rank(rank as u64);
+    match faults::poll(site) {
+        Some(FaultKind::Straggler { delay_us }) => {
+            std::thread::sleep(std::time::Duration::from_micros(delay_us));
+            faults::record_recovery("straggler_wait", site.describe(), 1, delay_us as f64 * 1e-6);
+        }
+        Some(_) => faults::record_recovery("rank_fault_absorbed", site.describe(), 1, 0.0),
+        None => {}
+    }
+}
+
 /// Runs `f(rank, comm)` on `n` rank threads (message costs priced for one
 /// Blue Gene/Q node card) and returns the per-rank results in rank order.
 /// Panics in any rank propagate.
@@ -234,6 +262,7 @@ where
                 scope.spawn(move || {
                     let _g = mqmd_util::trace::ContextGuard::enter(ctx);
                     let _lane = mqmd_util::events::LaneGuard::rank(rank as u32);
+                    absorb_rank_faults(rank);
                     f(rank, &comm)
                 })
             })

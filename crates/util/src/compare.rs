@@ -24,9 +24,16 @@
 //! is deterministic by construction, so *any* growth over the baseline
 //! hard-fails — re-introducing even one per-iteration allocation in the
 //! SCF hot path trips the gate.
+//!
+//! v4 profiles additionally carry the fault plane's recovery counters.
+//! With [`CompareConfig::gate_recovery`] set, the gate checks the
+//! *candidate's* recovery ledger balances: every injected fault must have
+//! been recovered or cleanly aborted, and no abort may appear in a
+//! profile run at all — an abort while profiling means the pipeline
+//! silently lost work.
 
 use crate::error::Result;
-use crate::metrics::{kernel_table, steady_scf_misses, KernelStats};
+use crate::metrics::{kernel_table, recovery_counters, steady_scf_misses, KernelStats};
 use std::collections::BTreeMap;
 
 /// Tunable thresholds for [`compare_tables`].
@@ -42,6 +49,10 @@ pub struct CompareConfig {
     /// Also gate the v3 steady-state workspace-miss gauge: fail when the
     /// candidate's steady-state SCF miss count grows over the baseline's.
     pub gate_allocs: bool,
+    /// Also gate the v4 recovery counters: fail when the candidate's
+    /// ledger does not balance (injected > recovered + aborted) or any
+    /// fault aborted during the profile run.
+    pub gate_recovery: bool,
 }
 
 impl Default for CompareConfig {
@@ -51,6 +62,7 @@ impl Default for CompareConfig {
             noise_sigmas: 3.0,
             min_mean_secs: 1e-6,
             gate_allocs: false,
+            gate_recovery: false,
         }
     }
 }
@@ -112,6 +124,21 @@ pub struct AllocGate {
     pub failed: bool,
 }
 
+/// Outcome of the v4 recovery gate (an absolute check on the candidate,
+/// not a diff against the baseline).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecoveryGate {
+    /// Faults the candidate's plane injected.
+    pub injected: u64,
+    /// Recovery rungs that handled a failure.
+    pub recovered: u64,
+    /// Failures surfaced as typed errors.
+    pub aborted: u64,
+    /// Whether the gate fails (ledger unbalanced, an abort occurred, or
+    /// the candidate stopped emitting the block while gating).
+    pub failed: bool,
+}
+
 /// Full comparison result.
 #[derive(Clone, Debug, Default)]
 pub struct CompareReport {
@@ -120,6 +147,8 @@ pub struct CompareReport {
     /// Steady-state allocation gate, when `gate_allocs` was requested and
     /// both profiles carry the v3 gauge.
     pub alloc_gate: Option<AllocGate>,
+    /// Recovery gate, when `gate_recovery` was requested.
+    pub recovery_gate: Option<RecoveryGate>,
 }
 
 impl CompareReport {
@@ -131,10 +160,12 @@ impl CompareReport {
             .count()
     }
 
-    /// Whether the gate should fail (timing regression or steady-state
-    /// allocation growth).
+    /// Whether the gate should fail (timing regression, steady-state
+    /// allocation growth, or an unbalanced recovery ledger).
     pub fn has_regressions(&self) -> bool {
-        self.regressions() > 0 || self.alloc_gate.is_some_and(|g| g.failed)
+        self.regressions() > 0
+            || self.alloc_gate.is_some_and(|g| g.failed)
+            || self.recovery_gate.is_some_and(|g| g.failed)
     }
 
     /// Renders the human-readable regression table, including the per-call
@@ -182,6 +213,15 @@ impl CompareReport {
                 g.base,
                 g.cand,
                 if g.failed { "ALLOC REGRESSED" } else { "ok" }
+            ));
+        }
+        if let Some(g) = self.recovery_gate {
+            out.push_str(&format!(
+                "\nrecovery ledger: {} injected, {} recovered, {} aborted  [{}]\n",
+                g.injected,
+                g.recovered,
+                g.aborted,
+                if g.failed { "RECOVERY FAILED" } else { "ok" }
             ));
         }
         out
@@ -247,10 +287,11 @@ pub fn compare_tables(
     CompareReport {
         rows,
         alloc_gate: None,
+        recovery_gate: None,
     }
 }
 
-/// Parses two profile documents (schema v1, v2, or v3) and compares them.
+/// Parses two profile documents (schema v1 through v4) and compares them.
 /// With [`CompareConfig::gate_allocs`], the v3 steady-state workspace-miss
 /// gauges are also diffed; a candidate gauge above the baseline's fails the
 /// gate. A baseline without the gauge (pre-v3) skips the allocation gate; a
@@ -267,6 +308,24 @@ pub fn compare_profiles(base: &str, cand: &str, cfg: &CompareConfig) -> Result<C
                 failed: cand_gauge.is_none_or(|c| c > base_gauge),
             });
         }
+    }
+    if cfg.gate_recovery {
+        report.recovery_gate = Some(match recovery_counters(cand)? {
+            Some(rc) => RecoveryGate {
+                injected: rc.injected,
+                recovered: rc.recovered,
+                aborted: rc.aborted,
+                failed: rc.aborted > 0 || rc.injected > rc.recovered + rc.aborted,
+            },
+            // Candidate stopped emitting the block while gating: fail —
+            // the pipeline stopped measuring the thing being gated.
+            None => RecoveryGate {
+                injected: 0,
+                recovered: 0,
+                aborted: 0,
+                failed: true,
+            },
+        });
     }
     Ok(report)
 }
@@ -321,8 +380,7 @@ mod tests {
         let tight = CompareConfig {
             rel_tolerance: 0.0,
             noise_sigmas: 3.0,
-            min_mean_secs: 1e-6,
-            gate_allocs: false,
+            ..Default::default()
         };
         let report = compare_tables(&base, &cand, &tight);
         assert!(report.has_regressions());
@@ -431,5 +489,57 @@ mod tests {
         // And without the flag the gauges are ignored entirely.
         let report = compare_profiles(&base, &v2_cand, &CompareConfig::default()).unwrap();
         assert!(report.alloc_gate.is_none());
+    }
+
+    fn recovery_doc(injected: u64, recovered: u64, aborted: u64) -> String {
+        format!(
+            "{{\"schema\": \"mqmd-profile-v4\", \"kernels\": {{}}, \
+             \"recovery\": {{\"faults_injected\": {injected}, \
+             \"faults_recovered\": {recovered}, \"faults_aborted\": {aborted}, \
+             \"recompute_seconds\": 0.0, \"by_kind\": {{}}, \"by_action\": {{}}}}}}"
+        )
+    }
+
+    #[test]
+    fn recovery_gate_passes_balanced_ledger() {
+        let cfg = CompareConfig {
+            gate_recovery: true,
+            ..Default::default()
+        };
+        let base = recovery_doc(0, 0, 0);
+        // Healthy idle run: all zeros.
+        let report = compare_profiles(&base, &recovery_doc(0, 0, 0), &cfg).unwrap();
+        assert!(!report.recovery_gate.unwrap().failed);
+        // Faults injected but all recovered (recoveries may also exceed
+        // injections — genuine failures recover through the same ladders).
+        let report = compare_profiles(&base, &recovery_doc(3, 5, 0), &cfg).unwrap();
+        assert!(!report.recovery_gate.unwrap().failed);
+        assert!(!report.has_regressions());
+        assert!(report.table().contains("recovery ledger"));
+    }
+
+    #[test]
+    fn recovery_gate_fails_on_abort_or_unbalanced_ledger() {
+        let cfg = CompareConfig {
+            gate_recovery: true,
+            ..Default::default()
+        };
+        let base = recovery_doc(0, 0, 0);
+        // An abort during a profile run fails.
+        let report = compare_profiles(&base, &recovery_doc(3, 2, 1), &cfg).unwrap();
+        assert!(report.recovery_gate.unwrap().failed);
+        assert!(report.has_regressions());
+        assert!(report.table().contains("RECOVERY FAILED"));
+        // An injected fault neither recovered nor aborted escaped.
+        let report = compare_profiles(&base, &recovery_doc(3, 2, 0), &cfg).unwrap();
+        assert!(report.recovery_gate.unwrap().failed);
+        // A candidate that stopped emitting the block fails too.
+        let v3_cand = "{\"schema\": \"mqmd-profile-v3\", \"kernels\": {}}";
+        let report = compare_profiles(&base, v3_cand, &cfg).unwrap();
+        assert!(report.recovery_gate.unwrap().failed);
+        // Without the flag the ledger is ignored.
+        let report =
+            compare_profiles(&base, &recovery_doc(3, 2, 1), &CompareConfig::default()).unwrap();
+        assert!(report.recovery_gate.is_none());
     }
 }

@@ -103,6 +103,26 @@ pub enum Event {
         /// The configured bound.
         bound: f64,
     },
+    /// The fault plane ([`crate::faults`]) injected a planned fault.
+    FaultInjected {
+        /// Fault class label (e.g. `"density_nan"`, `"davidson_diverge"`).
+        fault: &'static str,
+        /// Injection site (e.g. `"scf"`, `"domain 3"`, `"rank 2"`).
+        site: String,
+        /// 1-based poll count at which the fault fired at its site.
+        at: u64,
+    },
+    /// A recovery rung handled a failure (injected or genuine).
+    RecoveryAction {
+        /// Rung label (e.g. `"scf_restart_last_good"`, `"domain_retry_cached"`).
+        action: &'static str,
+        /// Site the recovery acted on.
+        site: String,
+        /// 1-based recovery attempt at this site.
+        attempt: u32,
+        /// Wall seconds spent on the recovery (recomputation cost).
+        seconds: f64,
+    },
 }
 
 impl Event {
@@ -116,6 +136,8 @@ impl Event {
             Event::DomainSolve { .. } => "domain_solve",
             Event::CollectiveDone { .. } => "collective_done",
             Event::WatchdogTrip { .. } => "watchdog_trip",
+            Event::FaultInjected { .. } => "fault_injected",
+            Event::RecoveryAction { .. } => "recovery_action",
         }
     }
 }
@@ -286,9 +308,17 @@ pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
+/// Locks the sink, recovering the guard if a panicking emitter poisoned
+/// it: the sink holds plain telemetry records whose invariants cannot be
+/// violated mid-update, so a poisoned lock must not cascade the panic
+/// into every other instrumented thread.
+fn lock_sink() -> std::sync::MutexGuard<'static, Sink> {
+    sink().lock().unwrap_or_else(|e| e.into_inner())
+}
+
 /// Sets the sink capacity (records). Takes effect for subsequent emits.
 pub fn set_capacity(cap: usize) {
-    sink().lock().expect("event sink poisoned").cap = cap.max(1);
+    lock_sink().cap = cap.max(1);
 }
 
 /// Records an event, stamping timestamp, lane, and innermost span. A
@@ -304,7 +334,7 @@ pub fn emit(event: Event) {
         span: crate::trace::current_span_name(),
         event,
     };
-    let mut s = sink().lock().expect("event sink poisoned");
+    let mut s = lock_sink();
     if s.buf.len() < s.cap {
         s.buf.push(record);
     } else {
@@ -316,7 +346,7 @@ pub fn emit(event: Event) {
 /// Takes every buffered record (oldest first) and the number of records
 /// dropped since the previous drain.
 pub fn drain() -> (Vec<EventRecord>, u64) {
-    let mut s = sink().lock().expect("event sink poisoned");
+    let mut s = lock_sink();
     let out = std::mem::take(&mut s.buf);
     drop(s);
     (out, DROPPED.swap(0, Ordering::Relaxed))
@@ -397,6 +427,22 @@ pub fn record_to_json(r: &EventRecord) -> Json {
             field("message", Json::Str(message.clone()));
             field("value", Json::Num(*value));
             field("bound", Json::Num(*bound));
+        }
+        Event::FaultInjected { fault, site, at } => {
+            field("fault", Json::Str((*fault).into()));
+            field("site", Json::Str(site.clone()));
+            field("at", Json::Num(*at as f64));
+        }
+        Event::RecoveryAction {
+            action,
+            site,
+            attempt,
+            seconds,
+        } => {
+            field("action", Json::Str((*action).into()));
+            field("site", Json::Str(site.clone()));
+            field("attempt", Json::Num(*attempt as f64));
+            field("seconds", Json::Num(*seconds));
         }
     }
     Json::Obj(pairs)
@@ -529,6 +575,69 @@ mod tests {
         );
         let second = parse_json(lines[1]).unwrap();
         assert_eq!(second.get("ranks").unwrap().as_u64(), Some(8));
+    }
+
+    #[test]
+    fn fault_and_recovery_events_encode() {
+        let records = vec![
+            EventRecord {
+                ts_ns: 5,
+                lane: 0,
+                span: "scf_iter",
+                event: Event::FaultInjected {
+                    fault: "density_nan",
+                    site: "domain 3".into(),
+                    at: 2,
+                },
+            },
+            EventRecord {
+                ts_ns: 9,
+                lane: 0,
+                span: "scf_iter",
+                event: Event::RecoveryAction {
+                    action: "scf_restart_last_good",
+                    site: "scf".into(),
+                    attempt: 1,
+                    seconds: 0.25,
+                },
+            },
+        ];
+        let text = to_jsonl(&records);
+        let lines: Vec<&str> = text.lines().collect();
+        let first = parse_json(lines[0]).unwrap();
+        assert_eq!(first.get("type").unwrap().as_str(), Some("fault_injected"));
+        assert_eq!(first.get("fault").unwrap().as_str(), Some("density_nan"));
+        assert_eq!(first.get("at").unwrap().as_u64(), Some(2));
+        let second = parse_json(lines[1]).unwrap();
+        assert_eq!(
+            second.get("type").unwrap().as_str(),
+            Some("recovery_action")
+        );
+        assert_eq!(second.get("attempt").unwrap().as_u64(), Some(1));
+        assert_eq!(second.get("seconds").unwrap().as_f64(), Some(0.25));
+    }
+
+    #[test]
+    fn sink_survives_a_poisoning_panic() {
+        let _g = lock();
+        set_enabled(true);
+        let _ = drain();
+        // Poison the sink mutex by panicking while holding it.
+        let _ = std::panic::catch_unwind(|| {
+            let _guard = super::lock_sink();
+            panic!("poison the sink");
+        });
+        emit(Event::SpanBegin {
+            name: "after_poison",
+        });
+        set_enabled(false);
+        let (records, _) = drain();
+        assert!(records.iter().any(|r| matches!(
+            r.event,
+            Event::SpanBegin {
+                name: "after_poison"
+            }
+        )));
     }
 
     #[test]

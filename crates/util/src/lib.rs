@@ -5,7 +5,8 @@
 //! xoshiro256++ RNG, least-squares fitting (including the Arrhenius fits used
 //! by the hydrogen-on-demand analysis), running statistics, FLOP accounting,
 //! run telemetry (structured events, latency histograms, Chrome-trace
-//! export, profile comparison), the reusable scratch-buffer arena behind
+//! export, profile comparison), the deterministic fault-injection plane
+//! behind the chaos campaigns, the reusable scratch-buffer arena behind
 //! the allocation-free SCF hot path, and the workspace error type.
 //!
 //! Everything in this crate is dependency-free numerical plumbing; the
@@ -17,6 +18,7 @@ pub mod complex;
 pub mod constants;
 pub mod error;
 pub mod events;
+pub mod faults;
 pub mod fit;
 pub mod flops;
 pub mod hist;

@@ -9,13 +9,14 @@
 //! [`kernel_table`] extracts the flattened per-kernel
 //! `(calls, seconds, flops)` aggregates back out of a parsed document.
 //!
-//! Schema (`mqmd-profile-v3`; the parser also accepts `mqmd-profile-v2`,
-//! which lacks the allocation fields, and `mqmd-profile-v1`, which
-//! additionally lacks the latency-distribution fields):
+//! Schema (`mqmd-profile-v4`; the parser also accepts `mqmd-profile-v3`,
+//! which lacks the recovery block, `mqmd-profile-v2`, which additionally
+//! lacks the allocation fields, and `mqmd-profile-v1`, which additionally
+//! lacks the latency-distribution fields):
 //!
 //! ```json
 //! {
-//!   "schema": "mqmd-profile-v3",
+//!   "schema": "mqmd-profile-v4",
 //!   "trace": { "name": "root", "calls": 1, "wall_secs": ..., "flops": ...,
 //!              "bytes": ..., "comm_msgs": ..., "comm_bytes": ...,
 //!              "comm_cost_secs": ..., "alloc_count": ..., "alloc_bytes": ...,
@@ -26,7 +27,10 @@
 //!                          "alloc_count": ..., "alloc_bytes": ... }, ... },
 //!   "alloc": { "workspace_hits": ..., "workspace_misses": ...,
 //!              "workspace_miss_bytes": ...,
-//!              "steady_scf_workspace_misses": ... }
+//!              "steady_scf_workspace_misses": ... },
+//!   "recovery": { "faults_injected": ..., "faults_recovered": ...,
+//!                 "faults_aborted": ..., "recompute_seconds": ...,
+//!                 "by_kind": { ... }, "by_action": { ... } }
 //! }
 //! ```
 //!
@@ -39,7 +43,11 @@
 //! [`crate::trace::add_alloc`]; the top-level `alloc` block (written by
 //! [`alloc_block`]) summarises the [`crate::workspace`] arena traffic, and
 //! its `steady_scf_workspace_misses` gauge is what `repro_compare
-//! --gate-allocs` hard-fails on.
+//! --gate-allocs` hard-fails on. The v4 `recovery` block (written by
+//! [`recovery_block`] from [`crate::faults::FaultStats`]) counts fault
+//! injections, recovery-ladder rungs, aborts, and the recomputation cost
+//! recovery paid; `repro_compare --gate-recovery` fails a candidate whose
+//! injected faults were neither recovered nor cleanly aborted.
 
 use crate::error::{MqmdError, Result};
 use crate::trace::TraceNode;
@@ -419,9 +427,11 @@ fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Json> {
 // ---------------------------------------------------------------------------
 
 /// Current schema identifier written into profile documents.
-pub const PROFILE_SCHEMA: &str = "mqmd-profile-v3";
-/// Previous schema, still accepted by [`kernel_table`] (its kernel
-/// entries lack the allocation fields).
+pub const PROFILE_SCHEMA: &str = "mqmd-profile-v4";
+/// Previous schema, still accepted (lacks the recovery block).
+pub const PROFILE_SCHEMA_V3: &str = "mqmd-profile-v3";
+/// Still accepted by [`kernel_table`] (its kernel entries lack the
+/// allocation fields).
 pub const PROFILE_SCHEMA_V2: &str = "mqmd-profile-v2";
 /// Oldest accepted schema (lacks both the latency-quantile and the
 /// allocation fields).
@@ -553,18 +563,21 @@ pub fn profile_report(
     Json::Obj(pairs)
 }
 
-/// Validates a profile document's schema tag (v1, v2, or v3).
+/// Validates a profile document's schema tag (v1 through v4).
 fn check_schema(doc: &Json) -> Result<()> {
     match doc.get("schema").and_then(Json::as_str) {
-        Some(PROFILE_SCHEMA) | Some(PROFILE_SCHEMA_V2) | Some(PROFILE_SCHEMA_V1) => Ok(()),
+        Some(PROFILE_SCHEMA)
+        | Some(PROFILE_SCHEMA_V3)
+        | Some(PROFILE_SCHEMA_V2)
+        | Some(PROFILE_SCHEMA_V1) => Ok(()),
         other => Err(MqmdError::Parse(format!(
-            "expected schema {PROFILE_SCHEMA:?}, {PROFILE_SCHEMA_V2:?} or \
-             {PROFILE_SCHEMA_V1:?}, found {other:?}"
+            "expected schema {PROFILE_SCHEMA:?}, {PROFILE_SCHEMA_V3:?}, \
+             {PROFILE_SCHEMA_V2:?} or {PROFILE_SCHEMA_V1:?}, found {other:?}"
         ))),
     }
 }
 
-/// Parses a profile document (schema v1, v2, or v3) and returns its
+/// Parses a profile document (schema v1 through v4) and returns its
 /// flattened kernel table. Rejects documents with a missing or unknown
 /// schema tag. Fields a document's schema generation predates (quantiles
 /// before v2, allocation counters before v3) parse as zero.
@@ -624,6 +637,61 @@ pub fn steady_scf_misses(text: &str) -> Result<Option<u64>> {
         .get("alloc")
         .and_then(|a| a.get("steady_scf_workspace_misses"))
         .and_then(Json::as_u64))
+}
+
+/// Builds the v4 top-level `recovery` block from the fault plane's
+/// campaign counters ([`crate::faults::stats`]). All-zero in a healthy
+/// run with the plane idle.
+pub fn recovery_block(stats: &crate::faults::FaultStats) -> Json {
+    let map_to_json = |m: &BTreeMap<String, u64>| {
+        Json::Obj(
+            m.iter()
+                .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+                .collect(),
+        )
+    };
+    Json::obj([
+        ("faults_injected", Json::Num(stats.injected as f64)),
+        ("faults_recovered", Json::Num(stats.recovered as f64)),
+        ("faults_aborted", Json::Num(stats.aborted as f64)),
+        ("recompute_seconds", Json::Num(stats.recompute_seconds)),
+        ("by_kind", map_to_json(&stats.by_kind)),
+        ("by_action", map_to_json(&stats.by_action)),
+    ])
+}
+
+/// Recovery counters read back out of a profile document's `recovery`
+/// block.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RecoveryCounters {
+    /// Faults the plane injected.
+    pub injected: u64,
+    /// Recovery rungs that handled a failure.
+    pub recovered: u64,
+    /// Failures surfaced as typed errors after exhausting recovery.
+    pub aborted: u64,
+    /// Wall seconds recovery spent recomputing.
+    pub recompute_seconds: f64,
+}
+
+/// Reads the recovery counters from a profile document. `Ok(None)` for
+/// pre-v4 profiles (no `recovery` block).
+pub fn recovery_counters(text: &str) -> Result<Option<RecoveryCounters>> {
+    let doc = parse_json(text)?;
+    check_schema(&doc)?;
+    let Some(block) = doc.get("recovery") else {
+        return Ok(None);
+    };
+    let u = |key: &str| block.get(key).and_then(Json::as_u64).unwrap_or(0);
+    Ok(Some(RecoveryCounters {
+        injected: u("faults_injected"),
+        recovered: u("faults_recovered"),
+        aborted: u("faults_aborted"),
+        recompute_seconds: block
+            .get("recompute_seconds")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0),
+    }))
 }
 
 #[cfg(test)]
@@ -781,6 +849,46 @@ mod tests {
         assert_eq!(f.p95_secs, 0.0);
         assert_eq!(f.p99_secs, 0.0);
         assert_eq!(f.std_err_secs, 0.0);
+    }
+
+    #[test]
+    fn kernel_table_accepts_v3_schema() {
+        let text = format!(
+            "{{\"schema\": \"{PROFILE_SCHEMA_V3}\", \"kernels\": {{\
+             \"fft\": {{\"calls\": 7, \"seconds\": 0.25, \"flops\": 1200,\
+             \"alloc_count\": 2, \"alloc_bytes\": 64}}}}}}"
+        );
+        let table = kernel_table(&text).unwrap();
+        assert_eq!(table["fft"].alloc_count, 2);
+        // v3 documents carry no recovery block
+        assert_eq!(recovery_counters(&text).unwrap(), None);
+    }
+
+    #[test]
+    fn recovery_block_round_trips() {
+        let mut stats = crate::faults::FaultStats {
+            injected: 8,
+            recovered: 7,
+            aborted: 1,
+            recompute_seconds: 0.125,
+            ..Default::default()
+        };
+        stats.by_kind.insert("density_nan".into(), 3);
+        stats.by_action.insert("scf_restart_last_good".into(), 4);
+        let doc = Json::obj([
+            ("schema", Json::Str(PROFILE_SCHEMA.into())),
+            ("kernels", Json::Obj(vec![])),
+            ("recovery", recovery_block(&stats)),
+        ]);
+        let text = doc.pretty();
+        let rc = recovery_counters(&text).unwrap().unwrap();
+        assert_eq!(rc.injected, 8);
+        assert_eq!(rc.recovered, 7);
+        assert_eq!(rc.aborted, 1);
+        assert!((rc.recompute_seconds - 0.125).abs() < 1e-12);
+        let parsed = parse_json(&text).unwrap();
+        let by_kind = parsed.get("recovery").unwrap().get("by_kind").unwrap();
+        assert_eq!(by_kind.get("density_nan").unwrap().as_u64(), Some(3));
     }
 
     #[test]
