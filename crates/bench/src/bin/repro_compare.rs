@@ -18,8 +18,12 @@
 //! ledger: every injected fault must be balanced by a recorded recovery
 //! or a typed abort, and no abort may appear.
 //!
+//! `--gate-roofline F` additionally checks the candidate's v5 roofline
+//! block: every kernel it places must achieve at least fraction `F` of
+//! its measured roofline `min(peak_flops, intensity · peak_bw)`.
+//!
 //! Exit codes: 0 = no regression, 1 = regression detected (timing,
-//! allocation, or recovery ledger), 2 = bad arguments or
+//! allocation, recovery ledger, or roofline floor), 2 = bad arguments or
 //! unreadable/invalid profiles.
 
 use mqmd_util::compare::{compare_profiles, CompareConfig};
@@ -27,7 +31,8 @@ use mqmd_util::compare::{compare_profiles, CompareConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: repro_compare <baseline.json> <candidate.json> \
-         [--rel-tol X] [--sigmas Y] [--min-mean Z] [--gate-allocs] [--gate-recovery]"
+         [--rel-tol X] [--sigmas Y] [--min-mean Z] [--gate-allocs] [--gate-recovery] \
+         [--gate-roofline F]"
     );
     std::process::exit(2);
 }
@@ -54,6 +59,14 @@ fn main() {
             "--min-mean" => cfg.min_mean_secs = parse_value(&mut args, "--min-mean"),
             "--gate-allocs" => cfg.gate_allocs = true,
             "--gate-recovery" => cfg.gate_recovery = true,
+            "--gate-roofline" => {
+                let floor = parse_value(&mut args, "--gate-roofline");
+                if floor > 1.0 {
+                    eprintln!("error: --gate-roofline takes a fraction in [0, 1]");
+                    std::process::exit(2);
+                }
+                cfg.gate_roofline = Some(floor);
+            }
             _ if arg.starts_with("--") => usage(),
             _ => paths.push(arg),
         }
@@ -98,6 +111,13 @@ fn main() {
             println!(
                 "recovery ledger failed: {} injected, {} recovered, {} aborted",
                 g.injected, g.recovered, g.aborted
+            );
+        }
+        if let Some(g) = report.roofline_gate.as_ref().filter(|g| g.failed) {
+            println!(
+                "roofline gate failed: {} kernel(s) under the {:.1}%-of-peak floor",
+                g.rows.iter().filter(|r| r.failed).count(),
+                g.floor * 100.0
             );
         }
         std::process::exit(1);

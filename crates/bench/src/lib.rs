@@ -13,6 +13,8 @@
 //!   FLOP/s of a Blue Gene/Q rack) come from `mqmd-parallel`'s machine
 //!   model fed with those measurements, per the DESIGN.md substitution.
 
+pub mod roofline;
+
 use mqmd_core::domain_solver::{solve_domain, DomainSetup};
 use mqmd_core::global::{BoundaryMode, HartreeSolver, LdcConfig, LdcSolver};
 use mqmd_grid::DomainDecomposition;

@@ -12,6 +12,30 @@
 //! * [`zgemm_dagger_a`] — `A†·B`, the overlap-matrix kernel of the band
 //!   orthonormalisation (§3.3).
 //!
+//! ## SIMD microkernels (Table 1's QPX vectorization, on AVX2)
+//!
+//! With the `simd` feature each public kernel dispatches at runtime between
+//! its **scalar reference** (`*_scalar`, always compiled, retained verbatim)
+//! and a vectorized path:
+//!
+//! * [`dgemm_simd`] — a packed, register-blocked `f64` microkernel: the
+//!   α-scaled A panel is packed k-major into a thread-local buffer
+//!   ([`MR`] = 4 rows per panel), and the inner loop holds an
+//!   [`MR`]×[`NR`] = 4×8 block of C in eight `f64x4` accumulators (an
+//!   `f64x8` pair per row), updated with fused multiply-adds. FMA fuses
+//!   what the scalar path rounds twice, so results can differ from the
+//!   reference by a bounded number of ULPs — the property tests in
+//!   `tests/simd_differential.rs` pin that bound.
+//! * [`zgemm_simd`] / the vector path inside [`zgemm_dagger_a_into`] —
+//!   complex kernels processing two `Complex64` per `f64x4` register.
+//!   These replicate the scalar [`Complex64::mul_add`] operation order
+//!   lane-by-lane, so they are **bitwise identical** to the reference.
+//!
+//! Both paths are deterministic for any rayon thread count: row blocks are
+//! data-parallel with no shared accumulation, and the `A†·B` chunk reduction
+//! uses a thread-count-independent chunk size summed sequentially in chunk
+//! order.
+//!
 //! Every kernel tallies analytic FLOPs via `mqmd_util::flops`.
 
 use crate::cmatrix::CMatrix;
@@ -26,11 +50,34 @@ use rayon::prelude::*;
 /// overhead.
 const ROW_BLOCK: usize = 32;
 
+/// Rows per packed A panel in the SIMD microkernel.
+pub const MR: usize = 4;
+/// Columns per register block in the SIMD microkernel (two `f64x4`
+/// accumulators per row — the `f64x8` shape).
+pub const NR: usize = 8;
+
 /// Dense real GEMM: `C ← α·A·B + β·C`.
+///
+/// Dispatches to the packed SIMD microkernel when the `simd` feature is
+/// compiled in and the CPU supports it, and to the scalar reference
+/// otherwise.
 ///
 /// # Panics
 /// Panics on dimension mismatch.
 pub fn dgemm(alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Matrix) {
+    if mqmd_util::simd::simd_available() {
+        dgemm_simd(alpha, a, b, beta, c);
+    } else {
+        dgemm_scalar(alpha, a, b, beta, c);
+    }
+}
+
+/// Scalar reference for [`dgemm`] — the always-compiled path every SIMD
+/// result is differentially tested against.
+///
+/// # Panics
+/// Panics on dimension mismatch.
+pub fn dgemm_scalar(alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Matrix) {
     let _span = mqmd_util::trace::span("gemm");
     let (m, k) = (a.rows(), a.cols());
     let n = b.cols();
@@ -40,6 +87,11 @@ pub fn dgemm(alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Matrix) {
     count_flops(gemm_flops(m as u64, n as u64, k as u64));
     mqmd_util::trace::add_bytes(8 * (m * k + k * n + 2 * m * n) as u64);
 
+    if m == 0 || n == 0 {
+        // Empty C: nothing to scale or accumulate (and a zero-sized
+        // parallel chunk is rejected by rayon).
+        return;
+    }
     let a_data = a.data();
     let b_data = b.data();
     c.data_mut()
@@ -71,6 +123,57 @@ pub fn dgemm(alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Matrix) {
         });
 }
 
+/// Packed, register-blocked SIMD form of [`dgemm`]. Falls back to the
+/// scalar reference when the vector backend cannot run (feature off,
+/// non-x86 target, or missing AVX2/FMA).
+///
+/// # Panics
+/// Panics on dimension mismatch.
+pub fn dgemm_simd(alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Matrix) {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if mqmd_util::simd::simd_available() {
+        let _span = mqmd_util::trace::span("gemm");
+        let (m, k) = (a.rows(), a.cols());
+        let n = b.cols();
+        assert_eq!(b.rows(), k, "inner dimension mismatch");
+        assert_eq!(c.rows(), m, "C row mismatch");
+        assert_eq!(c.cols(), n, "C col mismatch");
+        count_flops(gemm_flops(m as u64, n as u64, k as u64));
+        mqmd_util::trace::add_bytes(8 * (m * k + k * n + 2 * m * n) as u64);
+
+        if m == 0 || n == 0 {
+            // Empty C: nothing to scale or accumulate (and a zero-sized
+            // parallel chunk is rejected by rayon).
+            return;
+        }
+        let a_data = a.data();
+        let b_data = b.data();
+        c.data_mut()
+            .par_chunks_mut(ROW_BLOCK * n)
+            .enumerate()
+            .for_each(|(blk, c_rows)| {
+                avx::with_pack(k * MR, |pack| {
+                    // SAFETY: `simd_available` verified AVX2+FMA above.
+                    unsafe {
+                        avx::dgemm_rows_avx2(
+                            alpha,
+                            beta,
+                            a_data,
+                            b_data,
+                            c_rows,
+                            blk * ROW_BLOCK,
+                            k,
+                            n,
+                            pack,
+                        );
+                    }
+                });
+            });
+        return;
+    }
+    dgemm_scalar(alpha, a, b, beta, c);
+}
+
 /// Dense real GEMV: `y ← α·A·x + β·y` (the BLAS2 band-by-band path).
 #[allow(clippy::needless_range_loop)]
 pub fn dgemv(alpha: f64, a: &Matrix, x: &[f64], beta: f64, y: &mut [f64]) {
@@ -89,7 +192,19 @@ pub fn dgemv(alpha: f64, a: &Matrix, x: &[f64], beta: f64, y: &mut [f64]) {
 }
 
 /// Dense complex GEMM: `C ← α·A·B + β·C`.
+///
+/// Dispatches to the vectorized kernel (bitwise identical to the scalar
+/// reference) when available.
 pub fn zgemm(alpha: Complex64, a: &CMatrix, b: &CMatrix, beta: Complex64, c: &mut CMatrix) {
+    if mqmd_util::simd::simd_available() {
+        zgemm_simd(alpha, a, b, beta, c);
+    } else {
+        zgemm_scalar(alpha, a, b, beta, c);
+    }
+}
+
+/// Scalar reference for [`zgemm`].
+pub fn zgemm_scalar(alpha: Complex64, a: &CMatrix, b: &CMatrix, beta: Complex64, c: &mut CMatrix) {
     let _span = mqmd_util::trace::span("gemm");
     let (m, k) = (a.rows(), a.cols());
     let n = b.cols();
@@ -99,6 +214,11 @@ pub fn zgemm(alpha: Complex64, a: &CMatrix, b: &CMatrix, beta: Complex64, c: &mu
     count_flops(zgemm_flops(m as u64, n as u64, k as u64));
     mqmd_util::trace::add_bytes(16 * (m * k + k * n + 2 * m * n) as u64);
 
+    if m == 0 || n == 0 {
+        // Empty C: nothing to scale or accumulate (and a zero-sized
+        // parallel chunk is rejected by rayon).
+        return;
+    }
     let a_data = a.data();
     let b_data = b.data();
     c.data_mut()
@@ -128,6 +248,60 @@ pub fn zgemm(alpha: Complex64, a: &CMatrix, b: &CMatrix, beta: Complex64, c: &mu
                 }
             }
         });
+}
+
+/// Vectorized form of [`zgemm`]: two `Complex64` per `f64x4` register,
+/// replicating the scalar [`Complex64::mul_add`] op order per lane —
+/// **bitwise identical** to [`zgemm_scalar`]. Falls back to the scalar
+/// reference when the vector backend cannot run.
+pub fn zgemm_simd(alpha: Complex64, a: &CMatrix, b: &CMatrix, beta: Complex64, c: &mut CMatrix) {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if mqmd_util::simd::simd_available() {
+        let _span = mqmd_util::trace::span("gemm");
+        let (m, k) = (a.rows(), a.cols());
+        let n = b.cols();
+        assert_eq!(b.rows(), k, "inner dimension mismatch");
+        assert_eq!(c.rows(), m, "C row mismatch");
+        assert_eq!(c.cols(), n, "C col mismatch");
+        count_flops(zgemm_flops(m as u64, n as u64, k as u64));
+        mqmd_util::trace::add_bytes(16 * (m * k + k * n + 2 * m * n) as u64);
+
+        if m == 0 || n == 0 {
+            // Empty C: nothing to scale or accumulate (and a zero-sized
+            // parallel chunk is rejected by rayon).
+            return;
+        }
+        let a_data = a.data();
+        let b_data = b.data();
+        c.data_mut()
+            .par_chunks_mut(ROW_BLOCK * n)
+            .enumerate()
+            .for_each(|(blk, c_rows)| {
+                let i0 = blk * ROW_BLOCK;
+                for (di, c_row) in c_rows.chunks_mut(n).enumerate() {
+                    let i = i0 + di;
+                    if beta == Complex64::ZERO {
+                        c_row.fill(Complex64::ZERO);
+                    } else if beta != Complex64::ONE {
+                        for z in c_row.iter_mut() {
+                            *z *= beta;
+                        }
+                    }
+                    let a_row = &a_data[i * k..(i + 1) * k];
+                    for (kk, &aik) in a_row.iter().enumerate() {
+                        let s = alpha * aik;
+                        if s == Complex64::ZERO {
+                            continue;
+                        }
+                        let b_row = &b_data[kk * n..(kk + 1) * n];
+                        // SAFETY: `simd_available` verified AVX2+FMA above.
+                        unsafe { avx::zaxpy_mul_add_avx2(s, b_row, c_row) };
+                    }
+                }
+            });
+        return;
+    }
+    zgemm_scalar(alpha, a, b, beta, c);
 }
 
 /// Dense complex GEMV: `y ← α·A·x + β·y`.
@@ -167,8 +341,11 @@ pub fn zgemm_dagger_a(a: &CMatrix, b: &CMatrix) -> CMatrix {
 /// accumulators from `ws`.
 ///
 /// The plane-wave range is split into fixed-size chunks and the per-chunk
-/// partials are summed *sequentially in chunk order*, so the result is
-/// bitwise identical to the owned-return path for any thread count.
+/// partials are summed *sequentially in chunk order*. The chunk size
+/// depends only on the problem shape — never on the rayon pool width — so
+/// the result is bitwise identical to the owned-return path for any thread
+/// count, on both the scalar and the vector path (which replicates the
+/// scalar op order lane-by-lane).
 pub fn zgemm_dagger_a_into(a: &CMatrix, b: &CMatrix, out: &mut CMatrix, ws: &Workspace) {
     let _span = mqmd_util::trace::span("gemm");
     let (np, na) = (a.rows(), a.cols());
@@ -178,11 +355,19 @@ pub fn zgemm_dagger_a_into(a: &CMatrix, b: &CMatrix, out: &mut CMatrix, ws: &Wor
     assert_eq!(out.cols(), nb, "out col mismatch");
     count_flops(zgemm_flops(na as u64, nb as u64, np as u64));
 
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    let use_simd = mqmd_util::simd::simd_available();
+    #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+    let use_simd = false;
+
     // Accumulate over rows of A/B (the plane-wave index); parallelise by
-    // splitting the plane-wave range and reducing partial products.
+    // splitting the plane-wave range and reducing partial products. The
+    // chunk size is a pure function of np so chunk boundaries (and hence
+    // the sequential chunk-order reduction) are identical for every rayon
+    // pool width.
     let a_data = a.data();
     let b_data = b.data();
-    let chunk = 1024usize.max(np / (4 * rayon::current_num_threads().max(1)) + 1);
+    let chunk = 1024usize.max(np.div_ceil(64));
     let partials: Vec<BorrowedC64<'_>> = (0..np)
         .into_par_iter()
         .step_by(chunk)
@@ -195,6 +380,13 @@ pub fn zgemm_dagger_a_into(a: &CMatrix, b: &CMatrix, out: &mut CMatrix, ws: &Wor
                 for (i, &ai) in a_row.iter().enumerate() {
                     let ai_c = ai.conj();
                     let out = &mut acc[i * nb..(i + 1) * nb];
+                    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+                    if use_simd {
+                        // SAFETY: `simd_available` verified AVX2+FMA.
+                        unsafe { avx::zaxpy_mul_add_avx2(ai_c, b_row, out) };
+                        continue;
+                    }
+                    let _ = use_simd;
                     for (o, &bj) in out.iter_mut().zip(b_row) {
                         *o = o.mul_add(ai_c, bj);
                     }
@@ -230,6 +422,190 @@ pub fn zgemm_via_gemv(a: &CMatrix, b: &CMatrix) -> CMatrix {
     c
 }
 
+// ---------------------------------------------------------------------------
+// AVX2 microkernels
+// ---------------------------------------------------------------------------
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod avx {
+    use super::{Complex64, MR, NR};
+    use mqmd_util::simd::F64x4;
+    use std::cell::RefCell;
+
+    thread_local! {
+        /// Per-thread packed-A panel reused across GEMM calls — the SIMD
+        /// analogue of the FFT gather line: steady-state packing never
+        /// touches the allocator.
+        static PACK_A: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// Runs `f` on a thread-local packing buffer of `len` elements,
+    /// recording the (one-time) allocation when the buffer first grows.
+    pub fn with_pack<R>(len: usize, f: impl FnOnce(&mut Vec<f64>) -> R) -> R {
+        PACK_A.with(|cell| {
+            let mut v = cell.borrow_mut();
+            if v.capacity() < len {
+                mqmd_util::trace::add_alloc(1, (len * size_of::<f64>()) as u64);
+            }
+            v.clear();
+            v.resize(len, 0.0);
+            f(&mut v)
+        })
+    }
+
+    /// Computes one ROW_BLOCK slab of `C ← α·A·B + β·C` with the packed
+    /// 4×8 register-blocked FMA microkernel.
+    ///
+    /// `c_rows` is this task's slab of C (`rows_here × n`, starting at
+    /// absolute row `i0`); `pack` holds at least `k·MR` elements.
+    ///
+    /// # Safety
+    /// Requires AVX2+FMA at runtime.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn dgemm_rows_avx2(
+        alpha: f64,
+        beta: f64,
+        a: &[f64],
+        b: &[f64],
+        c_rows: &mut [f64],
+        i0: usize,
+        k: usize,
+        n: usize,
+        pack: &mut [f64],
+    ) {
+        let rows = c_rows.len().checked_div(n).unwrap_or(0);
+        // β pre-scale, same op order as the scalar reference.
+        for c_row in c_rows.chunks_mut(n.max(1)) {
+            if beta == 0.0 {
+                c_row.fill(0.0);
+            } else if beta != 1.0 {
+                for x in c_row.iter_mut() {
+                    *x *= beta;
+                }
+            }
+        }
+        if n == 0 || k == 0 {
+            return;
+        }
+        let bp = b.as_ptr();
+        let mut r = 0;
+        // Full MR-row panels: pack α·A k-major, then walk NR-column
+        // register blocks.
+        while r + MR <= rows {
+            for kk in 0..k {
+                for q in 0..MR {
+                    pack[kk * MR + q] = alpha * a[(i0 + r + q) * k + kk];
+                }
+            }
+            let c_base = c_rows[r * n..(r + MR) * n].as_mut_ptr();
+            let mut j = 0;
+            while j + NR <= n {
+                // 4 rows × 8 columns of C in eight f64x4 accumulators.
+                let mut acc00 = F64x4::splat(0.0);
+                let mut acc01 = F64x4::splat(0.0);
+                let mut acc10 = F64x4::splat(0.0);
+                let mut acc11 = F64x4::splat(0.0);
+                let mut acc20 = F64x4::splat(0.0);
+                let mut acc21 = F64x4::splat(0.0);
+                let mut acc30 = F64x4::splat(0.0);
+                let mut acc31 = F64x4::splat(0.0);
+                for kk in 0..k {
+                    let b0 = F64x4::load(bp.add(kk * n + j));
+                    let b1 = F64x4::load(bp.add(kk * n + j + 4));
+                    let s0 = F64x4::splat(pack[kk * MR]);
+                    let s1 = F64x4::splat(pack[kk * MR + 1]);
+                    let s2 = F64x4::splat(pack[kk * MR + 2]);
+                    let s3 = F64x4::splat(pack[kk * MR + 3]);
+                    acc00 = s0.mul_add(b0, acc00);
+                    acc01 = s0.mul_add(b1, acc01);
+                    acc10 = s1.mul_add(b0, acc10);
+                    acc11 = s1.mul_add(b1, acc11);
+                    acc20 = s2.mul_add(b0, acc20);
+                    acc21 = s2.mul_add(b1, acc21);
+                    acc30 = s3.mul_add(b0, acc30);
+                    acc31 = s3.mul_add(b1, acc31);
+                }
+                for (q, (lo, hi)) in [
+                    (acc00, acc01),
+                    (acc10, acc11),
+                    (acc20, acc21),
+                    (acc30, acc31),
+                ]
+                .into_iter()
+                .enumerate()
+                {
+                    let cq = c_base.add(q * n + j);
+                    F64x4::load(cq).add(lo).store(cq);
+                    F64x4::load(cq.add(4)).add(hi).store(cq.add(4));
+                }
+                j += NR;
+            }
+            // Column tail: scalar, same `c += s·b` shape as the reference.
+            if j < n {
+                for q in 0..MR {
+                    let c_row = &mut c_rows[(r + q) * n..(r + q + 1) * n];
+                    for kk in 0..k {
+                        let s = pack[kk * MR + q];
+                        if s == 0.0 {
+                            continue;
+                        }
+                        for jj in j..n {
+                            c_row[jj] += s * b[kk * n + jj];
+                        }
+                    }
+                }
+            }
+            r += MR;
+        }
+        // Row tail: the scalar reference loop.
+        for q in r..rows {
+            let i = i0 + q;
+            let c_row = &mut c_rows[q * n..(q + 1) * n];
+            let a_row = &a[i * k..(i + 1) * k];
+            for (kk, &aik) in a_row.iter().enumerate() {
+                let s = alpha * aik;
+                if s == 0.0 {
+                    continue;
+                }
+                let b_row = &b[kk * n..(kk + 1) * n];
+                for (cj, &bj) in c_row.iter_mut().zip(b_row) {
+                    *cj += s * bj;
+                }
+            }
+        }
+    }
+
+    /// `c[j] = c[j].mul_add(s, b[j])` over a complex row, two complex per
+    /// `f64x4`. Replicates the scalar [`Complex64::mul_add`] FMA chain per
+    /// lane — bitwise identical to the reference loop.
+    ///
+    /// # Safety
+    /// Requires AVX2+FMA at runtime.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn zaxpy_mul_add_avx2(s: Complex64, b: &[Complex64], c: &mut [Complex64]) {
+        let n = c.len().min(b.len());
+        // Complex64 is two contiguous f64s, so the rows reinterpret as
+        // interleaved [re, im] f64 streams.
+        let bp = b.as_ptr() as *const f64;
+        let cp = c.as_mut_ptr() as *mut f64;
+        let sr = F64x4::splat(s.re);
+        // [-im, +im, -im, +im]: even lanes build the real part
+        // fma(-s.im, b.im, c.re), odd lanes fma(+s.im, b.re, c.im).
+        let si = F64x4::new(-s.im, s.im, -s.im, s.im);
+        let pairs = n / 2;
+        for p in 0..pairs {
+            let bv = F64x4::load(bp.add(4 * p));
+            let cv = F64x4::load(cp.add(4 * p));
+            let inner = si.mul_add(bv.swap_pairs(), cv);
+            sr.mul_add(bv, inner).store(cp.add(4 * p));
+        }
+        if n % 2 == 1 {
+            c[n - 1] = c[n - 1].mul_add(s, b[n - 1]);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -255,6 +631,19 @@ mod tests {
         let mut c = Matrix::zeros(17, 23);
         dgemm(1.0, &a, &b, 0.0, &mut c);
         assert!(c.max_abs_diff(&naive_dgemm(&a, &b)) < 1e-12);
+    }
+
+    #[test]
+    fn dgemm_scalar_and_simd_match_naive() {
+        let a = Matrix::from_fn(13, 11, |i, j| ((i * 7 + j * 3) % 11) as f64 - 5.0);
+        let b = Matrix::from_fn(11, 19, |i, j| ((i * 5 + j) % 7) as f64 * 0.5);
+        let expect = naive_dgemm(&a, &b);
+        let mut c = Matrix::zeros(13, 19);
+        dgemm_scalar(1.0, &a, &b, 0.0, &mut c);
+        assert!(c.max_abs_diff(&expect) < 1e-12);
+        let mut c = Matrix::zeros(13, 19);
+        dgemm_simd(1.0, &a, &b, 0.0, &mut c);
+        assert!(c.max_abs_diff(&expect) < 1e-12);
     }
 
     #[test]
@@ -295,6 +684,29 @@ mod tests {
         zgemm(Complex64::ONE, &a, &b, Complex64::ZERO, &mut c);
         let c2 = zgemm_via_gemv(&a, &b);
         assert!(c.max_abs_diff(&c2) < 1e-12);
+    }
+
+    #[test]
+    fn zgemm_simd_is_bitwise_scalar() {
+        // The vector complex kernel replicates the scalar FMA chain per
+        // lane, so the two paths must agree to the bit — including the odd
+        // trailing column handled by the scalar tail.
+        let a = CMatrix::from_fn(21, 9, |i, j| {
+            Complex64::new((i as f64 * 1.3).sin(), (j as f64 - 2.0).cos())
+        });
+        let b = CMatrix::from_fn(9, 13, |i, j| {
+            Complex64::new((i + 2 * j) as f64 * 0.07, (i as f64).cos())
+        });
+        let alpha = Complex64::new(0.8, -0.3);
+        let beta = Complex64::new(-0.1, 0.4);
+        let mut cs = CMatrix::from_fn(21, 13, |i, j| Complex64::new(i as f64, j as f64));
+        let mut cv = cs.clone();
+        zgemm_scalar(alpha, &a, &b, beta, &mut cs);
+        zgemm_simd(alpha, &a, &b, beta, &mut cv);
+        for (x, y) in cs.data().iter().zip(cv.data()) {
+            assert_eq!(x.re.to_bits(), y.re.to_bits());
+            assert_eq!(x.im.to_bits(), y.im.to_bits());
+        }
     }
 
     #[test]

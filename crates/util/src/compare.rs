@@ -31,9 +31,19 @@
 //! been recovered or cleanly aborted, and no abort may appear in a
 //! profile run at all — an abort while profiling means the pipeline
 //! silently lost work.
+//!
+//! v5 profiles additionally carry the measured roofline block. With
+//! [`CompareConfig::gate_roofline`] set to a fraction-of-peak floor, the
+//! gate checks the *candidate's* kernel placements: every kernel in the
+//! candidate's roofline block must achieve at least that fraction of its
+//! roofline `min(peak_flops, intensity · peak_bw)` — a vectorized kernel
+//! quietly falling back to scalar shows up as a fraction collapse long
+//! before the noise-aware timing gate would catch it.
 
 use crate::error::Result;
-use crate::metrics::{kernel_table, recovery_counters, steady_scf_misses, KernelStats};
+use crate::metrics::{
+    kernel_table, recovery_counters, roofline_summary, steady_scf_misses, KernelStats,
+};
 use std::collections::BTreeMap;
 
 /// Tunable thresholds for [`compare_tables`].
@@ -53,6 +63,11 @@ pub struct CompareConfig {
     /// ledger does not balance (injected > recovered + aborted) or any
     /// fault aborted during the profile run.
     pub gate_recovery: bool,
+    /// Fraction-of-peak floor for the v5 roofline gate: fail when any
+    /// kernel in the candidate's roofline block achieves less than this
+    /// fraction of its roofline, or when the candidate lacks the block
+    /// while gating. `None` disables the gate.
+    pub gate_roofline: Option<f64>,
 }
 
 impl Default for CompareConfig {
@@ -63,6 +78,7 @@ impl Default for CompareConfig {
             min_mean_secs: 1e-6,
             gate_allocs: false,
             gate_recovery: false,
+            gate_roofline: None,
         }
     }
 }
@@ -139,6 +155,35 @@ pub struct RecoveryGate {
     pub failed: bool,
 }
 
+/// One kernel's outcome under the v5 roofline gate (an absolute check on
+/// the candidate, like the recovery gate).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RooflineRow {
+    /// Kernel name.
+    pub name: String,
+    /// Sustained GFLOP/s the kernel achieved.
+    pub achieved_gflops: f64,
+    /// The roofline at the kernel's arithmetic intensity.
+    pub roofline_gflops: f64,
+    /// Achieved fraction of the roofline.
+    pub fraction_of_peak: f64,
+    /// Whether this kernel fell under the floor.
+    pub failed: bool,
+}
+
+/// Outcome of the v5 roofline gate.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RooflineGate {
+    /// The fraction-of-peak floor applied.
+    pub floor: f64,
+    /// Per-kernel placements from the candidate's roofline block (empty
+    /// when the candidate lacks the block).
+    pub rows: Vec<RooflineRow>,
+    /// Whether the gate fails (a kernel under the floor, or the candidate
+    /// stopped emitting the block while gating).
+    pub failed: bool,
+}
+
 /// Full comparison result.
 #[derive(Clone, Debug, Default)]
 pub struct CompareReport {
@@ -149,6 +194,8 @@ pub struct CompareReport {
     pub alloc_gate: Option<AllocGate>,
     /// Recovery gate, when `gate_recovery` was requested.
     pub recovery_gate: Option<RecoveryGate>,
+    /// Roofline gate, when `gate_roofline` was requested.
+    pub roofline_gate: Option<RooflineGate>,
 }
 
 impl CompareReport {
@@ -161,11 +208,13 @@ impl CompareReport {
     }
 
     /// Whether the gate should fail (timing regression, steady-state
-    /// allocation growth, or an unbalanced recovery ledger).
+    /// allocation growth, an unbalanced recovery ledger, or a kernel
+    /// under the roofline floor).
     pub fn has_regressions(&self) -> bool {
         self.regressions() > 0
             || self.alloc_gate.is_some_and(|g| g.failed)
             || self.recovery_gate.is_some_and(|g| g.failed)
+            || self.roofline_gate.as_ref().is_some_and(|g| g.failed)
     }
 
     /// Renders the human-readable regression table, including the per-call
@@ -223,6 +272,25 @@ impl CompareReport {
                 g.aborted,
                 if g.failed { "RECOVERY FAILED" } else { "ok" }
             ));
+        }
+        if let Some(g) = &self.roofline_gate {
+            out.push_str(&format!(
+                "\nroofline gate (floor {:.1}% of peak):\n",
+                g.floor * 100.0
+            ));
+            if g.rows.is_empty() {
+                out.push_str("  candidate carries no roofline block  [ROOFLINE FAILED]\n");
+            }
+            for r in &g.rows {
+                out.push_str(&format!(
+                    "  {:<16} {:>8.2} GF/s of {:>8.2} GF/s roofline = {:>5.1}%  [{}]\n",
+                    r.name,
+                    r.achieved_gflops,
+                    r.roofline_gflops,
+                    r.fraction_of_peak * 100.0,
+                    if r.failed { "UNDER FLOOR" } else { "ok" }
+                ));
+            }
         }
         out
     }
@@ -288,6 +356,7 @@ pub fn compare_tables(
         rows,
         alloc_gate: None,
         recovery_gate: None,
+        roofline_gate: None,
     }
 }
 
@@ -323,6 +392,36 @@ pub fn compare_profiles(base: &str, cand: &str, cfg: &CompareConfig) -> Result<C
                 injected: 0,
                 recovered: 0,
                 aborted: 0,
+                failed: true,
+            },
+        });
+    }
+    if let Some(floor) = cfg.gate_roofline {
+        report.roofline_gate = Some(match roofline_summary(cand)? {
+            Some(r) => {
+                let rows: Vec<RooflineRow> = r
+                    .kernels
+                    .iter()
+                    .map(|(name, k)| RooflineRow {
+                        name: name.clone(),
+                        achieved_gflops: k.achieved_gflops,
+                        roofline_gflops: k.roofline_gflops,
+                        fraction_of_peak: k.fraction_of_peak,
+                        failed: k.fraction_of_peak < floor,
+                    })
+                    .collect();
+                let failed = rows.is_empty() || rows.iter().any(|r| r.failed);
+                RooflineGate {
+                    floor,
+                    rows,
+                    failed,
+                }
+            }
+            // Same policy as the other absolute gates: gating a candidate
+            // that stopped measuring fails.
+            None => RooflineGate {
+                floor,
+                rows: Vec::new(),
                 failed: true,
             },
         });
@@ -516,6 +615,44 @@ mod tests {
         assert!(!report.recovery_gate.unwrap().failed);
         assert!(!report.has_regressions());
         assert!(report.table().contains("recovery ledger"));
+    }
+
+    fn roofline_doc(fraction: f64) -> String {
+        format!(
+            "{{\"schema\": \"mqmd-profile-v5\", \"kernels\": {{}}, \
+             \"roofline\": {{\"peak_gflops\": 100.0, \"peak_bw_gbps\": 20.0, \
+             \"kernels\": {{\"gemm\": {{\"achieved_gflops\": {a}, \
+             \"intensity_flops_per_byte\": 10.0, \"roofline_gflops\": 100.0, \
+             \"fraction_of_peak\": {fraction}}}}}}}}}",
+            a = fraction * 100.0
+        )
+    }
+
+    #[test]
+    fn roofline_gate_applies_fraction_floor() {
+        let cfg = CompareConfig {
+            gate_roofline: Some(0.1),
+            ..Default::default()
+        };
+        let base = roofline_doc(0.5);
+        // Above the floor: passes.
+        let report = compare_profiles(&base, &roofline_doc(0.5), &cfg).unwrap();
+        let gate = report.roofline_gate.as_ref().unwrap();
+        assert!(!gate.failed);
+        assert!(!report.has_regressions());
+        assert!(report.table().contains("roofline gate"));
+        // Under the floor: fails, and the row is marked.
+        let report = compare_profiles(&base, &roofline_doc(0.05), &cfg).unwrap();
+        assert!(report.roofline_gate.as_ref().unwrap().failed);
+        assert!(report.has_regressions());
+        assert!(report.table().contains("UNDER FLOOR"));
+        // A candidate without the block fails while gating...
+        let v4_cand = "{\"schema\": \"mqmd-profile-v4\", \"kernels\": {}}";
+        let report = compare_profiles(&base, v4_cand, &cfg).unwrap();
+        assert!(report.roofline_gate.as_ref().unwrap().failed);
+        // ...and is ignored without the flag.
+        let report = compare_profiles(&base, v4_cand, &CompareConfig::default()).unwrap();
+        assert!(report.roofline_gate.is_none());
     }
 
     #[test]

@@ -24,6 +24,7 @@ pub mod flops;
 pub mod hist;
 pub mod metrics;
 pub mod rng;
+pub mod simd;
 pub mod stats;
 pub mod timer;
 pub mod trace;

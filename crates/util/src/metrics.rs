@@ -9,14 +9,15 @@
 //! [`kernel_table`] extracts the flattened per-kernel
 //! `(calls, seconds, flops)` aggregates back out of a parsed document.
 //!
-//! Schema (`mqmd-profile-v4`; the parser also accepts `mqmd-profile-v3`,
-//! which lacks the recovery block, `mqmd-profile-v2`, which additionally
+//! Schema (`mqmd-profile-v5`; the parser also accepts `mqmd-profile-v4`,
+//! which lacks the roofline block, `mqmd-profile-v3`, which additionally
+//! lacks the recovery block, `mqmd-profile-v2`, which additionally
 //! lacks the allocation fields, and `mqmd-profile-v1`, which additionally
 //! lacks the latency-distribution fields):
 //!
 //! ```json
 //! {
-//!   "schema": "mqmd-profile-v4",
+//!   "schema": "mqmd-profile-v5",
 //!   "trace": { "name": "root", "calls": 1, "wall_secs": ..., "flops": ...,
 //!              "bytes": ..., "comm_msgs": ..., "comm_bytes": ...,
 //!              "comm_cost_secs": ..., "alloc_count": ..., "alloc_bytes": ...,
@@ -30,7 +31,12 @@
 //!              "steady_scf_workspace_misses": ... },
 //!   "recovery": { "faults_injected": ..., "faults_recovered": ...,
 //!                 "faults_aborted": ..., "recompute_seconds": ...,
-//!                 "by_kind": { ... }, "by_action": { ... } }
+//!                 "by_kind": { ... }, "by_action": { ... } },
+//!   "roofline": { "peak_gflops": ..., "peak_bw_gbps": ...,
+//!                 "kernels": { "gemm": { "achieved_gflops": ...,
+//!                                        "intensity_flops_per_byte": ...,
+//!                                        "roofline_gflops": ...,
+//!                                        "fraction_of_peak": ... }, ... } }
 //! }
 //! ```
 //!
@@ -47,7 +53,14 @@
 //! [`recovery_block`] from [`crate::faults::FaultStats`]) counts fault
 //! injections, recovery-ladder rungs, aborts, and the recomputation cost
 //! recovery paid; `repro_compare --gate-recovery` fails a candidate whose
-//! injected faults were neither recovered nor cleanly aborted.
+//! injected faults were neither recovered nor cleanly aborted. The v5
+//! `roofline` block (written by [`roofline_block`] from a measured
+//! [`Roofline`]) records machine peaks measured on the running host —
+//! FMA-ladder FLOP/s and streaming-triad bandwidth — plus each kernel's
+//! achieved GFLOP/s and its fraction of the roofline
+//! `min(peak_gflops, intensity · peak_bw)`; `repro_compare
+//! --gate-roofline` fails a candidate whose kernels fall under a
+//! fraction-of-peak floor.
 
 use crate::error::{MqmdError, Result};
 use crate::trace::TraceNode;
@@ -427,8 +440,10 @@ fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Json> {
 // ---------------------------------------------------------------------------
 
 /// Current schema identifier written into profile documents.
-pub const PROFILE_SCHEMA: &str = "mqmd-profile-v4";
-/// Previous schema, still accepted (lacks the recovery block).
+pub const PROFILE_SCHEMA: &str = "mqmd-profile-v5";
+/// Previous schema, still accepted (lacks the roofline block).
+pub const PROFILE_SCHEMA_V4: &str = "mqmd-profile-v4";
+/// Still accepted (additionally lacks the recovery block).
 pub const PROFILE_SCHEMA_V3: &str = "mqmd-profile-v3";
 /// Still accepted by [`kernel_table`] (its kernel entries lack the
 /// allocation fields).
@@ -563,16 +578,18 @@ pub fn profile_report(
     Json::Obj(pairs)
 }
 
-/// Validates a profile document's schema tag (v1 through v4).
+/// Validates a profile document's schema tag (v1 through v5).
 fn check_schema(doc: &Json) -> Result<()> {
     match doc.get("schema").and_then(Json::as_str) {
         Some(PROFILE_SCHEMA)
+        | Some(PROFILE_SCHEMA_V4)
         | Some(PROFILE_SCHEMA_V3)
         | Some(PROFILE_SCHEMA_V2)
         | Some(PROFILE_SCHEMA_V1) => Ok(()),
         other => Err(MqmdError::Parse(format!(
-            "expected schema {PROFILE_SCHEMA:?}, {PROFILE_SCHEMA_V3:?}, \
-             {PROFILE_SCHEMA_V2:?} or {PROFILE_SCHEMA_V1:?}, found {other:?}"
+            "expected schema {PROFILE_SCHEMA:?}, {PROFILE_SCHEMA_V4:?}, \
+             {PROFILE_SCHEMA_V3:?}, {PROFILE_SCHEMA_V2:?} or \
+             {PROFILE_SCHEMA_V1:?}, found {other:?}"
         ))),
     }
 }
@@ -692,6 +709,119 @@ pub fn recovery_counters(text: &str) -> Result<Option<RecoveryCounters>> {
             .and_then(Json::as_f64)
             .unwrap_or(0.0),
     }))
+}
+
+// ---------------------------------------------------------------------------
+// Roofline (v5)
+// ---------------------------------------------------------------------------
+
+/// One kernel's placement under the measured roofline.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RooflineKernel {
+    /// Sustained GFLOP/s the kernel achieved.
+    pub achieved_gflops: f64,
+    /// Arithmetic intensity: analytic FLOPs per byte of traffic.
+    pub intensity_flops_per_byte: f64,
+    /// The roofline at that intensity:
+    /// `min(peak_gflops, intensity · peak_bw_gbps)`.
+    pub roofline_gflops: f64,
+    /// `achieved_gflops / roofline_gflops` (0 when the roofline is 0).
+    pub fraction_of_peak: f64,
+}
+
+/// Machine peaks measured on the running host plus per-kernel placements —
+/// the v5 `roofline` block.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Roofline {
+    /// Compute peak: FMA-ladder GFLOP/s across all cores.
+    pub peak_gflops: f64,
+    /// Memory peak: streaming-triad bandwidth in GB/s.
+    pub peak_bw_gbps: f64,
+    /// Kernel name → placement.
+    pub kernels: BTreeMap<String, RooflineKernel>,
+}
+
+impl Roofline {
+    /// The roofline value at a given arithmetic intensity (FLOPs/byte).
+    pub fn at_intensity(&self, intensity: f64) -> f64 {
+        (intensity * self.peak_bw_gbps).min(self.peak_gflops)
+    }
+
+    /// Records a kernel measurement, deriving its roofline placement.
+    pub fn place(&mut self, name: &str, achieved_gflops: f64, intensity: f64) {
+        let roofline_gflops = self.at_intensity(intensity);
+        let fraction_of_peak = if roofline_gflops > 0.0 {
+            achieved_gflops / roofline_gflops
+        } else {
+            0.0
+        };
+        self.kernels.insert(
+            name.to_string(),
+            RooflineKernel {
+                achieved_gflops,
+                intensity_flops_per_byte: intensity,
+                roofline_gflops,
+                fraction_of_peak,
+            },
+        );
+    }
+}
+
+/// Builds the v5 top-level `roofline` block.
+pub fn roofline_block(r: &Roofline) -> Json {
+    let kernels = r
+        .kernels
+        .iter()
+        .map(|(name, k)| {
+            (
+                name.clone(),
+                Json::obj([
+                    ("achieved_gflops", Json::Num(k.achieved_gflops)),
+                    (
+                        "intensity_flops_per_byte",
+                        Json::Num(k.intensity_flops_per_byte),
+                    ),
+                    ("roofline_gflops", Json::Num(k.roofline_gflops)),
+                    ("fraction_of_peak", Json::Num(k.fraction_of_peak)),
+                ]),
+            )
+        })
+        .collect();
+    Json::obj([
+        ("peak_gflops", Json::Num(r.peak_gflops)),
+        ("peak_bw_gbps", Json::Num(r.peak_bw_gbps)),
+        ("kernels", Json::Obj(kernels)),
+    ])
+}
+
+/// Reads the roofline block from a profile document. `Ok(None)` for
+/// pre-v5 profiles (no `roofline` block).
+pub fn roofline_summary(text: &str) -> Result<Option<Roofline>> {
+    let doc = parse_json(text)?;
+    check_schema(&doc)?;
+    let Some(block) = doc.get("roofline") else {
+        return Ok(None);
+    };
+    let g = |j: &Json, key: &str| j.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+    let mut out = Roofline {
+        peak_gflops: g(block, "peak_gflops"),
+        peak_bw_gbps: g(block, "peak_bw_gbps"),
+        kernels: BTreeMap::new(),
+    };
+    if let Some(Json::Obj(pairs)) = block.get("kernels") {
+        for (name, entry) in pairs {
+            out.kernels.insert(
+                name.clone(),
+                RooflineKernel {
+                    achieved_gflops: g(entry, "achieved_gflops"),
+                    intensity_flops_per_byte: g(entry, "intensity_flops_per_byte"),
+                    roofline_gflops: g(entry, "roofline_gflops"),
+                    fraction_of_peak: g(entry, "fraction_of_peak"),
+                },
+            );
+        }
+    }
+    Ok(Some(out))
 }
 
 #[cfg(test)]
@@ -889,6 +1019,40 @@ mod tests {
         let parsed = parse_json(&text).unwrap();
         let by_kind = parsed.get("recovery").unwrap().get("by_kind").unwrap();
         assert_eq!(by_kind.get("density_nan").unwrap().as_u64(), Some(3));
+    }
+
+    #[test]
+    fn roofline_block_round_trips() {
+        let mut r = Roofline {
+            peak_gflops: 100.0,
+            peak_bw_gbps: 20.0,
+            kernels: BTreeMap::new(),
+        };
+        // Memory-bound placement: roofline = 0.25 · 20 = 5 GFLOP/s.
+        r.place("gemm", 4.0, 0.25);
+        // Compute-bound placement: roofline capped at peak_gflops.
+        r.place("fft", 50.0, 1000.0);
+        assert!((r.kernels["gemm"].roofline_gflops - 5.0).abs() < 1e-12);
+        assert!((r.kernels["gemm"].fraction_of_peak - 0.8).abs() < 1e-12);
+        assert!((r.kernels["fft"].roofline_gflops - 100.0).abs() < 1e-12);
+        let doc = Json::obj([
+            ("schema", Json::Str(PROFILE_SCHEMA.into())),
+            ("kernels", Json::Obj(vec![])),
+            ("roofline", roofline_block(&r)),
+        ]);
+        let back = roofline_summary(&doc.pretty()).unwrap().unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn kernel_table_accepts_v4_schema_without_roofline() {
+        let text = format!(
+            "{{\"schema\": \"{PROFILE_SCHEMA_V4}\", \"kernels\": {{\
+             \"fft\": {{\"calls\": 7, \"seconds\": 0.25, \"flops\": 1200}}}}}}"
+        );
+        assert_eq!(kernel_table(&text).unwrap()["fft"].calls, 7);
+        // v4 documents carry no roofline block
+        assert_eq!(roofline_summary(&text).unwrap(), None);
     }
 
     #[test]

@@ -125,6 +125,68 @@ fn qmd_second_step_is_miss_free(hartree: HartreeSolver) {
     assert!(steady.hits > 0, "second step must reuse the warm arena");
 }
 
+/// SIMD packing buffers are thread-locals (the GEMM packed-A panel, the
+/// FFT gather line) whose one-time growth is recorded through the trace
+/// ledger rather than the workspace arena. Once a worker is warm,
+/// repeated kernel calls must attribute **zero** further allocations to
+/// the `gemm`/`fft` spans — the vector paths may not conjure fresh Vecs
+/// per call. Runs on a pinned single-thread pool so "warm" is
+/// deterministic (thread-locals are per worker).
+#[test]
+fn steady_state_simd_kernels_have_zero_traced_allocs() {
+    use metascale_qmd::fft::Fft3d;
+    use metascale_qmd::linalg::gemm::dgemm;
+    use metascale_qmd::linalg::Matrix;
+    use metascale_qmd::multigrid::smoother::rbgs_sweep;
+    use metascale_qmd::util::{trace, Complex64};
+
+    let _g = ledger_lock();
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .expect("single-thread pool");
+    pool.install(|| {
+        let n = 48;
+        let a = Matrix::from_fn(n, n, |i, j| (i + 2 * j) as f64 * 0.01);
+        let b = Matrix::from_fn(n, n, |i, j| (3 * i + j) as f64 * 0.01);
+        let mut c = Matrix::zeros(n, n);
+        let plan = Fft3d::new(8, 8, 8);
+        let mut x = vec![Complex64::new(1.0, -0.5); plan.len()];
+        let grid = UniformGrid3::cubic(8, 6.0);
+        let f = vec![1.0; grid.len()];
+        let mut u = vec![0.0; grid.len()];
+
+        trace::set_enabled(true);
+        // Warm-up: populates this worker's packing/gather thread-locals.
+        dgemm(1.0, &a, &b, 0.0, &mut c);
+        plan.forward(&mut x);
+        rbgs_sweep(&grid, &mut u, &f);
+        trace::take();
+
+        for _ in 0..3 {
+            dgemm(1.0, &a, &b, 0.0, &mut c);
+            plan.forward(&mut x);
+            plan.inverse(&mut x);
+            rbgs_sweep(&grid, &mut u, &f);
+        }
+        let t = trace::take();
+        trace::set_enabled(false);
+        for name in ["gemm", "fft", "poisson"] {
+            if let Some(node) = t.aggregate(name) {
+                assert_eq!(
+                    node.alloc_count, 0,
+                    "steady-state {name} hit the allocator: {} allocs ({} bytes)",
+                    node.alloc_count, node.alloc_bytes
+                );
+            }
+        }
+        assert!(
+            t.aggregate("gemm").is_some() && t.aggregate("fft").is_some(),
+            "measurement window must actually contain the kernel spans"
+        );
+    });
+}
+
 #[test]
 fn steady_state_qmd_step_fft_hartree_has_zero_workspace_misses() {
     qmd_second_step_is_miss_free(HartreeSolver::Fft);
