@@ -131,6 +131,8 @@ fn main() {
     let node = trace::take();
     trace::set_enabled(false);
     events::set_enabled(false);
+    // Per-lane drop counts must be snapshotted before `drain` clears them.
+    let event_drops_by_lane = events::dropped_by_lane();
     let (records, dropped) = events::drain();
     if dropped > 0 {
         eprintln!("warning: event sink dropped {dropped} records");
@@ -172,6 +174,16 @@ fn main() {
         (
             "recovery".to_string(),
             mqmd_util::metrics::recovery_block(&mqmd_util::faults::stats()),
+        ),
+        // The job counters are all-zero here (this run drives the solver
+        // library directly, not the service plane); the per-lane telemetry
+        // drop counts apply to every instrumented run and must stay zero.
+        (
+            "service".to_string(),
+            mqmd_util::metrics::service_block(&mqmd_util::metrics::ServiceCounters {
+                event_drops_by_lane,
+                ..Default::default()
+            }),
         ),
     ];
     let doc = profile_report(&node, KERNELS, extra);

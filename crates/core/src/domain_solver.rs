@@ -218,6 +218,17 @@ pub fn solve_domain_with(
         Some(faults::FaultKind::DensityNan) => poison_psi = true,
         _ => {}
     }
+    // Build the starting bands before borrowing workspace buffers so the
+    // fallible draw cannot strand a taken buffer outside the arena.
+    let mut psi = match psi0 {
+        Some(p) if p.rows() == setup.basis.len() && p.cols() == setup.n_bands => p,
+        _ => setup
+            .basis
+            .try_random_bands(setup.n_bands, 0xC0DE ^ setup.domain.id as u64)?,
+    };
+    if poison_psi {
+        psi.data_mut()[0] = mqmd_util::Complex64::new(f64::NAN, 0.0);
+    }
     let mut v_eff = ew.ws.take_f64(setup.grid.len());
     for (o, ((a, b), c)) in v_eff
         .iter_mut()
@@ -226,16 +237,6 @@ pub fn solve_domain_with(
         *o = a + b + c;
     }
     let h = KsHamiltonian::new(&setup.basis, v_eff, setup.nonlocal.as_ref());
-
-    let mut psi = match psi0 {
-        Some(p) if p.rows() == setup.basis.len() && p.cols() == setup.n_bands => p,
-        _ => setup
-            .basis
-            .random_bands(setup.n_bands, 0xC0DE ^ setup.domain.id as u64),
-    };
-    if poison_psi {
-        psi.data_mut()[0] = mqmd_util::Complex64::new(f64::NAN, 0.0);
-    }
     let np = setup.basis.len();
     let nb = setup.n_bands;
     let report = match block_davidson_with(&h, &mut psi, max_iter, tol, ew) {

@@ -274,6 +274,19 @@ impl LdcSolver {
         self.mg_hier = None;
     }
 
+    /// Drops per-*job* state (warm-start bands, cached densities, the SCF
+    /// counter) while keeping geometry-keyed *plan* scratch — eigensolver
+    /// workspaces, the multigrid hierarchy, the Hartree arena. The service
+    /// runtime calls this when handing a pooled solver to a new job with
+    /// the same grid shape: pooled scratch is bitwise-inert (pinned by the
+    /// PR 3 identity tests), so the next job's trajectory is independent
+    /// of pool history while still sharing plans.
+    pub fn reset_job_state(&mut self) {
+        self.psi_cache.clear();
+        self.rho_cache.clear();
+        self.total_scf_iterations = 0;
+    }
+
     /// Serialises the solver's restartable state (warm-start wave functions
     /// per domain, last per-domain densities, cumulative SCF count) for a
     /// [`mqmd_md::io::Checkpoint`]'s opaque solver payload. Domains are
@@ -443,6 +456,16 @@ impl LdcSolver {
         let mut prev_residual = f64::INFINITY;
         for iter in 1..=cfg.max_scf {
             let _span = mqmd_util::trace::span("scf_iter");
+            // Cooperative cancellation: deadline/shutdown abort between
+            // global SCF iterations (one relaxed load when the service
+            // plane is idle). Preemption is not honoured here — only at MD
+            // step boundaries, so preempted jobs resume bitwise.
+            if let Some(reason) = mqmd_util::cancel::poll_abort() {
+                return Err(MqmdError::Cancelled {
+                    what: format!("LDC SCF iteration {iter}"),
+                    reason,
+                });
+            }
             match (cfg.hartree, mg_hier.as_mut()) {
                 (HartreeSolver::Multigrid, Some(hier)) => {
                     mg.hartree_with(&rho, &mut v_h, hier)?;

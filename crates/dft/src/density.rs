@@ -61,7 +61,10 @@ pub fn fermi_occupations(eigenvalues: &[f64], n_electrons: f64, kt: f64) -> Occu
         // Zero temperature: aufbau filling, fractional remainder on the next
         // level (the Θ limit of Eq. (c), resolved deterministically).
         let mut idx: Vec<usize> = (0..eigenvalues.len()).collect();
-        idx.sort_by(|&a, &b| eigenvalues[a].partial_cmp(&eigenvalues[b]).unwrap());
+        // total_cmp: a NaN eigenvalue (upstream solver failure) must sort
+        // deterministically, not panic the worker — downstream validation
+        // rejects the non-finite density it produces.
+        idx.sort_by(|&a, &b| eigenvalues[a].total_cmp(&eigenvalues[b]));
         let mut f = vec![0.0; eigenvalues.len()];
         let mut remaining = n_electrons;
         let mut homo = eigenvalues[idx[0]];

@@ -145,16 +145,43 @@ impl PlaneWaveBasis {
 
     /// Random normalised starting bands (deterministic given the seed), with
     /// coefficients damped at high |G| so the eigensolver starts smooth.
+    ///
+    /// Panicking convenience over [`Self::try_random_bands`] for tests and
+    /// benches; library paths use the fallible form so a degenerate draw
+    /// (or `n_bands > len()`) surfaces as a typed error, not a worker
+    /// panic.
     pub fn random_bands(&self, n_bands: usize, seed: u64) -> CMatrix {
-        let mut rng = mqmd_util::Xoshiro256pp::seed_from_u64(seed);
+        self.try_random_bands(n_bands, seed)
+            .expect("random bands are linearly independent with probability 1")
+    }
+
+    /// Fallible form of [`Self::random_bands`]: a Cholesky breakdown on
+    /// the random draw (measure zero, but possible for `n_bands` close to
+    /// the basis size at coarse cutoffs) retries with a reseeded draw
+    /// before surfacing a typed error.
+    pub fn try_random_bands(&self, n_bands: usize, seed: u64) -> mqmd_util::Result<CMatrix> {
+        if n_bands > self.len() {
+            return Err(mqmd_util::MqmdError::Invalid(format!(
+                "{n_bands} bands exceed basis size {}",
+                self.len()
+            )));
+        }
         let np = self.len();
-        let mut psi = CMatrix::from_fn(np, n_bands, |g, _| {
-            let damp = 1.0 / (1.0 + self.g2[g]);
-            Complex64::new(rng.normal() * damp, rng.normal() * damp)
-        });
-        mqmd_linalg::orthonorm::cholesky_orthonormalize(&mut psi)
-            .expect("random bands are linearly independent with probability 1");
-        psi
+        let mut last = None;
+        for attempt in 0..3u64 {
+            let mut rng = mqmd_util::Xoshiro256pp::seed_from_u64(seed ^ (attempt * 0x9E3779B9));
+            let mut psi = CMatrix::from_fn(np, n_bands, |g, _| {
+                let damp = 1.0 / (1.0 + self.g2[g]);
+                Complex64::new(rng.normal() * damp, rng.normal() * damp)
+            });
+            match mqmd_linalg::orthonorm::cholesky_orthonormalize(&mut psi) {
+                Ok(_) => return Ok(psi),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            mqmd_util::MqmdError::Numerical("random band orthonormalisation failed".into())
+        }))
     }
 
     /// Applies the diagonal kinetic operator: `out[g, n] += ½|G|²·ψ[g, n]`.

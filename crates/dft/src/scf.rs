@@ -258,11 +258,18 @@ pub fn run_scf_with(
     let mut rho = initial_density(grid, atoms, n_electrons);
     let mut psi = match psi0 {
         Some(p) => {
-            assert_eq!(p.rows(), basis.len());
-            assert_eq!(p.cols(), n_bands, "warm-start band count mismatch");
+            if p.rows() != basis.len() || p.cols() != n_bands {
+                return Err(MqmdError::Invalid(format!(
+                    "warm-start shape {}x{} does not match basis {}x{} bands",
+                    p.rows(),
+                    p.cols(),
+                    basis.len(),
+                    n_bands
+                )));
+            }
             p
         }
-        None => basis.random_bands(n_bands, 0xD1F7),
+        None => basis.try_random_bands(n_bands, 0xD1F7)?,
     };
 
     let mut last_residual = f64::INFINITY;
@@ -282,6 +289,15 @@ pub fn run_scf_with(
     for iter in 1..=config.max_scf {
         let _span = mqmd_util::trace::span("scf_iter");
         let iter_start = std::time::Instant::now();
+        // Cooperative cancellation: the service runtime enforces per-job
+        // wall budgets and shutdown at SCF-iteration granularity. One
+        // relaxed load when no token is installed.
+        if let Some(reason) = mqmd_util::cancel::poll_abort() {
+            return Err(MqmdError::Cancelled {
+                what: format!("SCF iteration {iter}"),
+                reason,
+            });
+        }
         // Fault plane: one poll per SCF iteration (a relaxed load when
         // idle). Density faults strike the input density; Davidson faults
         // force the eigensolver's error path below.
@@ -495,7 +511,7 @@ pub fn run_scf_with(
                 .iter()
                 .any(|z| !z.re.is_finite() || !z.im.is_finite())
             {
-                psi = basis.random_bands(n_bands, 0xD1F7 ^ iter as u64);
+                psi = basis.try_random_bands(n_bands, 0xD1F7 ^ iter as u64)?;
             }
             prev_residual = f64::INFINITY;
             best_residual = f64::INFINITY;

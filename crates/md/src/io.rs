@@ -355,7 +355,9 @@ impl Checkpoint {
             return Err(MqmdError::Io("not a MQMD checkpoint (bad magic)".into()));
         }
         let body_len = data.len() - 8;
-        let stored = u64::from_be_bytes(data[body_len..].try_into().expect("8-byte trailer"));
+        let mut trailer = [0u8; 8];
+        trailer.copy_from_slice(&data[body_len..]);
+        let stored = u64::from_be_bytes(trailer);
         if fnv1a64(&data[..body_len]) != stored {
             return Err(MqmdError::Io(
                 "checkpoint checksum mismatch (corrupt or torn write)".into(),
@@ -425,13 +427,24 @@ impl Checkpoint {
         })
     }
 
-    /// Writes atomically: serialise to `<path>.tmp` in the same directory,
-    /// then rename over `path` — a crash mid-write never clobbers the
-    /// previous good checkpoint.
+    /// Writes atomically and durably: serialise to `<path>.tmp` in the
+    /// same directory, fsync the file, rename over `path`, then fsync the
+    /// parent directory — a crash mid-write never clobbers the previous
+    /// good checkpoint, and a crash right after `save` returns cannot
+    /// lose the new directory entry (the rename itself is only on disk
+    /// once the directory's metadata is).
     pub fn save(&self, path: &Path) -> Result<()> {
         let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, self.to_bytes())?;
+        {
+            use std::io::Write;
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&self.to_bytes())?;
+            f.sync_all()?;
+        }
         std::fs::rename(&tmp, path)?;
+        if let Some(dir) = path.parent() {
+            sync_dir(dir)?;
+        }
         Ok(())
     }
 
@@ -440,6 +453,21 @@ impl Checkpoint {
         let data = std::fs::read(path)?;
         Self::from_bytes(Bytes::from(data))
     }
+}
+
+/// Fsyncs a directory so a just-renamed entry survives power loss. An
+/// empty parent (bare relative filename) means the current directory.
+fn sync_dir(dir: &Path) -> Result<()> {
+    let dir = if dir.as_os_str().is_empty() {
+        Path::new(".")
+    } else {
+        dir
+    };
+    #[cfg(unix)]
+    std::fs::File::open(dir)?.sync_all()?;
+    #[cfg(not(unix))]
+    let _ = dir; // directory fsync is not portable off unix
+    Ok(())
 }
 
 /// Keeps the last `keep` checkpoints in a directory and rolls back past
@@ -478,15 +506,27 @@ impl CheckpointStore {
     }
 
     /// Saves a checkpoint (atomic write) and prunes beyond the retention
-    /// budget.
+    /// budget. Only checkpoints that pass their checksum count toward the
+    /// budget: a corrupt file sitting between two good ones can never push
+    /// the newest valid checkpoint out of retention. Files older than the
+    /// `keep`-th newest *valid* checkpoint are deleted, corrupt or not.
     pub fn save(&self, ckp: &Checkpoint) -> Result<PathBuf> {
         let path = self.path_for(ckp.step);
         ckp.save(&path)?;
         let files = self.list()?;
-        if files.len() > self.keep {
-            for old in &files[..files.len() - self.keep] {
-                std::fs::remove_file(old).ok();
+        let mut valid_seen = 0usize;
+        let mut cut = 0usize; // delete everything before this index
+        for (i, p) in files.iter().enumerate().rev() {
+            if Checkpoint::load(p).is_ok() {
+                valid_seen += 1;
+                if valid_seen == self.keep {
+                    cut = i;
+                    break;
+                }
             }
+        }
+        for old in &files[..cut] {
+            std::fs::remove_file(old).ok();
         }
         Ok(path)
     }

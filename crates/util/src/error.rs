@@ -20,6 +20,12 @@ pub enum MqmdError {
     Io(String),
     /// Malformed structured input (JSON profiles, metrics documents).
     Parse(String),
+    /// A cooperative cancellation point fired (deadline, preemption,
+    /// shutdown) and the computation was abandoned cleanly.
+    Cancelled {
+        what: String,
+        reason: crate::cancel::CancelReason,
+    },
 }
 
 impl fmt::Display for MqmdError {
@@ -37,6 +43,9 @@ impl fmt::Display for MqmdError {
             MqmdError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
             MqmdError::Io(msg) => write!(f, "i/o failure: {msg}"),
             MqmdError::Parse(msg) => write!(f, "parse failure: {msg}"),
+            MqmdError::Cancelled { what, reason } => {
+                write!(f, "{what} cancelled ({})", reason.label())
+            }
         }
     }
 }
@@ -66,6 +75,11 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("SCF") && s.contains("100"));
         assert!(MqmdError::Invalid("bad".into()).to_string().contains("bad"));
+        let c = MqmdError::Cancelled {
+            what: "SCF".into(),
+            reason: crate::cancel::CancelReason::Deadline,
+        };
+        assert!(c.to_string().contains("deadline"));
     }
 
     #[test]

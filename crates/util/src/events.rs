@@ -26,7 +26,8 @@
 
 use crate::metrics::Json;
 use std::cell::Cell;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
@@ -123,6 +124,25 @@ pub enum Event {
         /// Wall seconds spent on the recovery (recomputation cost).
         seconds: f64,
     },
+    /// A service-runtime job changed state (submitted, running, preempted,
+    /// retried, completed, failed, rejected…).
+    JobState {
+        /// Runtime-assigned job id.
+        job: u64,
+        /// Owning tenant.
+        tenant: u32,
+        /// New state label (e.g. `"running"`, `"preempted"`, `"rejected"`).
+        state: &'static str,
+        /// Extra context (rejection reason, error text, retry attempt).
+        detail: String,
+    },
+    /// Queue-depth gauge after a scheduler transition (backpressure feed).
+    QueueDepth {
+        /// Jobs queued across all tenants.
+        depth: u32,
+        /// Jobs currently running on workers.
+        running: u32,
+    },
 }
 
 impl Event {
@@ -138,6 +158,8 @@ impl Event {
             Event::WatchdogTrip { .. } => "watchdog_trip",
             Event::FaultInjected { .. } => "fault_injected",
             Event::RecoveryAction { .. } => "recovery_action",
+            Event::JobState { .. } => "job_state",
+            Event::QueueDepth { .. } => "queue_depth",
         }
     }
 }
@@ -266,11 +288,13 @@ impl Drop for LaneGuard {
 // ---------------------------------------------------------------------------
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
-static DROPPED: AtomicU64 = AtomicU64::new(0);
 
 struct Sink {
     buf: Vec<EventRecord>,
     cap: usize,
+    /// Records dropped since the last [`drain`], keyed by emitting lane:
+    /// backpressure in the telemetry path is attributable, not silent.
+    drops: BTreeMap<u32, u64>,
 }
 
 fn sink() -> &'static Mutex<Sink> {
@@ -279,6 +303,7 @@ fn sink() -> &'static Mutex<Sink> {
         Mutex::new(Sink {
             buf: Vec::new(),
             cap: DEFAULT_CAPACITY,
+            drops: BTreeMap::new(),
         })
     })
 }
@@ -338,18 +363,27 @@ pub fn emit(event: Event) {
     if s.buf.len() < s.cap {
         s.buf.push(record);
     } else {
-        drop(s);
-        DROPPED.fetch_add(1, Ordering::Relaxed);
+        *s.drops.entry(record.lane).or_insert(0) += 1;
     }
 }
 
 /// Takes every buffered record (oldest first) and the number of records
-/// dropped since the previous drain.
+/// dropped since the previous drain (summed over lanes; see
+/// [`dropped_by_lane`] for the attribution before draining).
 pub fn drain() -> (Vec<EventRecord>, u64) {
     let mut s = lock_sink();
     let out = std::mem::take(&mut s.buf);
+    let dropped = std::mem::take(&mut s.drops).values().sum();
     drop(s);
-    (out, DROPPED.swap(0, Ordering::Relaxed))
+    (out, dropped)
+}
+
+/// Snapshot of records dropped since the last [`drain`], keyed by the
+/// encoded lane ([`Lane::decode`]) of the thread whose emit was refused.
+/// Surfaced in the profile `service` block so telemetry backpressure is
+/// visible per lane.
+pub fn dropped_by_lane() -> BTreeMap<u32, u64> {
+    lock_sink().drops.clone()
 }
 
 // ---------------------------------------------------------------------------
@@ -444,6 +478,21 @@ pub fn record_to_json(r: &EventRecord) -> Json {
             field("attempt", Json::Num(*attempt as f64));
             field("seconds", Json::Num(*seconds));
         }
+        Event::JobState {
+            job,
+            tenant,
+            state,
+            detail,
+        } => {
+            field("job", Json::Num(*job as f64));
+            field("tenant", Json::Num(*tenant as f64));
+            field("state", Json::Str((*state).into()));
+            field("detail", Json::Str(detail.clone()));
+        }
+        Event::QueueDepth { depth, running } => {
+            field("depth", Json::Num(*depth as f64));
+            field("running", Json::Num(*running as f64));
+        }
     }
     Json::Obj(pairs)
 }
@@ -529,12 +578,78 @@ mod tests {
             });
         }
         set_enabled(false);
+        let by_lane = dropped_by_lane();
         let (records, dropped) = drain();
         set_capacity(DEFAULT_CAPACITY);
         assert_eq!(records.len(), 4);
         assert_eq!(dropped, 6);
         // Oldest-first order preserved.
         assert!(matches!(records[0].event, Event::QmdStep { step: 0, .. }));
+        // All drops attributed to this (control) lane; drain cleared them.
+        assert_eq!(by_lane.values().sum::<u64>(), 6);
+        assert!(by_lane.keys().all(|&l| l < 10_000));
+        assert!(dropped_by_lane().is_empty());
+    }
+
+    #[test]
+    fn drops_are_attributed_per_lane() {
+        let _g = lock();
+        set_enabled(true);
+        let _ = drain();
+        set_capacity(1);
+        emit(Event::SpanBegin { name: "fills" }); // occupies the only slot
+        {
+            let _r = LaneGuard::rank(3);
+            emit(Event::SpanBegin { name: "r" });
+            emit(Event::SpanEnd { name: "r" });
+        }
+        {
+            let _w = LaneGuard::install(Lane::Worker(0));
+            emit(Event::SpanBegin { name: "w" });
+        }
+        set_enabled(false);
+        let by_lane = dropped_by_lane();
+        let (_, dropped) = drain();
+        set_capacity(DEFAULT_CAPACITY);
+        assert_eq!(dropped, 3);
+        assert_eq!(by_lane.get(&Lane::Rank(3).encode()), Some(&2));
+        assert_eq!(by_lane.get(&Lane::Worker(0).encode()), Some(&1));
+    }
+
+    #[test]
+    fn service_events_encode() {
+        let records = vec![
+            EventRecord {
+                ts_ns: 1,
+                lane: 0,
+                span: "",
+                event: Event::JobState {
+                    job: 17,
+                    tenant: 2,
+                    state: "preempted",
+                    detail: "by job 18".into(),
+                },
+            },
+            EventRecord {
+                ts_ns: 2,
+                lane: 0,
+                span: "",
+                event: Event::QueueDepth {
+                    depth: 5,
+                    running: 2,
+                },
+            },
+        ];
+        let text = to_jsonl(&records);
+        let lines: Vec<&str> = text.lines().collect();
+        let first = parse_json(lines[0]).unwrap();
+        assert_eq!(first.get("type").unwrap().as_str(), Some("job_state"));
+        assert_eq!(first.get("job").unwrap().as_u64(), Some(17));
+        assert_eq!(first.get("state").unwrap().as_str(), Some("preempted"));
+        let second = parse_json(lines[1]).unwrap();
+        assert_eq!(second.get("type").unwrap().as_str(), Some("queue_depth"));
+        assert_eq!(second.get("depth").unwrap().as_u64(), Some(5));
+        assert_eq!(second.get("running").unwrap().as_u64(), Some(2));
     }
 
     #[test]

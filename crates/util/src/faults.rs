@@ -62,6 +62,12 @@ pub enum FaultKind {
         /// Startup delay in microseconds.
         delay_us: u64,
     },
+    /// A service worker thread is killed mid-job (panics); the supervisor
+    /// must requeue or fail the job, never lose it. Polled at
+    /// [`Site::Rank`] by the serve runtime, not drawn by
+    /// [`FaultPlan::generate`] (library chaos campaigns have no workers to
+    /// kill).
+    WorkerKill,
 }
 
 impl FaultKind {
@@ -74,6 +80,7 @@ impl FaultKind {
             FaultKind::NodeLoss { .. } => "node_loss",
             FaultKind::DegradedLink { .. } => "degraded_link",
             FaultKind::Straggler { .. } => "straggler",
+            FaultKind::WorkerKill => "worker_kill",
         }
     }
 

@@ -12,6 +12,7 @@
 //! Everything in this crate is dependency-free numerical plumbing; the
 //! physics lives in the higher crates.
 
+pub mod cancel;
 pub mod chrometrace;
 pub mod compare;
 pub mod complex;

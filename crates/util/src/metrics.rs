@@ -440,8 +440,10 @@ fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Json> {
 // ---------------------------------------------------------------------------
 
 /// Current schema identifier written into profile documents.
-pub const PROFILE_SCHEMA: &str = "mqmd-profile-v5";
-/// Previous schema, still accepted (lacks the roofline block).
+pub const PROFILE_SCHEMA: &str = "mqmd-profile-v6";
+/// Previous schema, still accepted (lacks the service block).
+pub const PROFILE_SCHEMA_V5: &str = "mqmd-profile-v5";
+/// Still accepted (additionally lacks the roofline block).
 pub const PROFILE_SCHEMA_V4: &str = "mqmd-profile-v4";
 /// Still accepted (additionally lacks the recovery block).
 pub const PROFILE_SCHEMA_V3: &str = "mqmd-profile-v3";
@@ -578,18 +580,19 @@ pub fn profile_report(
     Json::Obj(pairs)
 }
 
-/// Validates a profile document's schema tag (v1 through v5).
+/// Validates a profile document's schema tag (v1 through v6).
 fn check_schema(doc: &Json) -> Result<()> {
     match doc.get("schema").and_then(Json::as_str) {
         Some(PROFILE_SCHEMA)
+        | Some(PROFILE_SCHEMA_V5)
         | Some(PROFILE_SCHEMA_V4)
         | Some(PROFILE_SCHEMA_V3)
         | Some(PROFILE_SCHEMA_V2)
         | Some(PROFILE_SCHEMA_V1) => Ok(()),
         other => Err(MqmdError::Parse(format!(
-            "expected schema {PROFILE_SCHEMA:?}, {PROFILE_SCHEMA_V4:?}, \
-             {PROFILE_SCHEMA_V3:?}, {PROFILE_SCHEMA_V2:?} or \
-             {PROFILE_SCHEMA_V1:?}, found {other:?}"
+            "expected schema {PROFILE_SCHEMA:?}, {PROFILE_SCHEMA_V5:?}, \
+             {PROFILE_SCHEMA_V4:?}, {PROFILE_SCHEMA_V3:?}, \
+             {PROFILE_SCHEMA_V2:?} or {PROFILE_SCHEMA_V1:?}, found {other:?}"
         ))),
     }
 }
@@ -824,6 +827,119 @@ pub fn roofline_summary(text: &str) -> Result<Option<Roofline>> {
     Ok(Some(out))
 }
 
+// ---------------------------------------------------------------------------
+// Service (v6)
+// ---------------------------------------------------------------------------
+
+/// Counters from the multi-tenant job runtime (`mqmd-serve`) — the v6
+/// `service` block. A library-only profile emits this all-zero except for
+/// the telemetry drop counters, which apply to every instrumented run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ServiceCounters {
+    /// Jobs accepted past admission control.
+    pub submitted: u64,
+    /// Jobs that reached a successful terminal state.
+    pub completed: u64,
+    /// Jobs that reached a failed terminal state (typed error).
+    pub failed: u64,
+    /// Admission rejections: global queue at capacity.
+    pub rejected_queue_full: u64,
+    /// Admission rejections: tenant over its quota.
+    pub rejected_quota: u64,
+    /// Admission rejections: deadline already expired at submit.
+    pub rejected_deadline: u64,
+    /// Admission rejections: malformed job spec.
+    pub rejected_invalid: u64,
+    /// Retry attempts scheduled after recoverable failures.
+    pub retries: u64,
+    /// Checkpoint-backed preemptions (job shed to make room).
+    pub preemptions: u64,
+    /// Preempted jobs resumed from their checkpoint.
+    pub resumes: u64,
+    /// Worker panics caught by supervision.
+    pub panics_caught: u64,
+    /// Peak queued-job count observed.
+    pub queue_depth_peak: u64,
+    /// Telemetry records dropped by the bounded event sink, keyed by the
+    /// encoded lane ([`crate::events::Lane`]).
+    pub event_drops_by_lane: BTreeMap<u32, u64>,
+}
+
+impl ServiceCounters {
+    /// Total telemetry drops across lanes.
+    pub fn event_drops(&self) -> u64 {
+        self.event_drops_by_lane.values().sum()
+    }
+
+    /// Jobs in a terminal state (completed or failed). Ledger audits
+    /// require `submitted == terminal()` after a drain.
+    pub fn terminal(&self) -> u64 {
+        self.completed + self.failed
+    }
+}
+
+/// Builds the v6 top-level `service` block.
+pub fn service_block(c: &ServiceCounters) -> Json {
+    let drops = c
+        .event_drops_by_lane
+        .iter()
+        .map(|(lane, n)| (lane.to_string(), Json::Num(*n as f64)))
+        .collect();
+    Json::obj([
+        ("jobs_submitted", Json::Num(c.submitted as f64)),
+        ("jobs_completed", Json::Num(c.completed as f64)),
+        ("jobs_failed", Json::Num(c.failed as f64)),
+        (
+            "rejected_queue_full",
+            Json::Num(c.rejected_queue_full as f64),
+        ),
+        ("rejected_quota", Json::Num(c.rejected_quota as f64)),
+        ("rejected_deadline", Json::Num(c.rejected_deadline as f64)),
+        ("rejected_invalid", Json::Num(c.rejected_invalid as f64)),
+        ("retries", Json::Num(c.retries as f64)),
+        ("preemptions", Json::Num(c.preemptions as f64)),
+        ("resumes", Json::Num(c.resumes as f64)),
+        ("panics_caught", Json::Num(c.panics_caught as f64)),
+        ("queue_depth_peak", Json::Num(c.queue_depth_peak as f64)),
+        ("event_drops", Json::Num(c.event_drops() as f64)),
+        ("event_drops_by_lane", Json::Obj(drops)),
+    ])
+}
+
+/// Reads the service counters from a profile document. `Ok(None)` for
+/// pre-v6 profiles (no `service` block).
+pub fn service_counters(text: &str) -> Result<Option<ServiceCounters>> {
+    let doc = parse_json(text)?;
+    check_schema(&doc)?;
+    let Some(block) = doc.get("service") else {
+        return Ok(None);
+    };
+    let u = |key: &str| block.get(key).and_then(Json::as_u64).unwrap_or(0);
+    let mut event_drops_by_lane = BTreeMap::new();
+    if let Some(Json::Obj(pairs)) = block.get("event_drops_by_lane") {
+        for (lane, n) in pairs {
+            if let (Ok(lane), Some(n)) = (lane.parse::<u32>(), n.as_u64()) {
+                event_drops_by_lane.insert(lane, n);
+            }
+        }
+    }
+    Ok(Some(ServiceCounters {
+        submitted: u("jobs_submitted"),
+        completed: u("jobs_completed"),
+        failed: u("jobs_failed"),
+        rejected_queue_full: u("rejected_queue_full"),
+        rejected_quota: u("rejected_quota"),
+        rejected_deadline: u("rejected_deadline"),
+        rejected_invalid: u("rejected_invalid"),
+        retries: u("retries"),
+        preemptions: u("preemptions"),
+        resumes: u("resumes"),
+        panics_caught: u("panics_caught"),
+        queue_depth_peak: u("queue_depth_peak"),
+        event_drops_by_lane,
+    }))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1053,6 +1169,47 @@ mod tests {
         assert_eq!(kernel_table(&text).unwrap()["fft"].calls, 7);
         // v4 documents carry no roofline block
         assert_eq!(roofline_summary(&text).unwrap(), None);
+    }
+
+    #[test]
+    fn service_block_round_trips() {
+        let mut c = ServiceCounters {
+            submitted: 12,
+            completed: 9,
+            failed: 3,
+            rejected_queue_full: 2,
+            rejected_quota: 1,
+            rejected_deadline: 4,
+            rejected_invalid: 1,
+            retries: 5,
+            preemptions: 2,
+            resumes: 2,
+            panics_caught: 1,
+            queue_depth_peak: 6,
+            ..Default::default()
+        };
+        c.event_drops_by_lane.insert(0, 10);
+        c.event_drops_by_lane.insert(10_003, 4);
+        assert_eq!(c.event_drops(), 14);
+        assert_eq!(c.terminal(), 12);
+        let doc = Json::obj([
+            ("schema", Json::Str(PROFILE_SCHEMA.into())),
+            ("kernels", Json::Obj(vec![])),
+            ("service", service_block(&c)),
+        ]);
+        let back = service_counters(&doc.pretty()).unwrap().unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn kernel_table_accepts_v5_schema_without_service() {
+        let text = format!(
+            "{{\"schema\": \"{PROFILE_SCHEMA_V5}\", \"kernels\": {{\
+             \"fft\": {{\"calls\": 7, \"seconds\": 0.25, \"flops\": 1200}}}}}}"
+        );
+        assert_eq!(kernel_table(&text).unwrap()["fft"].calls, 7);
+        // v5 documents carry no service block
+        assert_eq!(service_counters(&text).unwrap(), None);
     }
 
     #[test]

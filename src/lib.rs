@@ -20,7 +20,9 @@
 //! * [`core`] — LDC-DFT itself (the paper's contribution) and the QMD driver;
 //! * [`md`] — molecular dynamics engine and trajectory I/O;
 //! * [`parallel`] — Blue Gene/Q machine model and scaling predictors;
-//! * [`chem`] — LiAl/water hydrogen-on-demand application.
+//! * [`chem`] — LiAl/water hydrogen-on-demand application;
+//! * [`serve`] — multi-tenant job runtime: admission control, deadlines,
+//!   retry/backoff, checkpoint-backed preemption, supervised workers.
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-vs-measured record of every reproduced table and figure.
@@ -34,4 +36,5 @@ pub use mqmd_linalg as linalg;
 pub use mqmd_md as md;
 pub use mqmd_multigrid as multigrid;
 pub use mqmd_parallel as parallel;
+pub use mqmd_serve as serve;
 pub use mqmd_util as util;

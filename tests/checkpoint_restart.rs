@@ -157,6 +157,66 @@ fn store_rejects_corruption_and_rolls_back() {
 }
 
 #[test]
+fn pruning_keeps_newest_valid_despite_corrupt_file_between_good_ones() {
+    let dir = std::env::temp_dir().join(format!("mqmd_ckp_corrupt_prune_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let store = CheckpointStore::open(&dir, 2).unwrap();
+    let sys = h2();
+    let mk = |step: u64| Checkpoint {
+        step,
+        system: sys.clone(),
+        cached_forces: None,
+        thermostat: vec![step as f64],
+        solver: Vec::new(),
+    };
+    store.save(&mk(10)).unwrap();
+    let middle = store.save(&mk(20)).unwrap();
+    // Tear the middle checkpoint (a crashed writer's leftover): it now
+    // sits corrupt between two good ones.
+    let mut bytes = std::fs::read(&middle).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&middle, &bytes).unwrap();
+
+    // The next save triggers pruning with keep=2. The corrupt file must
+    // not count toward the budget: both good checkpoints (10 and 30)
+    // survive, so the store still holds `keep` *valid* copies.
+    store.save(&mk(30)).unwrap();
+    let files = store.list().unwrap();
+    assert!(
+        files
+            .iter()
+            .any(|p| p.ends_with("ckp_000000000010.mqmdckp")),
+        "oldest good checkpoint displaced by a corrupt file: {files:?}"
+    );
+    assert_eq!(store.load_latest().unwrap().unwrap().step, 30);
+
+    // The end-to-end property the budget exists for: even if the newest
+    // checkpoint is torn afterwards, a valid one is still on disk.
+    let newest = store.list().unwrap().pop().unwrap();
+    let mut bytes = std::fs::read(&newest).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&newest, &bytes).unwrap();
+    assert_eq!(store.load_latest().unwrap().unwrap().step, 10);
+
+    // Further saves eventually push the corrupt files past the keep-th
+    // newest valid checkpoint, at which point pruning reclaims them.
+    store.save(&mk(40)).unwrap();
+    store.save(&mk(50)).unwrap();
+    let files = store.list().unwrap();
+    assert!(!files
+        .iter()
+        .any(|p| p.ends_with("ckp_000000000020.mqmdckp")));
+    assert!(!files
+        .iter()
+        .any(|p| p.ends_with("ckp_000000000030.mqmdckp")));
+    assert_eq!(files.len(), 2);
+    assert_eq!(store.load_latest().unwrap().unwrap().step, 50);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn store_prunes_to_retention_budget() {
     let dir = std::env::temp_dir().join(format!("mqmd_ckp_prune_{}", std::process::id()));
     std::fs::remove_dir_all(&dir).ok();
