@@ -37,6 +37,7 @@ use mqmd_md::AtomicSystem;
 use mqmd_parallel::collectives::{allreduce_time_faulty, node_loss_recompute_time};
 use mqmd_parallel::executor::run_ranks;
 use mqmd_parallel::topology::{FaultyTorus, Torus};
+use mqmd_parallel::Comm;
 use mqmd_parallel::MachineSpec;
 use mqmd_util::constants::Element;
 use mqmd_util::faults::{self, CampaignSpec, FaultPlan};
@@ -266,7 +267,10 @@ fn main() {
     // 3c. Rank stragglers + machine faults: the executor absorbs late
     // ranks, and the degraded torus prices the rerouted communication.
     let ft = FaultyTorus::adopt(Torus::new(&[4, 4, 2]));
-    let out = run_ranks(4, |rank, comm| comm.allreduce_sum(vec![rank as f64; 1024]));
+    let out = run_ranks(4, |rank, comm| {
+        comm.allreduce_sum(vec![rank as f64; 1024])
+            .expect("allreduce under stragglers")
+    });
     if out.iter().any(|o| o[0] != 6.0) {
         violations.push("allreduce under stragglers produced a wrong sum".into());
     }

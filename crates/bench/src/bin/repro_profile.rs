@@ -1,7 +1,12 @@
 //! Profiles a small LDC-DFT QMD run under the hierarchical tracer and
-//! writes `BENCH_profile.json` (`mqmd-profile-v3`), a Chrome-trace
+//! writes `BENCH_profile.json` (`mqmd-profile-v7`), a Chrome-trace
 //! timeline (`BENCH_trace.json`, loadable in `chrome://tracing` or
 //! Perfetto), and the structured event log (`BENCH_events.jsonl`).
+//! v7 adds the `twin` block: a real 4-process rank session's measured
+//! per-collective wall-clock against the calibrated cost model's
+//! prediction (plus `BENCH_ranks_trace.json`, the per-rank event streams
+//! merged into one Chrome trace — also available standalone via
+//! `repro_profile --merge-ranks <prefix> [out.json]`).
 //!
 //! The profile is the measured half of the DESIGN.md substitution: per-
 //! kernel wall-time and FLOP counts come from running this repository's
@@ -22,6 +27,7 @@
 //! `cargo run --release -p mqmd-bench --bin repro_profile \
 //!  [out.json [trace.json [events.jsonl]]]`
 
+use mqmd_bench::real_ranks;
 use mqmd_bench::{measure_domain_solve_seconds, row, tiny_ldc_config};
 use mqmd_core::global::LdcSolver;
 use mqmd_core::qmd::QmdDriver;
@@ -30,14 +36,141 @@ use mqmd_md::thermostat::Berendsen;
 use mqmd_parallel::collectives::{charge_alltoall, charge_octree_reduce};
 use mqmd_parallel::executor::run_ranks;
 use mqmd_parallel::measured::{MeasuredProfile, PROFILE_PATH};
-use mqmd_parallel::MachineSpec;
+use mqmd_parallel::process::{run_processes, ProcessOpts};
+use mqmd_parallel::twin::{calibrate_from_pingpong, twin_block, TwinModel};
+use mqmd_parallel::{Comm, MachineSpec};
 use mqmd_util::metrics::{alloc_block, profile_report, Json};
 use mqmd_util::{chrometrace, events, trace, workspace};
+use std::time::Duration;
 
 /// Default Chrome-trace output path.
 const TRACE_PATH: &str = "BENCH_trace.json";
 /// Default structured-event log path.
 const EVENTS_PATH: &str = "BENCH_events.jsonl";
+/// Prefix of the per-rank event streams the twin session writes.
+const RANK_EVENTS_PREFIX: &str = "BENCH_rank_events";
+/// Merged per-rank Chrome trace (one pid per rank).
+const RANK_TRACE_PATH: &str = "BENCH_ranks_trace.json";
+
+/// Collects `{prefix}.rank{r}.jsonl` streams in rank order.
+fn rank_event_streams(prefix: &str) -> Vec<(String, Vec<events::EventRecord>)> {
+    let mut streams = Vec::new();
+    for rank in 0..1024 {
+        let path = format!("{prefix}.rank{rank}.jsonl");
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            break;
+        };
+        match events::parse_jsonl(&text) {
+            Ok(records) => streams.push((format!("rank {rank}"), records)),
+            Err(e) => {
+                eprintln!("warning: skipping {path}: {e}");
+                break;
+            }
+        }
+    }
+    streams
+}
+
+/// `--merge-ranks <prefix> [out.json]`: merge per-rank JSONL event
+/// streams into one Chrome trace with one process track per rank.
+fn merge_ranks_mode(prefix: &str, out: &str) -> ! {
+    let streams = rank_event_streams(prefix);
+    if streams.is_empty() {
+        eprintln!("error: no {prefix}.rank*.jsonl streams found");
+        std::process::exit(1);
+    }
+    let timeline = chrometrace::chrome_trace_multi(&streams);
+    chrometrace::validate(&timeline).expect("merged timeline must nest");
+    if let Err(e) = std::fs::write(out, timeline.compact()) {
+        eprintln!("error: cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "merged {} rank streams ({} events) into {out}",
+        streams.len(),
+        timeline
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .map(<[Json]>::len)
+            .unwrap_or(0),
+    );
+    std::process::exit(0);
+}
+
+/// Runs a small real-rank session and replays its traffic ledger
+/// through the host-calibrated digital twin: the `twin` block of
+/// `mqmd-profile-v7`, plus per-rank event streams merged into
+/// [`RANK_TRACE_PATH`]. Returns `Json::Null` (with a warning) if the
+/// worker binary cannot run here — the profile stays valid without it.
+fn twin_validation_block() -> Json {
+    let worker = real_ranks::worker_bin();
+    let opts = |args: &[f64]| ProcessOpts {
+        deadline: Duration::from_secs(60),
+        args: args.to_vec(),
+        ..Default::default()
+    };
+    // Calibrate latency/bandwidth from a 2-process ping-pong.
+    let cal = match run_processes(&worker, "pingpong", 2, opts(&[32.0, 65_536.0])) {
+        Ok(p) => calibrate_from_pingpong(p.results[0][0], p.results[0][1], p.results[0][2]),
+        Err(e) => {
+            eprintln!("warning: twin calibration skipped ({e}); profile omits the twin block");
+            return Json::Null;
+        }
+    };
+    println!(
+        "twin calibration: latency {:.2e} s, bandwidth {:.2e} B/s",
+        cal.mpi_latency, cal.link_bandwidth
+    );
+    // A 4-rank session with the full collective mix, events on.
+    let mut o = opts(&[512.0]);
+    o.events_prefix = Some(RANK_EVENTS_PREFIX.to_string());
+    let session = match run_processes(&worker, "collectives_smoke", 4, o) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("warning: twin session failed ({e}); profile omits the twin block");
+            return Json::Null;
+        }
+    };
+    let twin = TwinModel::calibrated(cal);
+    let rows = twin.validate(&session.traffic, 4);
+    println!(
+        "{}",
+        row(
+            "collective",
+            &[
+                "calls".into(),
+                "predicted s".into(),
+                "measured s".into(),
+                "rel err".into()
+            ]
+        )
+    );
+    for r in &rows {
+        println!(
+            "{}",
+            row(
+                &r.op,
+                &[
+                    format!("{}", r.calls),
+                    format!("{:.3e}", r.predicted_secs),
+                    format!("{:.3e}", r.measured_secs),
+                    format!("{:+.2}", r.rel_err),
+                ]
+            )
+        );
+    }
+    let streams = rank_event_streams(RANK_EVENTS_PREFIX);
+    if !streams.is_empty() {
+        let timeline = chrometrace::chrome_trace_multi(&streams);
+        chrometrace::validate(&timeline).expect("rank timeline must nest");
+        if let Err(e) = std::fs::write(RANK_TRACE_PATH, timeline.compact()) {
+            eprintln!("warning: cannot write {RANK_TRACE_PATH}: {e}");
+        } else {
+            println!("wrote {RANK_TRACE_PATH} ({} rank tracks)", streams.len());
+        }
+    }
+    twin_block(&twin.machine.name, &rows)
+}
 
 /// The spans flattened into the profile's kernel table.
 const KERNELS: &[&str] = &[
@@ -55,6 +188,15 @@ const KERNELS: &[&str] = &[
 ];
 
 fn main() {
+    if std::env::args().nth(1).as_deref() == Some("--merge-ranks") {
+        let prefix = std::env::args()
+            .nth(2)
+            .unwrap_or_else(|| RANK_EVENTS_PREFIX.to_string());
+        let out = std::env::args()
+            .nth(3)
+            .unwrap_or_else(|| RANK_TRACE_PATH.to_string());
+        merge_ranks_mode(&prefix, &out);
+    }
     let out_path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| PROFILE_PATH.to_string());
@@ -116,7 +258,8 @@ fn main() {
     {
         let _span = trace::span("global_reduce");
         run_ranks(8, |rank, comm| {
-            comm.allreduce_sum(vec![rank as f64; 512]);
+            comm.allreduce_sum(vec![rank as f64; 512])
+                .expect("in-process allreduce");
         });
     }
     {
@@ -125,6 +268,13 @@ fn main() {
         charge_alltoall(&mira, 4096.0, 64);
         charge_octree_reduce(&mira, 16.0 * 16.0 * 16.0 * 8.0, 4);
     }
+
+    // 3b. Digital-twin validation: a real 4-process rank session over TCP,
+    //     its measured per-collective wall-clock replayed through the
+    //     host-calibrated cost model (the v7 `twin` block), and the
+    //     per-rank event streams merged into one Chrome trace.
+    println!("\n== digital twin: real-rank session vs cost model ==\n");
+    let twin = twin_validation_block();
 
     // 4. Serialise the hierarchical trace + flattened kernel table, the
     //    Chrome-trace timeline, and the structured event log.
@@ -185,6 +335,9 @@ fn main() {
                 ..Default::default()
             }),
         ),
+        // Model-predicted vs wall-clock per collective from a real-rank
+        // session (Null when the worker binary cannot run here).
+        ("twin".to_string(), twin),
     ];
     let doc = profile_report(&node, KERNELS, extra);
     if let Err(e) = std::fs::write(&out_path, doc.pretty()) {

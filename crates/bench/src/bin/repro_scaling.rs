@@ -5,13 +5,134 @@
 //! workload; the at-scale wall-clock then comes from the Blue Gene/Q
 //! machine model of `mqmd-parallel` (see DESIGN.md substitution table).
 //!
-//! Usage: `cargo run --release -p mqmd-bench --bin repro_scaling`
+//! With `--real-ranks`, the same weak/strong protocol additionally runs
+//! on **real rank processes** (2–16 `mqmd-rank` workers over TCP): each
+//! point is a measured wall-clock next to the digital twin's prediction
+//! for the identical traffic, with the per-collective relative error —
+//! the model-vs-reality loop of DESIGN §4g.
+//!
+//! Usage: `cargo run --release -p mqmd-bench --bin repro_scaling [--real-ranks]`
 
+use mqmd_bench::real_ranks::worker_bin;
 use mqmd_bench::{measure_domain_solve_seconds, pct_dev, row};
 use mqmd_parallel::measured::{MeasuredProfile, PROFILE_PATH};
+use mqmd_parallel::process::{run_processes, ProcessOpts};
+use mqmd_parallel::twin::{calibrate_from_pingpong, TwinModel};
 use mqmd_parallel::{StrongScalingModel, WeakScalingModel};
+use std::time::Duration;
+
+/// Rank counts of the real-process sweeps.
+const REAL_RANK_POINTS: [usize; 4] = [2, 4, 8, 16];
+
+fn real_opts(args: &[f64]) -> ProcessOpts {
+    ProcessOpts {
+        deadline: Duration::from_secs(120),
+        args: args.to_vec(),
+        ..Default::default()
+    }
+}
+
+/// Measured weak/strong curves on real rank processes, with the twin's
+/// prediction replayed from each run's traffic ledger.
+fn real_rank_scaling() {
+    let worker = worker_bin();
+    println!(
+        "== real-rank scaling: {} workers over TCP ==\n",
+        worker.display()
+    );
+    let twin = match run_processes(&worker, "pingpong", 2, real_opts(&[32.0, 65_536.0])) {
+        Ok(p) => {
+            let cal = calibrate_from_pingpong(p.results[0][0], p.results[0][1], p.results[0][2]);
+            println!(
+                "calibrated host twin: latency {:.2e} s, bandwidth {:.2e} B/s\n",
+                cal.mpi_latency, cal.link_bandwidth
+            );
+            TwinModel::calibrated(cal)
+        }
+        Err(e) => {
+            eprintln!("error: ping-pong calibration failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    for (title, program, args_of) in [
+        (
+            "weak scaling (4096 f64/rank/round, 8 rounds)",
+            "weak_collectives",
+            (|_p: usize| vec![4096.0, 8.0]) as fn(usize) -> Vec<f64>,
+        ),
+        (
+            "strong scaling (65536 f64 total/round, 8 rounds)",
+            "strong_collectives",
+            |_p: usize| vec![65_536.0, 8.0],
+        ),
+    ] {
+        println!("-- {title} --");
+        println!(
+            "{}",
+            row(
+                "ranks",
+                &[
+                    "measured s".into(),
+                    "twin s".into(),
+                    "rel err".into(),
+                    "frames".into(),
+                ]
+            )
+        );
+        for p in REAL_RANK_POINTS {
+            match run_processes(&worker, program, p, real_opts(&args_of(p))) {
+                Ok(run) => {
+                    let rows = twin.validate(&run.traffic, p);
+                    let predicted: f64 = rows.iter().map(|r| r.predicted_secs).sum();
+                    let measured: f64 = rows.iter().map(|r| r.measured_secs).sum();
+                    let rel = if measured > 0.0 {
+                        (measured - predicted) / measured
+                    } else {
+                        0.0
+                    };
+                    println!(
+                        "{}",
+                        row(
+                            &format!("{p}"),
+                            &[
+                                format!("{measured:.4}"),
+                                format!("{predicted:.4}"),
+                                format!("{rel:+.2}"),
+                                format!("{}", run.data_frames),
+                            ]
+                        )
+                    );
+                    for r in &rows {
+                        println!(
+                            "{}",
+                            row(
+                                &format!("  {}", r.op),
+                                &[
+                                    format!("{:.4}", r.measured_secs),
+                                    format!("{:.4}", r.predicted_secs),
+                                    format!("{:+.2}", r.rel_err),
+                                    format!("{}", r.msgs),
+                                ]
+                            )
+                        );
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error: {program} at p = {p} failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        println!();
+    }
+}
 
 fn main() {
+    if std::env::args().nth(1).as_deref() == Some("--real-ranks") {
+        real_rank_scaling();
+        return;
+    }
     println!("== Fig 5: weak scaling (64P-atom SiC on P cores of Blue Gene/Q) ==\n");
     // The per-core domain solve time is always *measured*: preferably read
     // from the BENCH_profile.json a prior `repro_profile` run wrote, else

@@ -13,6 +13,7 @@
 //!   FLOP/s of a Blue Gene/Q rack) come from `mqmd-parallel`'s machine
 //!   model fed with those measurements, per the DESIGN.md substitution.
 
+pub mod real_ranks;
 pub mod roofline;
 
 use mqmd_core::domain_solver::{solve_domain, DomainSetup};

@@ -1,0 +1,70 @@
+//! The tentpole acceptance gate: **one rank program, two transports,
+//! identical bits**. Every named program must return byte-identical
+//! RESULT payloads from the in-process thread backend and from real
+//! `mqmd-rank` worker processes over TCP — including the distributed
+//! H₂ LDC-DFT solve, whose payload embeds the full global density and
+//! total energy.
+//!
+//! Lives in `crates/bench/tests` because `CARGO_BIN_EXE_<name>` is only
+//! defined for tests of the package that builds the binary.
+
+use mqmd_bench::real_ranks::run_thread_reference;
+use mqmd_parallel::process::{run_processes, ProcessOpts};
+use std::path::Path;
+use std::time::Duration;
+
+fn worker() -> &'static Path {
+    Path::new(env!("CARGO_BIN_EXE_mqmd-rank"))
+}
+
+fn opts(args: &[f64]) -> ProcessOpts {
+    ProcessOpts {
+        deadline: Duration::from_secs(120),
+        args: args.to_vec(),
+        ..Default::default()
+    }
+}
+
+/// Runs `program` on both transports at `n` ranks and asserts bitwise
+/// equality of all per-rank results.
+fn assert_transports_agree(program: &str, n: usize, args: &[f64]) {
+    let reference = run_thread_reference(program, n, args).expect("registered program");
+    let run = run_processes(worker(), program, n, opts(args))
+        .unwrap_or_else(|e| panic!("{program} over processes: {e}"));
+    assert_eq!(run.results.len(), n);
+    for (rank, (process, thread)) in run.results.iter().zip(&reference).enumerate() {
+        assert_eq!(
+            process.len(),
+            thread.len(),
+            "{program} rank {rank}: payload length"
+        );
+        for (i, (a, b)) in process.iter().zip(thread).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{program} rank {rank} element {i}: {a} (process) vs {b} (thread)"
+            );
+        }
+    }
+}
+
+#[test]
+fn collectives_smoke_is_bitwise_across_transports() {
+    for n in [1, 2, 4] {
+        assert_transports_agree("collectives_smoke", n, &[48.0]);
+    }
+}
+
+#[test]
+fn four_rank_h2_solve_is_bitwise_across_transports() {
+    // The acceptance criterion: a 4-rank real-process run of the H₂
+    // verification system produces bitwise-identical global density and
+    // energies to the in-process executor running the same program.
+    assert_transports_agree("verify_h2", 4, &[]);
+}
+
+#[test]
+fn scaling_workloads_are_bitwise_across_transports() {
+    assert_transports_agree("weak_collectives", 4, &[256.0, 3.0]);
+    assert_transports_agree("strong_collectives", 4, &[1024.0, 3.0]);
+}

@@ -37,6 +37,7 @@
 pub mod bsd;
 pub mod complexity;
 pub mod dcr;
+pub mod distributed;
 pub mod domain_solver;
 pub mod global;
 pub mod qmd;

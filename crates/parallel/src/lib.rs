@@ -24,21 +24,33 @@
 //! * [`scaling`] — the weak-scaling (Fig 5), strong-scaling (Fig 6) and
 //!   FLOP/s (Table 2) predictors;
 //! * [`io`] — the collective-I/O aggregation model of §4.4;
-//! * [`executor`] — a thread-backed rank executor (MPI-style
-//!   send/recv/allreduce with metered messages) so the BSD communication
-//!   patterns can be executed locally, not just priced;
+//! * [`comm`] — the transport-agnostic [`Comm`](comm::Comm) trait every
+//!   backend implements, with the shared deterministic collectives
+//!   (binomial allreduce, ring halo exchange, pairwise all-to-all);
+//! * [`executor`] — the thread backend: MPI-style rank programs on
+//!   threads with metered, model-priced messages;
+//! * [`wire`] — the length-prefixed frame codec of the real transport;
+//! * [`process`] — the multi-process backend: real rank processes
+//!   (fork/exec of an `mqmd-rank` worker) over loopback TCP;
+//! * [`twin`] — the cost model retained as a digital twin that replays
+//!   executed traffic and predicts what it should have cost;
 //! * [`measured`] — kernel timings read back from `BENCH_profile.json`
 //!   (written by the `repro_profile` binary) so the scaling models consume
 //!   measured domain-solve times instead of hand-entered constants.
 
 pub mod collectives;
+pub mod comm;
 pub mod executor;
 pub mod io;
 pub mod machine;
 pub mod measured;
+pub mod process;
 pub mod scaling;
 pub mod threads;
 pub mod topology;
+pub mod twin;
+pub mod wire;
 
+pub use comm::{Comm, CommError, CommResult};
 pub use machine::MachineSpec;
 pub use scaling::{StrongScalingModel, WeakScalingModel};

@@ -1,0 +1,706 @@
+//! The multi-process backend: real rank processes over loopback TCP.
+//!
+//! Topology is hub-and-spoke. The parent binds an ephemeral loopback
+//! listener, fork/execs `n` copies of the `mqmd-rank` worker binary
+//! (rank identity, program name and arguments travel in the
+//! environment), and then routes: every point-to-point message is a
+//! [`Data`](crate::wire::FrameKind::Data) frame from the source worker
+//! that the parent forwards to the destination worker's socket. The
+//! parent also coordinates barriers centrally (count `p`
+//! [`Barrier`](crate::wire::FrameKind::Barrier) arrivals, release all)
+//! and collects each rank's [`Result`](crate::wire::FrameKind::Result)
+//! frame in rank order.
+//!
+//! A hub costs a factor ~2 in latency over peer-to-peer meshes but
+//! keeps the failure semantics crisp, which is what this backend is
+//! for: when a worker socket reaches EOF before its RESULT frame, the
+//! parent immediately broadcasts
+//! [`PeerGone`](crate::wire::FrameKind::PeerGone) so every surviving
+//! rank unblocks with a typed [`CommError::PeerGone`] instead of
+//! hanging in a half-dead collective — the property the rank-kill
+//! recovery probe in CI exercises.
+//!
+//! Fault-plane integration happens in the parent (the workers stay
+//! oblivious, as real compute ranks would be): at spawn time the parent
+//! polls [`Site::Rank`](mqmd_util::faults::Site) for each rank; a
+//! `Straggler` delays that rank's spawn and books the recovery, a
+//! `WorkerKill` arms a kill switch that SIGKILLs the victim after its
+//! first few routed frames — mid-step, not between steps.
+
+use crate::comm::{Comm, CommError, CommResult, OpTally, RankProgram, TrafficStats, POLL_SLICE_MS};
+use crate::wire::{read_frame, write_frame, Frame, FrameKind};
+use mqmd_util::{cancel, faults};
+use std::collections::{HashMap, VecDeque};
+use std::net::{TcpListener, TcpStream};
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Environment variable carrying the parent's listener address; its
+/// presence is what tells `mqmd-rank` it is a worker.
+pub const ENV_ADDR: &str = "MQMD_RANK_ADDR";
+/// This worker's rank id.
+pub const ENV_RANK: &str = "MQMD_RANK";
+/// Communicator size.
+pub const ENV_SIZE: &str = "MQMD_RANK_SIZE";
+/// Registry name of the rank program to run.
+pub const ENV_PROGRAM: &str = "MQMD_RANK_PROGRAM";
+/// Comma-separated `f64` arguments for the rank program.
+pub const ENV_ARGS: &str = "MQMD_RANK_ARGS";
+/// Per-primitive wait budget in milliseconds (hung-rank detection).
+pub const ENV_DEADLINE_MS: &str = "MQMD_RANK_DEADLINE_MS";
+/// If set, the worker records events and writes
+/// `{prefix}.rank{r}.jsonl` on exit (merged by `repro_profile
+/// --merge-ranks`).
+pub const ENV_EVENTS: &str = "MQMD_RANK_EVENTS";
+
+// ---------------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------------
+
+struct SocketInbox {
+    rx: Receiver<Frame>,
+    data: HashMap<u32, VecDeque<Vec<f64>>>,
+    releases: usize,
+    peer_gone: Option<usize>,
+}
+
+/// The worker-process communicator: one socket to the parent, frames
+/// demultiplexed into per-source FIFO queues by a reader thread.
+pub struct SocketComm {
+    rank: usize,
+    size: usize,
+    writer: Mutex<TcpStream>,
+    inbox: Mutex<SocketInbox>,
+    traffic: TrafficStats,
+    deadline: Option<Duration>,
+}
+
+impl SocketComm {
+    /// Connects to the parent at `addr`, sends HELLO, and starts the
+    /// frame reader thread.
+    pub fn connect(
+        addr: &str,
+        rank: usize,
+        size: usize,
+        deadline: Option<Duration>,
+    ) -> CommResult<SocketComm> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| CommError::Transport(format!("connect {addr}: {e}")))?;
+        stream.set_nodelay(true).ok();
+        let mut writer = stream
+            .try_clone()
+            .map_err(|e| CommError::Transport(format!("clone stream: {e}")))?;
+        write_frame(
+            &mut writer,
+            &Frame::control(FrameKind::Hello, rank as u32, 0),
+        )
+        .map_err(|e| CommError::Transport(format!("hello: {e}")))?;
+        let (tx, rx) = channel();
+        let mut reader = stream;
+        std::thread::spawn(move || {
+            while let Ok(Some(frame)) = read_frame(&mut reader) {
+                if tx.send(frame).is_err() {
+                    break;
+                }
+            }
+        });
+        Ok(SocketComm {
+            rank,
+            size,
+            writer: Mutex::new(writer),
+            inbox: Mutex::new(SocketInbox {
+                rx,
+                data: HashMap::new(),
+                releases: 0,
+                peer_gone: None,
+            }),
+            traffic: TrafficStats::default(),
+            deadline,
+        })
+    }
+
+    /// Blocks until the predicate extracts a value from the inbox,
+    /// filing every other frame where it belongs.
+    fn wait_for<T>(
+        &self,
+        op: &'static str,
+        mut take: impl FnMut(&mut SocketInbox) -> Option<T>,
+    ) -> CommResult<T> {
+        let start = Instant::now();
+        let mut inbox = self.inbox.lock().expect("inbox lock");
+        loop {
+            if let Some(rank) = inbox.peer_gone {
+                return Err(CommError::PeerGone { rank, op });
+            }
+            if let Some(v) = take(&mut inbox) {
+                return Ok(v);
+            }
+            match inbox.rx.recv_timeout(Duration::from_millis(POLL_SLICE_MS)) {
+                Ok(frame) => match frame.kind {
+                    FrameKind::Data => {
+                        let values = frame.values()?;
+                        inbox.data.entry(frame.src).or_default().push_back(values);
+                    }
+                    FrameKind::BarrierRelease => inbox.releases += 1,
+                    FrameKind::PeerGone => inbox.peer_gone = Some(frame.src as usize),
+                    other => {
+                        return Err(CommError::Transport(format!(
+                            "unexpected frame {other:?} at worker rank {}",
+                            self.rank
+                        )))
+                    }
+                },
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(CommError::Transport("parent connection closed".into()))
+                }
+            }
+            if let Some(reason) = cancel::poll_abort() {
+                return Err(CommError::Cancelled { op, reason });
+            }
+            if let Some(d) = self.deadline {
+                if start.elapsed() >= d {
+                    return Err(CommError::PeerTimeout {
+                        rank: self.rank,
+                        op,
+                        waited_ms: start.elapsed().as_millis() as u64,
+                    });
+                }
+            }
+        }
+    }
+
+    fn write(&self, frame: &Frame) -> CommResult<()> {
+        let mut w = self.writer.lock().expect("writer lock");
+        write_frame(&mut *w, frame).map_err(|e| CommError::Transport(format!("write: {e}")))
+    }
+}
+
+impl Comm for SocketComm {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn send_to(&self, dest: usize, data: &[f64]) -> CommResult<()> {
+        self.write(&Frame::data(
+            FrameKind::Data,
+            self.rank as u32,
+            dest as u32,
+            data,
+        ))
+    }
+
+    fn recv_from(&self, src: usize, op: &'static str) -> CommResult<Vec<f64>> {
+        self.wait_for(op, |inbox| {
+            inbox
+                .data
+                .get_mut(&(src as u32))
+                .and_then(|q| q.pop_front())
+        })
+    }
+
+    fn barrier(&self) -> CommResult<()> {
+        self.write(&Frame::control(FrameKind::Barrier, self.rank as u32, 0))?;
+        self.wait_for("barrier", |inbox| {
+            if inbox.releases > 0 {
+                inbox.releases -= 1;
+                Some(())
+            } else {
+                None
+            }
+        })
+    }
+
+    fn traffic(&self) -> &TrafficStats {
+        &self.traffic
+    }
+}
+
+/// Worker entry point. Returns `None` when the process is not a worker
+/// (no [`ENV_ADDR`] in the environment) — the caller proceeds with its
+/// normal CLI. Otherwise connects, runs the named program from
+/// `registry`, ships the traffic ledger (rank 0) and the RESULT frame,
+/// optionally writes this rank's event stream, and returns the exit
+/// code to pass to [`std::process::exit`].
+pub fn worker_from_env(registry: &[(&str, RankProgram)]) -> Option<i32> {
+    let addr = std::env::var(ENV_ADDR).ok()?;
+    let get = |key: &str| std::env::var(key).unwrap_or_default();
+    let rank: usize = get(ENV_RANK).parse().expect("worker rank");
+    let size: usize = get(ENV_SIZE).parse().expect("worker size");
+    let program = get(ENV_PROGRAM);
+    let args: Vec<f64> = get(ENV_ARGS)
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| s.parse().expect("worker arg"))
+        .collect();
+    let deadline = get(ENV_DEADLINE_MS)
+        .parse::<u64>()
+        .ok()
+        .map(Duration::from_millis);
+    let events_prefix = std::env::var(ENV_EVENTS).ok();
+
+    if events_prefix.is_some() {
+        mqmd_util::events::set_enabled(true);
+    }
+    let _lane = mqmd_util::events::LaneGuard::rank(rank as u32);
+
+    let Some((_, run)) = registry.iter().find(|(name, _)| *name == program) else {
+        eprintln!("mqmd-rank: unknown program {program:?}");
+        return Some(2);
+    };
+    let comm = match SocketComm::connect(&addr, rank, size, deadline) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("mqmd-rank[{rank}]: {e}");
+            return Some(3);
+        }
+    };
+    let outcome = run(&comm, &args);
+    let code = match outcome {
+        Ok(values) => {
+            let mut ok = true;
+            if rank == 0 {
+                let ledger = comm.traffic().encode();
+                ok &= comm
+                    .write(&Frame {
+                        kind: FrameKind::Traffic,
+                        src: rank as u32,
+                        dest: 0,
+                        payload: ledger.into_bytes(),
+                    })
+                    .is_ok();
+            }
+            ok &= comm
+                .write(&Frame::data(FrameKind::Result, rank as u32, 0, &values))
+                .is_ok();
+            if ok {
+                0
+            } else {
+                3
+            }
+        }
+        Err(e) => {
+            let _ = comm.write(&Frame {
+                kind: FrameKind::Error,
+                src: rank as u32,
+                dest: 0,
+                payload: e.to_string().into_bytes(),
+            });
+            eprintln!("mqmd-rank[{rank}]: {e}");
+            4
+        }
+    };
+    if let Some(prefix) = events_prefix {
+        let (records, _) = mqmd_util::events::drain();
+        let path = format!("{prefix}.rank{rank}.jsonl");
+        if let Err(e) = std::fs::write(&path, mqmd_util::events::to_jsonl(&records)) {
+            eprintln!("mqmd-rank[{rank}]: events {path}: {e}");
+        }
+    }
+    Some(code)
+}
+
+// ---------------------------------------------------------------------------
+// Parent side
+// ---------------------------------------------------------------------------
+
+/// Kill switch for fault drills: SIGKILL `rank` once the router has
+/// forwarded `after_data_frames` frames from it — mid-collective, the
+/// worst moment.
+#[derive(Debug, Clone, Copy)]
+pub struct KillSpec {
+    pub rank: usize,
+    pub after_data_frames: u64,
+}
+
+/// Options for a multi-process run.
+pub struct ProcessOpts {
+    /// Overall run deadline (also exported to workers as their
+    /// per-primitive wait budget). The default, 120 s, guarantees a
+    /// wedged cluster surfaces as [`CommError::PeerTimeout`], never a
+    /// hung parent.
+    pub deadline: Duration,
+    /// Explicit kill switch (the fault plane can also arm one).
+    pub kill: Option<KillSpec>,
+    /// If set, workers write `{prefix}.rank{r}.jsonl` event streams.
+    pub events_prefix: Option<String>,
+    /// Arguments handed to every rank program.
+    pub args: Vec<f64>,
+}
+
+impl Default for ProcessOpts {
+    fn default() -> Self {
+        ProcessOpts {
+            deadline: Duration::from_secs(120),
+            kill: None,
+            events_prefix: None,
+            args: Vec::new(),
+        }
+    }
+}
+
+/// What a successful multi-process run hands back.
+#[derive(Debug)]
+pub struct ProcessRun {
+    /// Per-rank RESULT payloads, rank order.
+    pub results: Vec<Vec<f64>>,
+    /// Rank 0's executed-collective ledger (the digital twin's input).
+    pub traffic: Vec<(String, OpTally)>,
+    /// DATA frames the router forwarded — the *observed* message count
+    /// the closed-form property tests pin.
+    pub data_frames: u64,
+    /// Payload bytes across those frames.
+    pub data_bytes: u64,
+    /// Parent wall-clock for the whole run (spawn to last RESULT).
+    pub wall_seconds: f64,
+}
+
+enum RouterEvent {
+    Result(usize, Vec<f64>),
+    Traffic(Vec<(String, OpTally)>),
+    Failed(usize, String),
+    Died(usize),
+    KillNow(usize),
+}
+
+/// Spawns `n` worker processes running `program` and routes their
+/// frames until every rank reports a RESULT. Typed failure, never a
+/// hang: worker death → [`CommError::PeerGone`], wedged cluster →
+/// [`CommError::PeerTimeout`] at the deadline.
+pub fn run_processes(
+    worker_bin: &Path,
+    program: &str,
+    n: usize,
+    opts: ProcessOpts,
+) -> CommResult<ProcessRun> {
+    assert!(n >= 1);
+    let sw = mqmd_util::timer::Stopwatch::start();
+    let start = Instant::now();
+    let listener =
+        TcpListener::bind("127.0.0.1:0").map_err(|e| CommError::Transport(format!("bind: {e}")))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| CommError::Transport(format!("local addr: {e}")))?
+        .to_string();
+    listener.set_nonblocking(true).ok();
+
+    // Fault plane: the parent is the "job scheduler" for its workers.
+    // Straggler delays a spawn (and books the recovery, as the thread
+    // backend does); WorkerKill arms the kill switch.
+    let mut kill = opts.kill;
+    let mut spawn_delays: Vec<Option<Duration>> = vec![None; n];
+    for (rank, slot) in spawn_delays.iter_mut().enumerate() {
+        let site = faults::Site::Rank(rank as u64);
+        match faults::poll(site) {
+            Some(faults::FaultKind::Straggler { delay_us }) => {
+                *slot = Some(Duration::from_micros(delay_us));
+            }
+            Some(faults::FaultKind::WorkerKill) => {
+                kill.get_or_insert(KillSpec {
+                    rank,
+                    after_data_frames: 2,
+                });
+            }
+            Some(_) => faults::record_recovery("rank_fault_absorbed", site.describe(), 1, 0.0),
+            None => {}
+        }
+    }
+
+    let deadline_ms = opts.deadline.as_millis().to_string();
+    let mut children: Vec<Child> = Vec::with_capacity(n);
+    for (rank, delay) in spawn_delays.iter().enumerate() {
+        if let Some(delay) = *delay {
+            std::thread::sleep(delay);
+            faults::record_recovery(
+                "straggler_wait",
+                faults::Site::Rank(rank as u64).describe(),
+                1,
+                delay.as_secs_f64(),
+            );
+        }
+        let mut cmd = Command::new(worker_bin);
+        cmd.env(ENV_ADDR, &addr)
+            .env(ENV_RANK, rank.to_string())
+            .env(ENV_SIZE, n.to_string())
+            .env(ENV_PROGRAM, program)
+            .env(
+                ENV_ARGS,
+                opts.args
+                    .iter()
+                    .map(|v| format!("{v:e}"))
+                    .collect::<Vec<_>>()
+                    .join(","),
+            )
+            .env(ENV_DEADLINE_MS, &deadline_ms)
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::inherit());
+        if let Some(prefix) = &opts.events_prefix {
+            cmd.env(ENV_EVENTS, prefix);
+        }
+        let child = cmd.spawn().map_err(|e| {
+            for c in &mut children {
+                let _ = c.kill();
+            }
+            CommError::Transport(format!("spawn {}: {e}", worker_bin.display()))
+        })?;
+        children.push(child);
+    }
+
+    let kill_all = |children: &mut Vec<Child>| {
+        for c in children.iter_mut() {
+            let _ = c.kill();
+        }
+        for c in children.iter_mut() {
+            let _ = c.wait();
+        }
+    };
+
+    // Accept n connections, identified by their HELLO frames.
+    let mut sockets: Vec<Option<TcpStream>> = (0..n).map(|_| None).collect();
+    let mut accepted = 0usize;
+    while accepted < n {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stream.set_nodelay(true).ok();
+                let mut reader = stream
+                    .try_clone()
+                    .map_err(|e| CommError::Transport(format!("clone accept: {e}")))?;
+                reader.set_read_timeout(Some(opts.deadline)).ok();
+                let hello = read_frame(&mut reader)
+                    .map_err(|e| CommError::Transport(format!("hello: {e}")))?
+                    .ok_or_else(|| CommError::Transport("worker closed before hello".into()))?;
+                if hello.kind != FrameKind::Hello || (hello.src as usize) >= n {
+                    kill_all(&mut children);
+                    return Err(CommError::Transport(format!(
+                        "bad hello: {:?} src {}",
+                        hello.kind, hello.src
+                    )));
+                }
+                reader.set_read_timeout(None).ok();
+                sockets[hello.src as usize] = Some(reader);
+                accepted += 1;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if start.elapsed() >= opts.deadline {
+                    kill_all(&mut children);
+                    return Err(CommError::PeerTimeout {
+                        rank: n,
+                        op: "accept",
+                        waited_ms: start.elapsed().as_millis() as u64,
+                    });
+                }
+                std::thread::sleep(Duration::from_millis(POLL_SLICE_MS));
+            }
+            Err(e) => {
+                kill_all(&mut children);
+                return Err(CommError::Transport(format!("accept: {e}")));
+            }
+        }
+    }
+
+    let writers: Arc<Vec<Mutex<TcpStream>>> = Arc::new(
+        sockets
+            .iter()
+            .map(|s| {
+                Mutex::new(
+                    s.as_ref()
+                        .expect("all accepted")
+                        .try_clone()
+                        .expect("clone writer"),
+                )
+            })
+            .collect(),
+    );
+    let data_frames = Arc::new(AtomicU64::new(0));
+    let data_bytes = Arc::new(AtomicU64::new(0));
+    let barrier_count = Arc::new(Mutex::new(0usize));
+    let (ev_tx, ev_rx): (Sender<RouterEvent>, Receiver<RouterEvent>) = channel();
+
+    let mut routers = Vec::with_capacity(n);
+    for (rank, slot) in sockets.iter_mut().enumerate() {
+        let mut reader = slot.take().expect("all accepted");
+        let writers = writers.clone();
+        let data_frames = data_frames.clone();
+        let data_bytes = data_bytes.clone();
+        let barrier_count = barrier_count.clone();
+        let ev_tx = ev_tx.clone();
+        let victim_frames = kill.filter(|k| k.rank == rank);
+        routers.push(std::thread::spawn(move || {
+            let mut forwarded = 0u64;
+            let mut done = false;
+            loop {
+                match read_frame(&mut reader) {
+                    Ok(Some(frame)) => match frame.kind {
+                        FrameKind::Data => {
+                            data_frames.fetch_add(1, Ordering::Relaxed);
+                            data_bytes.fetch_add(frame.payload.len() as u64, Ordering::Relaxed);
+                            forwarded += 1;
+                            let dest = frame.dest as usize;
+                            if dest < writers.len() {
+                                let mut w = writers[dest].lock().expect("writer lock");
+                                if write_frame(&mut *w, &frame).is_err() {
+                                    // Destination gone; its router reports.
+                                }
+                            }
+                            if let Some(k) = victim_frames {
+                                if forwarded == k.after_data_frames {
+                                    let _ = ev_tx.send(RouterEvent::KillNow(rank));
+                                }
+                            }
+                        }
+                        FrameKind::Barrier => {
+                            let mut count = barrier_count.lock().expect("barrier lock");
+                            *count += 1;
+                            if *count == writers.len() {
+                                *count = 0;
+                                for w in writers.iter() {
+                                    let mut w = w.lock().expect("writer lock");
+                                    let _ = write_frame(
+                                        &mut *w,
+                                        &Frame::control(FrameKind::BarrierRelease, 0, 0),
+                                    );
+                                }
+                            }
+                        }
+                        FrameKind::Result => {
+                            done = true;
+                            let values = frame.values().unwrap_or_default();
+                            let _ = ev_tx.send(RouterEvent::Result(rank, values));
+                        }
+                        FrameKind::Traffic => {
+                            let text = String::from_utf8_lossy(&frame.payload).to_string();
+                            if let Ok(ops) = TrafficStats::decode(&text) {
+                                let _ = ev_tx.send(RouterEvent::Traffic(ops));
+                            }
+                        }
+                        FrameKind::Error => {
+                            done = true;
+                            let msg = String::from_utf8_lossy(&frame.payload).to_string();
+                            let _ = ev_tx.send(RouterEvent::Failed(rank, msg));
+                        }
+                        _ => {}
+                    },
+                    Ok(None) => {
+                        if !done {
+                            let _ = ev_tx.send(RouterEvent::Died(rank));
+                        }
+                        break;
+                    }
+                    Err(_) => {
+                        if !done {
+                            let _ = ev_tx.send(RouterEvent::Died(rank));
+                        }
+                        break;
+                    }
+                }
+            }
+        }));
+    }
+    drop(ev_tx);
+
+    let mut results: Vec<Option<Vec<f64>>> = vec![None; n];
+    let mut traffic: Vec<(String, OpTally)> = Vec::new();
+    let mut finished = 0usize;
+    let failure: Option<CommError> = loop {
+        if finished == n {
+            break None;
+        }
+        let remaining = opts
+            .deadline
+            .checked_sub(start.elapsed())
+            .unwrap_or(Duration::ZERO);
+        match ev_rx.recv_timeout(remaining.max(Duration::from_millis(1))) {
+            Ok(RouterEvent::Result(rank, values)) => {
+                results[rank] = Some(values);
+                finished += 1;
+            }
+            Ok(RouterEvent::Traffic(ops)) => traffic = ops,
+            Ok(RouterEvent::KillNow(rank)) => {
+                let _ = children[rank].kill();
+            }
+            Ok(RouterEvent::Failed(rank, msg)) => {
+                break Some(CommError::Transport(format!("rank {rank}: {msg}")));
+            }
+            Ok(RouterEvent::Died(rank)) => {
+                // Unblock the survivors with a typed error before
+                // tearing down.
+                for (dest, w) in writers.iter().enumerate() {
+                    if dest != rank {
+                        let mut w = w.lock().expect("writer lock");
+                        let _ = write_frame(
+                            &mut *w,
+                            &Frame::control(FrameKind::PeerGone, rank as u32, dest as u32),
+                        );
+                    }
+                }
+                break Some(CommError::PeerGone {
+                    rank,
+                    op: "run_processes",
+                });
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                break Some(CommError::PeerTimeout {
+                    rank: n,
+                    op: "run_processes",
+                    waited_ms: start.elapsed().as_millis() as u64,
+                });
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                break Some(CommError::Transport("all routers exited early".into()));
+            }
+        }
+    };
+
+    if failure.is_some() {
+        kill_all(&mut children);
+    } else {
+        for c in children.iter_mut() {
+            let _ = c.wait();
+        }
+    }
+    for r in routers {
+        let _ = r.join();
+    }
+    if let Some(e) = failure {
+        return Err(e);
+    }
+    Ok(ProcessRun {
+        results: results
+            .into_iter()
+            .map(|r| r.expect("all finished"))
+            .collect(),
+        traffic,
+        data_frames: data_frames.load(Ordering::Relaxed),
+        data_bytes: data_bytes.load(Ordering::Relaxed),
+        wall_seconds: sw.seconds(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_opts_have_a_deadline() {
+        // The invariant the hang-freedom claim rests on.
+        let opts = ProcessOpts::default();
+        assert!(opts.deadline > Duration::ZERO);
+        assert!(opts.kill.is_none());
+    }
+
+    #[test]
+    fn worker_from_env_is_inert_outside_workers() {
+        // No MQMD_RANK_ADDR in the test environment: the entry point
+        // must decline so binaries fall through to their normal CLI.
+        assert!(worker_from_env(&[]).is_none());
+    }
+}

@@ -4,6 +4,7 @@
 //! exactly `2·(p−1)` messages of `len·8` bytes each, whatever the tree
 //! shape — both to the per-run [`CommStats`] and to the ambient trace span.
 
+use mqmd_parallel::comm::Comm;
 use mqmd_parallel::executor::run_ranks;
 use mqmd_util::trace;
 
@@ -15,6 +16,7 @@ fn allreduce_equals_serial_sum() {
         let len = 5usize;
         let out = run_ranks(p, |rank, comm| {
             comm.allreduce_sum((0..len).map(|j| (rank * len + j) as f64).collect())
+                .unwrap()
         });
         let expect: Vec<f64> = (0..len)
             .map(|j| (0..p).map(|r| (r * len + j) as f64).sum())
@@ -30,10 +32,10 @@ fn comm_stats_match_analytic_message_and_byte_counts() {
     let len = 384usize;
     for p in RANK_COUNTS {
         let tallies = run_ranks(p, |_, comm| {
-            comm.allreduce_sum(vec![1.0; len]);
+            comm.allreduce_sum(vec![1.0; len]).unwrap();
             // The barrier guarantees every rank has finished sending before
             // anyone reads the shared tally.
-            comm.barrier();
+            comm.barrier().unwrap();
             (
                 comm.stats().messages(),
                 comm.stats().bytes(),
@@ -59,9 +61,9 @@ fn repeated_allreduces_accumulate_linearly() {
     let (p, len, rounds) = (7usize, 32usize, 9u64);
     let tallies = run_ranks(p, |_, comm| {
         for _ in 0..rounds {
-            comm.allreduce_sum(vec![2.0; len]);
+            comm.allreduce_sum(vec![2.0; len]).unwrap();
         }
-        comm.barrier();
+        comm.barrier().unwrap();
         (comm.stats().messages(), comm.stats().bytes())
     });
     let per_round = 2 * (p as u64 - 1);
@@ -79,8 +81,8 @@ fn trace_span_attributes_allreduce_communication() {
     {
         let _span = trace::span("collective_under_test");
         run_ranks(p, |_, comm| {
-            comm.allreduce_sum(vec![0.5; len]);
-            comm.barrier();
+            comm.allreduce_sum(vec![0.5; len]).unwrap();
+            comm.barrier().unwrap();
         });
     }
     let node = trace::take();

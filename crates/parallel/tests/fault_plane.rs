@@ -8,6 +8,7 @@
 //! and would poll the same `Site::Rank` counters, poaching the injected
 //! faults. Every test here takes the `gate()` mutex.
 
+use mqmd_parallel::comm::Comm;
 use mqmd_parallel::executor::run_ranks;
 use mqmd_parallel::topology::{FaultyTorus, Torus};
 use mqmd_util::faults::{self, FaultKind, FaultPlan, Site};
@@ -25,7 +26,9 @@ fn straggler_rank_is_absorbed_and_accounted() {
     plan.push(FaultKind::Straggler { delay_us: 2_000 }, Site::Rank(1), 1);
     faults::install(plan);
     // The collectives still complete and agree despite rank 1's late start.
-    let out = run_ranks(4, |rank, comm| comm.allreduce_sum(vec![rank as f64]));
+    let out = run_ranks(4, |rank, comm| {
+        comm.allreduce_sum(vec![rank as f64]).unwrap()
+    });
     faults::clear();
     for o in out {
         assert_eq!(o, vec![6.0]);
@@ -51,10 +54,10 @@ fn degraded_links_inflate_modelled_message_cost() {
     let send_once = || {
         run_ranks(2, |rank, comm| {
             if rank == 0 {
-                comm.send(1, vec![0.0; 1 << 16]);
+                comm.send_to(1, &[0.0; 1 << 16]).unwrap();
                 comm.stats().modelled_seconds()
             } else {
-                comm.recv();
+                comm.recv_from(0, "test").unwrap();
                 0.0
             }
         })[0]
@@ -115,7 +118,9 @@ fn idle_plane_leaves_executor_untouched() {
     let _g = gate();
     faults::clear();
     faults::reset_stats();
-    let out = run_ranks(3, |rank, comm| comm.allreduce_sum(vec![rank as f64]));
+    let out = run_ranks(3, |rank, comm| {
+        comm.allreduce_sum(vec![rank as f64]).unwrap()
+    });
     for o in out {
         assert_eq!(o, vec![3.0]);
     }

@@ -14,24 +14,28 @@
 //! The output therefore always satisfies [`validate`], which checks the
 //! invariant Chrome itself requires — per lane, `"E"` events match the
 //! innermost open `"B"` in LIFO order.
+//!
+//! Two entry points: [`chrome_trace`] renders one process's records
+//! (everything on pid 0), and [`chrome_trace_multi`] merges several
+//! independent streams — one per real rank process of a distributed run
+//! — into a single timeline with one pid (and one named process track)
+//! per stream. The per-rank JSONL files that `mqmd-rank` workers write
+//! feed the latter via `repro_profile --merge-ranks`.
 
 use crate::error::{MqmdError, Result};
 use crate::events::{Event, EventRecord, Lane};
 use crate::metrics::Json;
 use std::collections::BTreeMap;
 
-/// Process id used for all emitted events (single-process timeline).
-const PID: f64 = 0.0;
-
 fn ts_us(ts_ns: u64) -> f64 {
     ts_ns as f64 / 1e3
 }
 
-fn meta_event(name: &str, tid: Option<u32>, value: &str) -> Json {
+fn meta_event(name: &str, pid: f64, tid: Option<u32>, value: &str) -> Json {
     let mut pairs = vec![
         ("name".to_string(), Json::Str(name.into())),
         ("ph".to_string(), Json::Str("M".into())),
-        ("pid".to_string(), Json::Num(PID)),
+        ("pid".to_string(), Json::Num(pid)),
     ];
     if let Some(tid) = tid {
         pairs.push(("tid".to_string(), Json::Num(tid as f64)));
@@ -43,17 +47,17 @@ fn meta_event(name: &str, tid: Option<u32>, value: &str) -> Json {
     Json::Obj(pairs)
 }
 
-fn duration_event(ph: &str, name: &str, ts_ns: u64, tid: u32) -> Json {
+fn duration_event(ph: &str, name: &str, ts_ns: u64, pid: f64, tid: u32) -> Json {
     Json::obj([
         ("name", Json::Str(name.into())),
         ("ph", Json::Str(ph.into())),
         ("ts", Json::Num(ts_us(ts_ns))),
-        ("pid", Json::Num(PID)),
+        ("pid", Json::Num(pid)),
         ("tid", Json::Num(tid as f64)),
     ])
 }
 
-fn instant_event(r: &EventRecord) -> Json {
+fn instant_event(r: &EventRecord, pid: f64) -> Json {
     let payload = crate::events::record_to_json(r);
     let args = match payload {
         Json::Obj(pairs) => Json::Obj(
@@ -68,11 +72,59 @@ fn instant_event(r: &EventRecord) -> Json {
         ("name", Json::Str(r.event.kind().into())),
         ("ph", Json::Str("i".into())),
         ("ts", Json::Num(ts_us(r.ts_ns))),
-        ("pid", Json::Num(PID)),
+        ("pid", Json::Num(pid)),
         ("tid", Json::Num(r.lane as f64)),
         ("s", Json::Str("t".into())),
         ("args", args),
     ])
+}
+
+/// Renders one record stream onto process `pid`: thread metadata, the
+/// per-lane span-repair pass, and instants.
+fn emit_stream(events: &mut Vec<Json>, pid: f64, records: &[EventRecord]) {
+    let mut by_lane: BTreeMap<u32, Vec<&EventRecord>> = BTreeMap::new();
+    for r in records {
+        by_lane.entry(r.lane).or_default().push(r);
+    }
+    for &lane in by_lane.keys() {
+        events.push(meta_event(
+            "thread_name",
+            pid,
+            Some(lane),
+            &Lane::decode(lane).label(),
+        ));
+    }
+    let end_ts = records.iter().map(|r| r.ts_ns).max().unwrap_or(0);
+    for (lane, mut lane_records) in by_lane {
+        lane_records.sort_by_key(|r| r.ts_ns);
+        // Stack of open span names for the repair pass.
+        let mut open: Vec<&'static str> = Vec::new();
+        for r in lane_records {
+            match &r.event {
+                Event::SpanBegin { name } => {
+                    open.push(name);
+                    events.push(duration_event("B", name, r.ts_ns, pid, lane));
+                }
+                Event::SpanEnd { name } => {
+                    if !open.contains(name) {
+                        continue; // orphan end: its begin predates recording
+                    }
+                    // Close intermediates first so E events stay LIFO.
+                    while let Some(top) = open.pop() {
+                        events.push(duration_event("E", top, r.ts_ns, pid, lane));
+                        if top == *name {
+                            break;
+                        }
+                    }
+                }
+                _ => events.push(instant_event(r, pid)),
+            }
+        }
+        // Synthesize ends for spans still open when the stream stopped.
+        while let Some(top) = open.pop() {
+            events.push(duration_event("E", top, end_ts, pid, lane));
+        }
+    }
 }
 
 /// Builds a Chrome trace-event document from drained event records.
@@ -83,52 +135,27 @@ fn instant_event(r: &EventRecord) -> Json {
 /// are processed per lane in timestamp order and mismatched span
 /// boundaries are repaired (see module docs).
 pub fn chrome_trace(records: &[EventRecord]) -> Json {
-    let mut by_lane: BTreeMap<u32, Vec<&EventRecord>> = BTreeMap::new();
-    for r in records {
-        by_lane.entry(r.lane).or_default().push(r);
-    }
+    let mut events = vec![meta_event("process_name", 0.0, None, "mqmd")];
+    emit_stream(&mut events, 0.0, records);
+    Json::obj([
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", Json::Str("ms".into())),
+    ])
+}
 
-    let mut events = vec![meta_event("process_name", None, "mqmd")];
-    for &lane in by_lane.keys() {
-        events.push(meta_event(
-            "thread_name",
-            Some(lane),
-            &Lane::decode(lane).label(),
-        ));
+/// Merges several independent record streams — typically the per-rank
+/// JSONL files of a multi-process run — into one timeline. Stream `i`
+/// becomes pid `i` with its label as the process name, so Perfetto
+/// shows one collapsible track group per rank while timestamps share
+/// one axis. Each stream's records are span-repaired independently
+/// (worker processes die with spans open during kill drills).
+pub fn chrome_trace_multi(streams: &[(String, Vec<EventRecord>)]) -> Json {
+    let mut events = Vec::new();
+    for (i, (label, records)) in streams.iter().enumerate() {
+        let pid = i as f64;
+        events.push(meta_event("process_name", pid, None, label));
+        emit_stream(&mut events, pid, records);
     }
-
-    let end_ts = records.iter().map(|r| r.ts_ns).max().unwrap_or(0);
-    for (lane, mut lane_records) in by_lane {
-        lane_records.sort_by_key(|r| r.ts_ns);
-        // Stack of open span names for the repair pass.
-        let mut open: Vec<&'static str> = Vec::new();
-        for r in lane_records {
-            match &r.event {
-                Event::SpanBegin { name } => {
-                    open.push(name);
-                    events.push(duration_event("B", name, r.ts_ns, lane));
-                }
-                Event::SpanEnd { name } => {
-                    if !open.contains(name) {
-                        continue; // orphan end: its begin predates recording
-                    }
-                    // Close intermediates first so E events stay LIFO.
-                    while let Some(top) = open.pop() {
-                        events.push(duration_event("E", top, r.ts_ns, lane));
-                        if top == *name {
-                            break;
-                        }
-                    }
-                }
-                _ => events.push(instant_event(r)),
-            }
-        }
-        // Synthesize ends for spans still open when the stream stopped.
-        while let Some(top) = open.pop() {
-            events.push(duration_event("E", top, end_ts, lane));
-        }
-    }
-
     Json::obj([
         ("traceEvents", Json::Arr(events)),
         ("displayTimeUnit", Json::Str("ms".into())),
@@ -277,19 +304,88 @@ mod tests {
     }
 
     #[test]
+    fn multi_stream_merge_keeps_ranks_on_separate_pids() {
+        let mk = |base: u64| {
+            vec![
+                rec(base, Lane::Rank(0), Event::SpanBegin { name: "solve" }),
+                rec(
+                    base + 5,
+                    Lane::Rank(0),
+                    Event::CollectiveDone {
+                        op: "allreduce_sum",
+                        ranks: 2,
+                        bytes: 64,
+                        seconds: 1e-5,
+                    },
+                ),
+                rec(base + 9, Lane::Rank(0), Event::SpanEnd { name: "solve" }),
+            ]
+        };
+        let doc =
+            chrome_trace_multi(&[("rank 0".to_string(), mk(0)), ("rank 1".to_string(), mk(3))]);
+        validate(&doc).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        // One process_name per stream, on distinct pids.
+        let procs: Vec<(u64, String)> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(Json::as_str) == Some("process_name"))
+            .map(|e| {
+                (
+                    e.get("pid").and_then(Json::as_u64).unwrap(),
+                    e.get("args")
+                        .and_then(|a| a.get("name"))
+                        .and_then(Json::as_str)
+                        .unwrap()
+                        .to_string(),
+                )
+            })
+            .collect();
+        assert_eq!(
+            procs,
+            vec![(0, "rank 0".to_string()), (1, "rank 1".to_string())]
+        );
+        // Duration events land on their stream's pid.
+        let pids: Vec<u64> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("B"))
+            .map(|e| e.get("pid").and_then(Json::as_u64).unwrap())
+            .collect();
+        assert_eq!(pids, vec![0, 1]);
+    }
+
+    #[test]
+    fn multi_stream_repairs_streams_independently() {
+        // Stream 0 dies with a span open (kill drill); stream 1 is fine.
+        let doc = chrome_trace_multi(&[
+            (
+                "rank 0".to_string(),
+                vec![rec(10, Lane::Rank(0), Event::SpanBegin { name: "solve" })],
+            ),
+            (
+                "rank 1".to_string(),
+                vec![
+                    rec(0, Lane::Rank(1), Event::SpanBegin { name: "solve" }),
+                    rec(8, Lane::Rank(1), Event::SpanEnd { name: "solve" }),
+                ],
+            ),
+        ]);
+        assert_eq!(validate(&doc).unwrap(), 4, "both pairs closed");
+    }
+
+    #[test]
     fn validate_rejects_bad_nesting() {
         let bad = Json::obj([(
             "traceEvents",
             Json::Arr(vec![
-                duration_event("B", "a", 0, 1),
-                duration_event("B", "b", 1, 1),
-                duration_event("E", "a", 2, 1),
+                duration_event("B", "a", 0, 0.0, 1),
+                duration_event("B", "b", 1, 0.0, 1),
+                duration_event("E", "a", 2, 0.0, 1),
             ]),
         )]);
         assert!(validate(&bad).is_err());
         let unclosed = Json::obj([(
             "traceEvents",
-            Json::Arr(vec![duration_event("B", "a", 0, 1)]),
+            Json::Arr(vec![duration_event("B", "a", 0, 0.0, 1)]),
         )]);
         assert!(validate(&unclosed).is_err());
         let no_events = Json::obj([("schema", Json::Str("x".into()))]);

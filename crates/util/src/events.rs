@@ -508,6 +508,118 @@ pub fn to_jsonl(records: &[EventRecord]) -> String {
     out
 }
 
+/// Interns a parsed name so it can live in the `&'static str` fields of
+/// [`EventRecord`]. The vocabulary is the fixed set of span/op/action
+/// labels the workspace emits, so the leak is bounded and deduplicated.
+fn intern(s: &str) -> &'static str {
+    static POOL: Mutex<Option<BTreeMap<String, &'static str>>> = Mutex::new(None);
+    let mut pool = POOL.lock().expect("intern pool");
+    let map = pool.get_or_insert_with(BTreeMap::new);
+    if let Some(&known) = map.get(s) {
+        return known;
+    }
+    let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+    map.insert(s.to_string(), leaked);
+    leaked
+}
+
+/// Parses [`to_jsonl`] output back into records — the read half of the
+/// per-rank event streams that worker processes write and
+/// `repro_profile --merge-ranks` stitches into one Chrome trace. Blank
+/// lines are skipped; any malformed line is a parse error naming its
+/// 1-based line number.
+pub fn parse_jsonl(text: &str) -> crate::Result<Vec<EventRecord>> {
+    let mut out = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let doc = crate::metrics::parse_json(line)
+            .map_err(|e| crate::MqmdError::Parse(format!("line {}: {e}", idx + 1)))?;
+        let bad = |what: &str| crate::MqmdError::Parse(format!("line {}: {what}", idx + 1));
+        let num = |key: &'static str| {
+            doc.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| bad(&format!("missing number {key:?}")))
+        };
+        let text_field = |key: &'static str| {
+            doc.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| bad(&format!("missing string {key:?}")))
+        };
+        let name_field = |key: &'static str| text_field(key).map(|s| intern(&s));
+        let kind = text_field("type")?;
+        let event = match kind.as_str() {
+            "span_begin" => Event::SpanBegin {
+                name: name_field("name")?,
+            },
+            "span_end" => Event::SpanEnd {
+                name: name_field("name")?,
+            },
+            "scf_iteration" => Event::ScfIteration {
+                iter: num("iter")? as u32,
+                residual: num("residual")?,
+                e_total: num("e_total")?,
+                mix: num("mix")?,
+            },
+            "qmd_step" => Event::QmdStep {
+                step: num("step")? as u32,
+                e_pot: num("e_pot")?,
+                e_kin: num("e_kin")?,
+                drift: num("drift")?,
+            },
+            "domain_solve" => Event::DomainSolve {
+                domain: num("domain")? as u32,
+                bands: num("bands")? as u32,
+                iterations: num("iterations")? as u32,
+                seconds: num("seconds")?,
+            },
+            "collective_done" => Event::CollectiveDone {
+                op: name_field("op")?,
+                ranks: num("ranks")? as u32,
+                bytes: num("bytes")? as u64,
+                seconds: num("seconds")?,
+            },
+            "watchdog_trip" => Event::WatchdogTrip {
+                watchdog: name_field("watchdog")?,
+                message: text_field("message")?,
+                value: num("value")?,
+                bound: num("bound")?,
+            },
+            "fault_injected" => Event::FaultInjected {
+                fault: name_field("fault")?,
+                site: text_field("site")?,
+                at: num("at")? as u64,
+            },
+            "recovery_action" => Event::RecoveryAction {
+                action: name_field("action")?,
+                site: text_field("site")?,
+                attempt: num("attempt")? as u32,
+                seconds: num("seconds")?,
+            },
+            "job_state" => Event::JobState {
+                job: num("job")? as u64,
+                tenant: num("tenant")? as u32,
+                state: name_field("state")?,
+                detail: text_field("detail")?,
+            },
+            "queue_depth" => Event::QueueDepth {
+                depth: num("depth")? as u32,
+                running: num("running")? as u32,
+            },
+            other => return Err(bad(&format!("unknown event type {other:?}"))),
+        };
+        out.push(EventRecord {
+            ts_ns: num("ts_ns")? as u64,
+            lane: num("lane")? as u32,
+            span: name_field("span")?,
+            event,
+        });
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -690,6 +802,81 @@ mod tests {
         );
         let second = parse_json(lines[1]).unwrap();
         assert_eq!(second.get("ranks").unwrap().as_u64(), Some(8));
+    }
+
+    #[test]
+    fn parse_jsonl_round_trips_every_event_kind() {
+        let records = vec![
+            EventRecord {
+                ts_ns: 1,
+                lane: Lane::Rank(2).encode(),
+                span: "global_reduce",
+                event: Event::SpanBegin { name: "scf_iter" },
+            },
+            EventRecord {
+                ts_ns: 2,
+                lane: Lane::Rank(2).encode(),
+                span: "global_reduce",
+                event: Event::CollectiveDone {
+                    op: "allreduce_sum",
+                    ranks: 4,
+                    bytes: 8192,
+                    seconds: 3.5e-4,
+                },
+            },
+            EventRecord {
+                ts_ns: 3,
+                lane: 0,
+                span: "",
+                event: Event::ScfIteration {
+                    iter: 7,
+                    residual: 1e-4,
+                    e_total: -1.1371,
+                    mix: 0.3,
+                },
+            },
+            EventRecord {
+                ts_ns: 4,
+                lane: Lane::Worker(1).encode(),
+                span: "domain_solve",
+                event: Event::RecoveryAction {
+                    action: "domain_retry_cached",
+                    site: "domain 3".into(),
+                    attempt: 2,
+                    seconds: 0.01,
+                },
+            },
+            EventRecord {
+                ts_ns: 5,
+                lane: 0,
+                span: "",
+                event: Event::JobState {
+                    job: 9,
+                    tenant: 1,
+                    state: "running",
+                    detail: "unicode — ünïcode \"quoted\"".into(),
+                },
+            },
+        ];
+        let back = parse_jsonl(&to_jsonl(&records)).unwrap();
+        assert_eq!(back, records, "bit-for-bit structural round trip");
+        // Interned names compare equal to the originals by value.
+        if let Event::CollectiveDone { op, .. } = back[1].event {
+            assert_eq!(op, "allreduce_sum");
+        }
+    }
+
+    #[test]
+    fn parse_jsonl_rejects_malformed_lines() {
+        assert!(parse_jsonl("not json\n").is_err());
+        assert!(parse_jsonl(
+            "{\"type\": \"mystery\", \"ts_ns\": 0, \"lane\": 0, \"span\": \"\"}\n"
+        )
+        .is_err());
+        // Missing required field.
+        assert!(parse_jsonl("{\"type\": \"queue_depth\", \"ts_ns\": 0, \"lane\": 0, \"span\": \"\", \"depth\": 1}\n").is_err());
+        // Blank lines are fine.
+        assert_eq!(parse_jsonl("\n\n").unwrap().len(), 0);
     }
 
     #[test]

@@ -440,8 +440,10 @@ fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Json> {
 // ---------------------------------------------------------------------------
 
 /// Current schema identifier written into profile documents.
-pub const PROFILE_SCHEMA: &str = "mqmd-profile-v6";
-/// Previous schema, still accepted (lacks the service block).
+pub const PROFILE_SCHEMA: &str = "mqmd-profile-v7";
+/// Previous schema, still accepted (lacks the twin-validation block).
+pub const PROFILE_SCHEMA_V6: &str = "mqmd-profile-v6";
+/// Still accepted (additionally lacks the service block).
 pub const PROFILE_SCHEMA_V5: &str = "mqmd-profile-v5";
 /// Still accepted (additionally lacks the roofline block).
 pub const PROFILE_SCHEMA_V4: &str = "mqmd-profile-v4";
@@ -580,24 +582,26 @@ pub fn profile_report(
     Json::Obj(pairs)
 }
 
-/// Validates a profile document's schema tag (v1 through v6).
+/// Validates a profile document's schema tag (v1 through v7).
 fn check_schema(doc: &Json) -> Result<()> {
     match doc.get("schema").and_then(Json::as_str) {
         Some(PROFILE_SCHEMA)
+        | Some(PROFILE_SCHEMA_V6)
         | Some(PROFILE_SCHEMA_V5)
         | Some(PROFILE_SCHEMA_V4)
         | Some(PROFILE_SCHEMA_V3)
         | Some(PROFILE_SCHEMA_V2)
         | Some(PROFILE_SCHEMA_V1) => Ok(()),
         other => Err(MqmdError::Parse(format!(
-            "expected schema {PROFILE_SCHEMA:?}, {PROFILE_SCHEMA_V5:?}, \
-             {PROFILE_SCHEMA_V4:?}, {PROFILE_SCHEMA_V3:?}, \
-             {PROFILE_SCHEMA_V2:?} or {PROFILE_SCHEMA_V1:?}, found {other:?}"
+            "expected schema {PROFILE_SCHEMA:?}, {PROFILE_SCHEMA_V6:?}, \
+             {PROFILE_SCHEMA_V5:?}, {PROFILE_SCHEMA_V4:?}, \
+             {PROFILE_SCHEMA_V3:?}, {PROFILE_SCHEMA_V2:?} or \
+             {PROFILE_SCHEMA_V1:?}, found {other:?}"
         ))),
     }
 }
 
-/// Parses a profile document (schema v1 through v4) and returns its
+/// Parses a profile document (schema v1 through v7) and returns its
 /// flattened kernel table. Rejects documents with a missing or unknown
 /// schema tag. Fields a document's schema generation predates (quantiles
 /// before v2, allocation counters before v3) parse as zero.
@@ -1210,6 +1214,15 @@ mod tests {
         assert_eq!(kernel_table(&text).unwrap()["fft"].calls, 7);
         // v5 documents carry no service block
         assert_eq!(service_counters(&text).unwrap(), None);
+    }
+
+    #[test]
+    fn kernel_table_accepts_v6_schema_without_twin() {
+        let text = format!(
+            "{{\"schema\": \"{PROFILE_SCHEMA_V6}\", \"kernels\": {{\
+             \"fft\": {{\"calls\": 7, \"seconds\": 0.25, \"flops\": 1200}}}}}}"
+        );
+        assert_eq!(kernel_table(&text).unwrap()["fft"].calls, 7);
     }
 
     #[test]
