@@ -12,7 +12,11 @@
 //!    must replay **bitwise** against the uninterrupted reference.
 //! 3. **Chaos**: the plan is installed and the SCF (Site::Scf faults),
 //!    the QMD run (Site::Domain faults), and a rank/torus leg
-//!    (Site::Rank stragglers, machine faults) all execute under it.
+//!    (Site::Rank stragglers, machine faults) all execute under it;
+//!    then a real-transport leg kills a seeded victim rank mid-collective
+//!    (allreduce, allgather, halo exchange) with the recovery supervisor
+//!    armed — every run must heal by respawn and finish bitwise-equal to
+//!    the thread reference.
 //! 4. **Accounting**: the campaign ledger must balance — every injected
 //!    fault recovered or surfaced as a typed error, no NaN anywhere, the
 //!    chaos trajectory's energy drift bounded, and the structured event
@@ -23,6 +27,7 @@
 //! Exit codes: 0 = all invariants hold, 1 = an invariant failed,
 //! 2 = bad arguments.
 
+use mqmd_bench::real_ranks::{run_thread_reference, worker_bin};
 use mqmd_bench::{row, tiny_ldc_config};
 use mqmd_core::global::LdcSolver;
 use mqmd_core::qmd::QmdDriver;
@@ -36,12 +41,13 @@ use mqmd_md::thermostat::NoseHoover;
 use mqmd_md::AtomicSystem;
 use mqmd_parallel::collectives::{allreduce_time_faulty, node_loss_recompute_time};
 use mqmd_parallel::executor::run_ranks;
+use mqmd_parallel::process::{run_processes, ProcessOpts, RecoveryOpts};
 use mqmd_parallel::topology::{FaultyTorus, Torus};
 use mqmd_parallel::Comm;
 use mqmd_parallel::MachineSpec;
 use mqmd_util::constants::Element;
-use mqmd_util::faults::{self, CampaignSpec, FaultPlan};
-use mqmd_util::{events, MqmdError, Vec3};
+use mqmd_util::faults::{self, CampaignSpec, FaultKind, FaultPlan, Site};
+use mqmd_util::{events, MqmdError, Vec3, Xoshiro256pp};
 
 /// Energy drift allowed for a *recovered* chaos trajectory relative to
 /// the fault-free reference, per step (Hartree). Recovery retries may
@@ -285,6 +291,62 @@ fn main() {
         t_allreduce,
         t_recompute
     );
+
+    // 3d. Real-transport rank kills mid-collective: the plane SIGKILLs a
+    // seeded victim during each collective family; the recovery
+    // supervisor must respawn it and replay to a bitwise-clean finish.
+    let mut rng = Xoshiro256pp::seed_from_u64(seed ^ 0x7261_6e6b_6b69_6c6c);
+    let victim = rng.below(4) as usize;
+    // Enough rounds that the victim cannot outrun its own kill: the
+    // switch trips on the victim's second routed frame, dozens of
+    // hub round trips before the program can finish.
+    let kill_cases: [(&str, Vec<f64>); 3] = [
+        ("count_allreduce", vec![50.0, 32.0]),
+        ("count_allgather", vec![50.0, 32.0]),
+        ("count_halo", vec![16.0, 40.0]),
+    ];
+    // Thread references first: the thread backend polls Site::Rank too
+    // and would otherwise consume the planned kill occurrences.
+    let references: Vec<Vec<Vec<f64>>> = kill_cases
+        .iter()
+        .map(|(program, args)| run_thread_reference(program, 4, args).expect("program registered"))
+        .collect();
+    let mut kill_plan = FaultPlan::new();
+    for occurrence in 1..=kill_cases.len() as u64 {
+        kill_plan.push(FaultKind::WorkerKill, Site::Rank(victim as u64), occurrence);
+    }
+    faults::install(kill_plan);
+    for ((program, args), reference) in kill_cases.into_iter().zip(references) {
+        let opts = ProcessOpts {
+            deadline: std::time::Duration::from_secs(60),
+            args: args.clone(),
+            recovery: Some(RecoveryOpts::default()),
+            ..Default::default()
+        };
+        match run_processes(&worker_bin(), program, 4, opts) {
+            Ok(p) => {
+                if p.recovery.restarts == 0 {
+                    violations.push(format!(
+                        "{program}: kill of rank {victim} left no respawn in the stats"
+                    ));
+                } else if p.results != reference {
+                    violations.push(format!(
+                        "{program}: healed run differs from the thread reference"
+                    ));
+                } else {
+                    println!(
+                        "chaos rank-kill leg: {program} healed rank {victim} \
+                         ({} respawn) bitwise-clean",
+                        p.recovery.restarts
+                    );
+                }
+            }
+            Err(e) => violations.push(format!(
+                "{program}: run under rank-kill failed instead of healing: {e}"
+            )),
+        }
+    }
+    println!();
 
     faults::clear();
     events::set_enabled(false);

@@ -1,12 +1,15 @@
 //! Profiles a small LDC-DFT QMD run under the hierarchical tracer and
-//! writes `BENCH_profile.json` (`mqmd-profile-v7`), a Chrome-trace
+//! writes `BENCH_profile.json` (`mqmd-profile-v8`), a Chrome-trace
 //! timeline (`BENCH_trace.json`, loadable in `chrome://tracing` or
 //! Perfetto), and the structured event log (`BENCH_events.jsonl`).
 //! v7 adds the `twin` block: a real 4-process rank session's measured
 //! per-collective wall-clock against the calibrated cost model's
 //! prediction (plus `BENCH_ranks_trace.json`, the per-rank event streams
 //! merged into one Chrome trace — also available standalone via
-//! `repro_profile --merge-ranks <prefix> [out.json]`).
+//! `repro_profile --merge-ranks <prefix> [out.json]`). v8 adds the
+//! `rank_recovery` block: a seeded kill drill through the recovery
+//! supervisor whose detect/respawn/rejoin latencies are measured on this
+//! host.
 //!
 //! The profile is the measured half of the DESIGN.md substitution: per-
 //! kernel wall-time and FLOP counts come from running this repository's
@@ -36,7 +39,7 @@ use mqmd_md::thermostat::Berendsen;
 use mqmd_parallel::collectives::{charge_alltoall, charge_octree_reduce};
 use mqmd_parallel::executor::run_ranks;
 use mqmd_parallel::measured::{MeasuredProfile, PROFILE_PATH};
-use mqmd_parallel::process::{run_processes, ProcessOpts};
+use mqmd_parallel::process::{run_processes, KillSpec, ProcessOpts, RecoveryOpts};
 use mqmd_parallel::twin::{calibrate_from_pingpong, twin_block, TwinModel};
 use mqmd_parallel::{Comm, MachineSpec};
 use mqmd_util::metrics::{alloc_block, profile_report, Json};
@@ -172,6 +175,57 @@ fn twin_validation_block() -> Json {
     twin_block(&twin.machine.name, &rows)
 }
 
+/// Runs a seeded kill drill through the recovery supervisor and returns
+/// the measured `rank_recovery` block of `mqmd-profile-v8` (restart
+/// counts plus detect/respawn/rejoin latencies on this host). Returns
+/// `Json::Null` (with a warning) if the drill cannot run here.
+fn rank_recovery_drill_block() -> Json {
+    let run = run_processes(
+        &real_ranks::worker_bin(),
+        "count_allreduce",
+        4,
+        ProcessOpts {
+            deadline: Duration::from_secs(60),
+            args: vec![50.0, 256.0],
+            kill: Some(KillSpec {
+                rank: 1,
+                after_data_frames: 2,
+                repeat: 1,
+            }),
+            recovery: Some(RecoveryOpts::default()),
+            ..Default::default()
+        },
+    );
+    let stats = match run {
+        Ok(p) if p.recovery.restarts > 0 => p.recovery,
+        Ok(_) => {
+            eprintln!("warning: recovery drill saw no restart; profile omits rank_recovery");
+            return Json::Null;
+        }
+        Err(e) => {
+            eprintln!("warning: recovery drill failed ({e}); profile omits rank_recovery");
+            return Json::Null;
+        }
+    };
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    println!(
+        "rank recovery drill: {} restart(s); detect {:.1} ms, respawn {:.1} ms, \
+         rejoin {:.1} ms (means)",
+        stats.restarts,
+        mean(&stats.detect_ms),
+        mean(&stats.respawn_ms),
+        mean(&stats.rejoin_ms)
+    );
+    mqmd_util::metrics::rank_recovery_block(&mqmd_util::metrics::RankRecoveryCounters {
+        restarts: u64::from(stats.restarts),
+        quarantines: u64::from(stats.quarantines),
+        suspects: u64::from(stats.suspects),
+        detect_ms: stats.detect_ms,
+        respawn_ms: stats.respawn_ms,
+        rejoin_ms: stats.rejoin_ms,
+    })
+}
+
 /// The spans flattened into the profile's kernel table.
 const KERNELS: &[&str] = &[
     "qmd_step",
@@ -276,6 +330,12 @@ fn main() {
     println!("\n== digital twin: real-rank session vs cost model ==\n");
     let twin = twin_validation_block();
 
+    // 3c. Rank-recovery drill: a seeded kill healed by the supervisor,
+    //     measuring detect/respawn/rejoin latency on this host (the v8
+    //     `rank_recovery` block).
+    println!("\n== rank recovery: seeded kill through the supervisor ==\n");
+    let rank_recovery = rank_recovery_drill_block();
+
     // 4. Serialise the hierarchical trace + flattened kernel table, the
     //    Chrome-trace timeline, and the structured event log.
     let node = trace::take();
@@ -318,9 +378,9 @@ fn main() {
             "alloc".to_string(),
             alloc_block(&total_alloc, steady.misses),
         ),
-        // All-zero in this fault-free run (the plane stays idle); chaos
-        // campaigns populate it and `repro_compare --gate-recovery`
-        // checks the ledger balances.
+        // The plane stays idle here, so injected is 0 (the kill drill
+        // books its respawn as a recovery); chaos campaigns populate it
+        // and `repro_compare --gate-recovery` checks the ledger balances.
         (
             "recovery".to_string(),
             mqmd_util::metrics::recovery_block(&mqmd_util::faults::stats()),
@@ -338,6 +398,9 @@ fn main() {
         // Model-predicted vs wall-clock per collective from a real-rank
         // session (Null when the worker binary cannot run here).
         ("twin".to_string(), twin),
+        // Measured supervisor latencies from the seeded kill drill (Null
+        // when the drill cannot run here).
+        ("rank_recovery".to_string(), rank_recovery),
     ];
     let doc = profile_report(&node, KERNELS, extra);
     if let Err(e) = std::fs::write(&out_path, doc.pretty()) {

@@ -11,7 +11,15 @@
 //! 3. **Typed failure, never a hang** — a seeded `WorkerKill` on the
 //!    fault plane SIGKILLs one rank mid-collective; the parent must
 //!    surface `CommError::PeerGone` within the deadline, the rerun must
-//!    succeed, and the fault ledger must balance.
+//!    succeed, and the fault ledger must balance;
+//! 4. **In-place rank restart** — with the recovery supervisor armed, a
+//!    seeded kill of one rank mid-SCF during the 4-rank H₂ solve must be
+//!    healed by respawn + epoch-fenced replay, and the finished run must
+//!    be **bitwise-identical** to a fault-free run;
+//! 5. **Typed quarantine** — a rank that keeps dying past the restart
+//!    budget is quarantined; the survivors shrink the communicator and
+//!    still complete (bitwise-equal to the shrunk thread reference)
+//!    instead of hanging or aborting the whole solve.
 //!
 //! Usage: `cargo run --release -p mqmd-bench --bin repro_ranks -- [--smoke]`
 //! (the smoke run is also the default). Exits non-zero on any violation —
@@ -19,7 +27,7 @@
 
 use mqmd_bench::real_ranks::{run_thread_reference, worker_bin, REGISTRY};
 use mqmd_parallel::comm::CommError;
-use mqmd_parallel::process::{run_processes, ProcessOpts, ProcessRun};
+use mqmd_parallel::process::{run_processes, KillSpec, ProcessOpts, ProcessRun, RecoveryOpts};
 use mqmd_util::faults::{self, FaultKind, FaultPlan, Site};
 use std::time::Duration;
 
@@ -71,11 +79,16 @@ fn main() {
 
     // 2. Closed-form wire counts observed by the router.
     println!();
-    let count_cases: [(&str, Vec<f64>, u64); 3] = [
+    let count_cases: [(&str, Vec<f64>, u64); 4] = [
         (
             "count_allreduce",
             vec![3.0, 32.0],
             3 * 2 * (RANKS as u64 - 1),
+        ),
+        (
+            "count_allgather",
+            vec![2.0, 32.0],
+            2 * 2 * (RANKS as u64 - 1),
         ),
         ("count_alltoall", vec![16.0], (RANKS * (RANKS - 1)) as u64),
         ("count_halo", vec![16.0], 2 * RANKS as u64),
@@ -83,10 +96,16 @@ fn main() {
     for (program, args, expect) in count_cases {
         match run(program, RANKS, &args) {
             Ok(p) if p.data_frames == expect => {
+                let stale: u64 = p.stale_frames.iter().sum();
+                let deferred: u64 = p.deferred_frames.iter().sum();
                 println!(
-                    "{program:<18} {} DATA frames (closed form {expect})",
+                    "{program:<18} {} DATA frames (closed form {expect}), \
+                     {stale} stale, {deferred} deferred",
                     p.data_frames
                 );
+                if stale != 0 {
+                    violations.push(format!("{program}: {stale} stale frames in a clean run"));
+                }
             }
             Ok(p) => violations.push(format!(
                 "{program}: {} DATA frames on the wire, closed form says {expect}",
@@ -142,6 +161,94 @@ fn main() {
     if s.injected > s.recovered + s.aborted {
         violations.push(format!(
             "fault ledger does not balance: {} injected > {} recovered + {} aborted",
+            s.injected, s.recovered, s.aborted
+        ));
+    }
+
+    // 4. In-place rank restart: the supervisor respawns a rank killed
+    //    mid-SCF and the epoch-fenced replay finishes bitwise-equal to a
+    //    fault-free run.
+    println!();
+    let h2_reference = run_thread_reference("verify_h2", RANKS, &[]).unwrap();
+    let restart_opts = ProcessOpts {
+        deadline: Duration::from_secs(120),
+        kill: Some(KillSpec {
+            rank: 1,
+            after_data_frames: 30,
+            repeat: 1,
+        }),
+        recovery: Some(RecoveryOpts::default()),
+        ..Default::default()
+    };
+    match run_processes(&worker_bin(), "verify_h2", RANKS, restart_opts) {
+        Ok(p) => {
+            if p.recovery.restarts == 0 {
+                violations.push("restart probe: supervisor recorded no respawn".into());
+            }
+            if p.results == h2_reference {
+                println!(
+                    "restart probe: rank 1 killed mid-SCF, respawned {}x, \
+                     healed run bitwise-equal to fault-free ({:.2} s)",
+                    p.recovery.restarts, p.wall_seconds
+                );
+            } else {
+                violations.push("restart probe: healed run differs from fault-free run".into());
+            }
+        }
+        Err(e) => violations.push(format!("restart probe: run failed instead of healing: {e}")),
+    }
+
+    // 5. Retry-budget exhaustion: a rank that dies on every incarnation is
+    //    quarantined; survivors shrink the communicator and still finish.
+    let quarantine_opts = ProcessOpts {
+        deadline: Duration::from_secs(120),
+        kill: Some(KillSpec {
+            rank: 2,
+            after_data_frames: 2,
+            repeat: 3,
+        }),
+        recovery: Some(RecoveryOpts {
+            max_restarts: 2,
+            ..RecoveryOpts::default()
+        }),
+        ..Default::default()
+    };
+    let shrunk_reference = run_thread_reference("collectives_smoke", RANKS - 1, &[64.0]).unwrap();
+    match run_processes(&worker_bin(), "collectives_smoke", RANKS, quarantine_opts) {
+        Ok(p) => {
+            if p.quarantined != vec![2] {
+                violations.push(format!(
+                    "quarantine probe: expected rank 2 quarantined, got {:?}",
+                    p.quarantined
+                ));
+            } else if !p.results[2].is_empty() {
+                violations.push("quarantine probe: quarantined slot carries a result".into());
+            } else {
+                let survivors: Vec<&Vec<f64>> = [0, 1, 3].iter().map(|&r| &p.results[r]).collect();
+                let reference: Vec<&Vec<f64>> = shrunk_reference.iter().collect();
+                if survivors == reference {
+                    println!(
+                        "quarantine probe: rank 2 exhausted {} restarts, \
+                         survivors finished on the shrunk communicator bitwise-clean",
+                        p.recovery.restarts
+                    );
+                } else {
+                    violations.push(
+                        "quarantine probe: survivors differ from the shrunk thread reference"
+                            .into(),
+                    );
+                }
+            }
+        }
+        Err(e) => violations.push(format!(
+            "quarantine probe: run aborted instead of degrading typed: {e}"
+        )),
+    }
+    let s = faults::stats();
+    if s.injected > s.recovered + s.aborted {
+        violations.push(format!(
+            "fault ledger does not balance after recovery probes: \
+             {} injected > {} recovered + {} aborted",
             s.injected, s.recovered, s.aborted
         ));
     }

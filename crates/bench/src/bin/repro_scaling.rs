@@ -16,7 +16,7 @@
 use mqmd_bench::real_ranks::worker_bin;
 use mqmd_bench::{measure_domain_solve_seconds, pct_dev, row};
 use mqmd_parallel::measured::{MeasuredProfile, PROFILE_PATH};
-use mqmd_parallel::process::{run_processes, ProcessOpts};
+use mqmd_parallel::process::{run_processes, ProcessOpts, RecoveryOpts};
 use mqmd_parallel::twin::{calibrate_from_pingpong, TwinModel};
 use mqmd_parallel::{StrongScalingModel, WeakScalingModel};
 use std::time::Duration;
@@ -28,6 +28,9 @@ fn real_opts(args: &[f64]) -> ProcessOpts {
     ProcessOpts {
         deadline: Duration::from_secs(120),
         args: args.to_vec(),
+        // Long sweeps ride out a transient worker death by in-place
+        // restart instead of aborting the whole protocol.
+        recovery: Some(RecoveryOpts::default()),
         ..Default::default()
     }
 }

@@ -30,6 +30,7 @@ pub const REGISTRY: &[(&str, RankProgram)] = &[
     ("weak_collectives", weak_collectives),
     ("strong_collectives", strong_collectives),
     ("count_allreduce", count_allreduce),
+    ("count_allgather", count_allgather),
     ("count_alltoall", count_alltoall),
     ("count_halo", count_halo),
 ];
@@ -220,6 +221,20 @@ fn count_allreduce(comm: &dyn Comm, args: &[f64]) -> CommResult<Vec<f64>> {
     Ok(vec![acc])
 }
 
+/// Exactly `args[0]` allgather calls of `args[1]` f64s per rank — the
+/// gather-to-0 + tree-broadcast shape costs `2·(p−1)` DATA frames per
+/// call.
+fn count_allgather(comm: &dyn Comm, args: &[f64]) -> CommResult<Vec<f64>> {
+    let calls = (args.first().copied().unwrap_or(1.0) as usize).max(1);
+    let len = (args.get(1).copied().unwrap_or(32.0) as usize).max(1);
+    let mut acc = 0.0;
+    for _ in 0..calls {
+        let all = comm.allgather_concat(&vec![(comm.rank() + 1) as f64; len])?;
+        acc += all.iter().sum::<f64>();
+    }
+    Ok(vec![acc])
+}
+
 /// One pairwise all-to-all — the router's DATA-frame count must equal
 /// `p·(p−1)`.
 fn count_alltoall(comm: &dyn Comm, args: &[f64]) -> CommResult<Vec<f64>> {
@@ -232,12 +247,18 @@ fn count_alltoall(comm: &dyn Comm, args: &[f64]) -> CommResult<Vec<f64>> {
     Ok(vec![got.into_iter().flatten().sum()])
 }
 
-/// One halo exchange — `2p` DATA frames on the ring (0 when p = 1).
+/// `args[1]` halo exchanges (default 1) — `2p` DATA frames each on the
+/// ring (0 when p = 1).
 fn count_halo(comm: &dyn Comm, args: &[f64]) -> CommResult<Vec<f64>> {
     let len = (args.first().copied().unwrap_or(16.0) as usize).max(1);
+    let calls = (args.get(1).copied().unwrap_or(1.0) as usize).max(1);
     let strip = vec![comm.rank() as f64; len];
-    let (from_left, from_right) = comm.halo_exchange(&strip, &strip)?;
-    Ok(vec![from_left[0], from_right[0]])
+    let mut out = vec![0.0, 0.0];
+    for _ in 0..calls {
+        let (from_left, from_right) = comm.halo_exchange(&strip, &strip)?;
+        out = vec![from_left[0], from_right[0]];
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -269,5 +290,9 @@ mod tests {
         // 2 calls, each summing 1.0 across 3 ranks → acc = 6.0.
         let out = run_thread_reference("count_allreduce", 3, &[2.0, 8.0]).unwrap();
         assert_eq!(out[0], vec![6.0]);
+        // 2 allgather calls of 4 f64s from ranks 1..=3 → 2·4·(1+2+3) = 48.
+        let out = run_thread_reference("count_allgather", 3, &[2.0, 4.0]).unwrap();
+        assert_eq!(out[0], vec![48.0]);
+        assert_eq!(out[1], out[0]);
     }
 }

@@ -42,7 +42,7 @@ use mqmd_grid::{DomainDecomposition, UniformGrid3};
 use mqmd_linalg::CMatrix;
 use mqmd_md::AtomicSystem;
 use mqmd_multigrid::{FftPoisson, PoissonMultigrid};
-use mqmd_parallel::comm::Comm;
+use mqmd_parallel::comm::{Comm, CommError, CommResult};
 use mqmd_util::workspace::Workspace;
 use mqmd_util::{faults, MqmdError, Result, Vec3};
 use std::collections::{BTreeMap, HashMap};
@@ -76,16 +76,31 @@ pub struct DistributedState {
 /// Number of grid points per boundary strip in the halo integrity probe.
 const HALO_PROBE_LEN: usize = 64;
 
+/// Safety cap on SCF recovery fences per solve — a runaway-restart
+/// backstop far above any real retry budget.
+const MAX_RECOVERY_ROUNDS: usize = 32;
+
 /// Solves the electronic structure of `system` with LDC-DFT, domain work
 /// striped over the ranks of `comm`. Every rank must call this with the
 /// same `system` and `cfg`; the result is replicated.
+///
+/// **Rank rebirth.** On transports with a recovery supervisor, a peer
+/// death mid-solve surfaces at the next collective as a typed
+/// [`CommError::PeerRestarted`] / [`CommError::PeerQuarantined`]. This
+/// solver treats every collective call site as an SCF recovery
+/// barrier: it fences the communicator forward
+/// ([`Comm::recovery_fence`]), re-derives its `idx % size` domain
+/// strip from the (possibly shrunk) `rank()`/`size()`, rehydrates from
+/// the replicated initial state, and replays the SCF from iteration 1.
+/// Because the whole trajectory is a deterministic function of
+/// `(rank, size, system, cfg)`, the healed solve is bitwise-identical
+/// to a fault-free run at the same communicator shape.
 pub fn solve_distributed(
     system: &AtomicSystem,
     cfg: &LdcConfig,
     comm: &dyn Comm,
 ) -> Result<DistributedState> {
     let cfg = *cfg;
-    let (rank, size) = (comm.rank(), comm.size());
     let dd = DomainDecomposition::new(system.cell, cfg.nd, cfg.buffer);
     let global_grid = grid_for_cell(system.cell, cfg.global_spacing);
     let n_electrons = system.valence_electrons() as f64;
@@ -114,7 +129,6 @@ pub fn solve_distributed(
     if setups.is_empty() {
         return Err(MqmdError::Invalid("no atoms in any domain".into()));
     }
-    let owned: Vec<usize> = (0..setups.len()).filter(|i| i % size == rank).collect();
 
     let mg = PoissonMultigrid::with_defaults(global_grid.clone());
     let mut mg_hier = match cfg.hartree {
@@ -133,11 +147,7 @@ pub fn solve_distributed(
         None,
     );
 
-    let mut rho = initial_density(&global_grid, &atoms_global, n_electrons);
-    // Previous-iteration densities of *owned* domains (for the LDC v_bc).
-    let mut rho_domains: HashMap<usize, Vec<f64>> = HashMap::new();
-    let mut psi_cache: HashMap<usize, CMatrix> = HashMap::new();
-    let mut eig_cache: HashMap<usize, EigWorkspace> = HashMap::new();
+    let rho0 = initial_density(&global_grid, &atoms_global, n_electrons);
 
     let n_g = global_grid.len();
     let mut v_h = vec![0.0; n_g];
@@ -145,234 +155,280 @@ pub fn solve_distributed(
     let mut v_hxc = vec![0.0; n_g];
     let mut v_h_out = vec![0.0; n_g];
 
-    #[allow(clippy::type_complexity)]
-    let mut outcome: Option<(
-        f64,
-        f64,
-        Vec<f64>,
-        f64,
-        Vec<(f64, f64)>,
-        usize,
-        LdcBreakdown,
-    )> = None;
-    let mut alpha = cfg.mix_alpha;
-    let mut prev_residual = f64::INFINITY;
-    for iter in 1..=cfg.max_scf {
-        let _span = mqmd_util::trace::span("scf_iter");
-        if let Some(reason) = mqmd_util::cancel::poll_abort() {
-            return Err(MqmdError::Cancelled {
-                what: format!("distributed LDC SCF iteration {iter}"),
-                reason,
-            });
+    // The SCF recovery barrier: each pass re-derives this rank's
+    // domain strip from the current communicator shape and replays the
+    // whole trajectory from the replicated initial density. A
+    // PeerRestarted/PeerQuarantined at any collective fences and jumps
+    // back here; everything else propagates typed.
+    let mut recovery_rounds = 0usize;
+    'solve: loop {
+        let (rank, size) = (comm.rank(), comm.size());
+        let owned: Vec<usize> = (0..setups.len()).filter(|i| i % size == rank).collect();
+
+        macro_rules! fence {
+            ($call:expr) => {
+                match $call {
+                    Ok(v) => v,
+                    Err(
+                        e @ (CommError::PeerRestarted { .. } | CommError::PeerQuarantined { .. }),
+                    ) => {
+                        comm.recovery_fence().map_err(MqmdError::from)?;
+                        recovery_rounds += 1;
+                        if recovery_rounds > MAX_RECOVERY_ROUNDS {
+                            return Err(MqmdError::Io(format!(
+                                "SCF recovery rounds exhausted after {recovery_rounds}: {e}"
+                            )));
+                        }
+                        faults::record_recovery(
+                            "scf_epoch_fence",
+                            faults::Site::Rank(rank as u64).describe(),
+                            1,
+                            0.0,
+                        );
+                        continue 'solve;
+                    }
+                    Err(e) => return Err(MqmdError::from(e)),
+                }
+            };
         }
-        match (cfg.hartree, mg_hier.as_mut()) {
-            (HartreeSolver::Multigrid, Some(hier)) => {
-                mg.hartree_with(&rho, &mut v_h, hier)?;
+
+        let mut rho = rho0.clone();
+        // Previous-iteration densities of *owned* domains (for the LDC v_bc).
+        let mut rho_domains: HashMap<usize, Vec<f64>> = HashMap::new();
+        let mut psi_cache: HashMap<usize, CMatrix> = HashMap::new();
+        let mut eig_cache: HashMap<usize, EigWorkspace> = HashMap::new();
+
+        #[allow(clippy::type_complexity)]
+        let mut outcome: Option<(
+            f64,
+            f64,
+            Vec<f64>,
+            f64,
+            Vec<(f64, f64)>,
+            usize,
+            LdcBreakdown,
+        )> = None;
+        let mut alpha = cfg.mix_alpha;
+        let mut prev_residual = f64::INFINITY;
+        for iter in 1..=cfg.max_scf {
+            let _span = mqmd_util::trace::span("scf_iter");
+            if let Some(reason) = mqmd_util::cancel::poll_abort() {
+                return Err(MqmdError::Cancelled {
+                    what: format!("distributed LDC SCF iteration {iter}"),
+                    reason,
+                });
             }
-            _ => fft_poisson.hartree_into(&rho, &mut v_h, &gws),
-        }
-        xc::vxc_field(&rho, &mut v_xc);
-        for (o, (a, b)) in v_hxc.iter_mut().zip(v_h.iter().zip(&v_xc)) {
-            *o = a + b;
-        }
+            match (cfg.hartree, mg_hier.as_mut()) {
+                (HartreeSolver::Multigrid, Some(hier)) => {
+                    mg.hartree_with(&rho, &mut v_h, hier)?;
+                }
+                _ => fft_poisson.hartree_into(&rho, &mut v_h, &gws),
+            }
+            xc::vxc_field(&rho, &mut v_xc);
+            for (o, (a, b)) in v_hxc.iter_mut().zip(v_h.iter().zip(&v_xc)) {
+                *o = a + b;
+            }
 
-        // Conquer: solve only the domains this rank owns.
-        let mut solved: Vec<(usize, DomainBands)> = Vec::with_capacity(owned.len());
-        for &idx in &owned {
-            let setup = &setups[idx];
-            let bands = solve_one_domain(
-                setup,
-                &cfg,
-                &global_grid,
-                &v_hxc,
-                &rho,
-                &rho_domains,
-                &mut psi_cache,
-                &mut eig_cache,
-            )?;
-            solved.push((idx, bands));
-        }
+            // Conquer: solve only the domains this rank owns.
+            let mut solved: Vec<(usize, DomainBands)> = Vec::with_capacity(owned.len());
+            for &idx in &owned {
+                let setup = &setups[idx];
+                let bands = solve_one_domain(
+                    setup,
+                    &cfg,
+                    &global_grid,
+                    &v_hxc,
+                    &rho,
+                    &rho_domains,
+                    &mut psi_cache,
+                    &mut eig_cache,
+                )?;
+                solved.push((idx, bands));
+            }
 
-        // Global chemical potential: gather every rank's (ε, w) levels and
-        // reassemble them in domain order so the μ bisection sums levels in
-        // the serial solver's order on every rank.
-        let local_spectra: Vec<(usize, Vec<(f64, f64)>)> = solved
-            .iter()
-            .map(|(idx, bands)| {
-                let levels = bands
-                    .eigenvalues
-                    .iter()
-                    .zip(&bands.weights)
-                    .map(|(&e, &w)| (e, w))
-                    .collect();
-                (*idx, levels)
-            })
-            .collect();
-        let spectrum = exchange_spectra(comm, &local_spectra)?;
-        let mu = weighted_mu(&spectrum, n_electrons, cfg.kt);
+            // Global chemical potential: gather every rank's (ε, w) levels and
+            // reassemble them in domain order so the μ bisection sums levels in
+            // the serial solver's order on every rank.
+            let local_spectra: Vec<(usize, Vec<(f64, f64)>)> = solved
+                .iter()
+                .map(|(idx, bands)| {
+                    let levels = bands
+                        .eigenvalues
+                        .iter()
+                        .zip(&bands.weights)
+                        .map(|(&e, &w)| (e, w))
+                        .collect();
+                    (*idx, levels)
+                })
+                .collect();
+            let spectrum = fence!(exchange_spectra(comm, &local_spectra));
+            let mu = weighted_mu(&spectrum, n_electrons, cfg.kt);
 
-        // Occupations + energy partials over owned domains.
-        let mut band_energy = 0.0;
-        let mut entropy = 0.0;
-        let mut e_bc_dc = 0.0;
-        for (idx, bands) in solved {
-            let setup = &setups[idx];
-            let mut rho_a = vec![0.0; setup.grid.len()];
-            for (n, dens) in bands.band_densities.iter().enumerate() {
-                let f = fermi(bands.eigenvalues[n], mu, cfg.kt);
-                if f > 1e-14 {
-                    for (r, d) in rho_a.iter_mut().zip(dens) {
-                        *r += f * d;
+            // Occupations + energy partials over owned domains.
+            let mut band_energy = 0.0;
+            let mut entropy = 0.0;
+            let mut e_bc_dc = 0.0;
+            for (idx, bands) in solved {
+                let setup = &setups[idx];
+                let mut rho_a = vec![0.0; setup.grid.len()];
+                for (n, dens) in bands.band_densities.iter().enumerate() {
+                    let f = fermi(bands.eigenvalues[n], mu, cfg.kt);
+                    if f > 1e-14 {
+                        for (r, d) in rho_a.iter_mut().zip(dens) {
+                            *r += f * d;
+                        }
+                    }
+                    let w = bands.weights[n];
+                    band_energy += f * bands.h_weights[n];
+                    let x: f64 = f / 2.0;
+                    if x > 1e-12 && x < 1.0 - 1e-12 {
+                        entropy += 2.0 * cfg.kt * w * (x * x.ln() + (1.0 - x) * (1.0 - x).ln());
                     }
                 }
-                let w = bands.weights[n];
-                band_energy += f * bands.h_weights[n];
-                let x: f64 = f / 2.0;
-                if x > 1e-12 && x < 1.0 - 1e-12 {
-                    entropy += 2.0 * cfg.kt * w * (x * x.ln() + (1.0 - x) * (1.0 - x).ln());
+                if let (BoundaryMode::DensityAdaptive { xi }, Some(rho_prev)) =
+                    (cfg.mode, rho_domains.get(&setup.domain.id))
+                {
+                    let rho_global_local = setup.sample_global_field(&global_grid, &rho);
+                    let dv = setup.grid.dv();
+                    e_bc_dc += setup
+                        .p_alpha
+                        .iter()
+                        .zip(&rho_a)
+                        .zip(rho_prev.iter().zip(&rho_global_local))
+                        .map(|((p, ra), (prev, glob))| p * ra * (-(1.0 - p) * (prev - glob) / xi))
+                        .sum::<f64>()
+                        * dv;
+                }
+                psi_cache.insert(setup.domain.id, bands.psi);
+                rho_domains.insert(setup.domain.id, rho_a);
+            }
+            let sums = fence!(comm.allreduce_sum(vec![band_energy, entropy, e_bc_dc]));
+            let (band_energy, entropy, e_bc_dc) = (sums[0], sums[1], sums[2]);
+
+            // Recombine: each rank contributes Σ_{α owned} pα·ρα on the global
+            // grid; the cross-rank sum happens in the allreduce, and only then
+            // is the field clamped and rescaled to ∫ρ = N — both replicated, so
+            // the nonlinearity sees the same summed field everywhere.
+            let _gd_span = mqmd_util::trace::span("global_density");
+            let partial = partial_density_field(&global_grid, &dd, &setups, &owned, &rho_domains);
+            let summed = fence!(comm.allreduce_sum(partial));
+            drop(_gd_span);
+            let mut rho_out: Vec<f64> = summed.into_iter().map(|x| x.max(0.0)).collect();
+            let total_charge = global_grid.integrate(&rho_out);
+            if total_charge > 0.0 {
+                let s = n_electrons / total_charge;
+                for r in &mut rho_out {
+                    *r *= s;
                 }
             }
-            if let (BoundaryMode::DensityAdaptive { xi }, Some(rho_prev)) =
-                (cfg.mode, rho_domains.get(&setup.domain.id))
-            {
-                let rho_global_local = setup.sample_global_field(&global_grid, &rho);
-                let dv = setup.grid.dv();
-                e_bc_dc += setup
-                    .p_alpha
-                    .iter()
-                    .zip(&rho_a)
-                    .zip(rho_prev.iter().zip(&rho_global_local))
-                    .map(|((p, ra), (prev, glob))| p * ra * (-(1.0 - p) * (prev - glob) / xi))
-                    .sum::<f64>()
-                    * dv;
-            }
-            psi_cache.insert(setup.domain.id, bands.psi);
-            rho_domains.insert(setup.domain.id, rho_a);
-        }
-        let sums = comm.allreduce_sum(vec![band_energy, entropy, e_bc_dc])?;
-        let (band_energy, entropy, e_bc_dc) = (sums[0], sums[1], sums[2]);
 
-        // Recombine: each rank contributes Σ_{α owned} pα·ρα on the global
-        // grid; the cross-rank sum happens in the allreduce, and only then
-        // is the field clamped and rescaled to ∫ρ = N — both replicated, so
-        // the nonlinearity sees the same summed field everywhere.
-        let _gd_span = mqmd_util::trace::span("global_density");
-        let partial = partial_density_field(&global_grid, &dd, &setups, &owned, &rho_domains);
-        let summed = comm.allreduce_sum(partial)?;
-        drop(_gd_span);
-        let mut rho_out: Vec<f64> = summed.into_iter().map(|x| x.max(0.0)).collect();
-        let total_charge = global_grid.integrate(&rho_out);
-        if total_charge > 0.0 {
-            let s = n_electrons / total_charge;
-            for r in &mut rho_out {
-                *r *= s;
-            }
-        }
-
-        let residual: f64 = rho
-            .iter()
-            .zip(&rho_out)
-            .map(|(a, b)| (a - b).abs())
-            .sum::<f64>()
-            * global_grid.dv()
-            / n_electrons;
-
-        let dv = global_grid.dv();
-        let hartree_dc: f64 = rho_out.iter().zip(&v_h).map(|(r, v)| r * v).sum::<f64>() * dv;
-        let vxc_rho: f64 = rho_out.iter().zip(&v_xc).map(|(r, v)| r * v).sum::<f64>() * dv;
-        match (cfg.hartree, mg_hier.as_mut()) {
-            (HartreeSolver::Multigrid, Some(hier)) => {
-                mg.hartree_with(&rho_out, &mut v_h_out, hier)?;
-            }
-            _ => fft_poisson.hartree_into(&rho_out, &mut v_h_out, &gws),
-        }
-        let e_h = 0.5
-            * rho_out
+            let residual: f64 = rho
                 .iter()
-                .zip(&v_h_out)
-                .map(|(r, v)| r * v)
+                .zip(&rho_out)
+                .map(|(a, b)| (a - b).abs())
                 .sum::<f64>()
-            * dv;
-        let e_xc = xc::exc_energy(&rho_out, global_grid.dv());
-        let total = band_energy - hartree_dc - vxc_rho - e_bc_dc + e_h + e_xc + ew.energy + entropy;
-        let breakdown = LdcBreakdown {
-            band: band_energy,
-            hartree_dc,
-            vxc_rho,
-            bc_dc: e_bc_dc,
-            e_h,
-            e_xc,
-            ewald: ew.energy,
-            entropy,
-        };
+                * global_grid.dv()
+                / n_electrons;
 
-        mqmd_util::events::emit(mqmd_util::events::Event::ScfIteration {
-            iter: iter as u32,
-            residual,
-            e_total: total,
-            mix: alpha,
-        });
+            let dv = global_grid.dv();
+            let hartree_dc: f64 = rho_out.iter().zip(&v_h).map(|(r, v)| r * v).sum::<f64>() * dv;
+            let vxc_rho: f64 = rho_out.iter().zip(&v_xc).map(|(r, v)| r * v).sum::<f64>() * dv;
+            match (cfg.hartree, mg_hier.as_mut()) {
+                (HartreeSolver::Multigrid, Some(hier)) => {
+                    mg.hartree_with(&rho_out, &mut v_h_out, hier)?;
+                }
+                _ => fft_poisson.hartree_into(&rho_out, &mut v_h_out, &gws),
+            }
+            let e_h = 0.5
+                * rho_out
+                    .iter()
+                    .zip(&v_h_out)
+                    .map(|(r, v)| r * v)
+                    .sum::<f64>()
+                * dv;
+            let e_xc = xc::exc_energy(&rho_out, global_grid.dv());
+            let total =
+                band_energy - hartree_dc - vxc_rho - e_bc_dc + e_h + e_xc + ew.energy + entropy;
+            let breakdown = LdcBreakdown {
+                band: band_energy,
+                hartree_dc,
+                vxc_rho,
+                bc_dc: e_bc_dc,
+                e_h,
+                e_xc,
+                ewald: ew.energy,
+                entropy,
+            };
 
-        let converged = residual < cfg.tol_density;
-        outcome = Some((
-            total,
+            mqmd_util::events::emit(mqmd_util::events::Event::ScfIteration {
+                iter: iter as u32,
+                residual,
+                e_total: total,
+                mix: alpha,
+            });
+
+            let converged = residual < cfg.tol_density;
+            outcome = Some((
+                total,
+                mu,
+                rho_out.clone(),
+                residual,
+                spectrum,
+                iter,
+                breakdown,
+            ));
+            if converged {
+                break;
+            }
+            if residual > prev_residual {
+                alpha = (alpha * 0.6).max(0.05);
+            } else {
+                alpha = (alpha * 1.05).min(cfg.mix_alpha);
+            }
+            prev_residual = residual;
+            for (r_in, r_out) in rho.iter_mut().zip(&rho_out) {
+                *r_in = (1.0 - alpha) * *r_in + alpha * r_out;
+            }
+        }
+
+        let (energy, mu, density, residual, spectrum, iters, breakdown) =
+            outcome.expect("at least one SCF iteration ran");
+        if residual >= cfg.tol_density {
+            return Err(MqmdError::Convergence {
+                what: "distributed LDC-DFT SCF".into(),
+                iterations: cfg.max_scf,
+                residual,
+            });
+        }
+
+        // BSD buffer exchange as integrity probe: ρ is replicated, so the
+        // strip a neighbour sends must equal the strip this rank already
+        // holds. Any mismatch means the transport corrupted or misrouted a
+        // frame.
+        let probe_len = HALO_PROBE_LEN.min(density.len());
+        let left = &density[..probe_len];
+        let right = &density[density.len() - probe_len..];
+        let (from_left, from_right) = fence!(comm.halo_exchange(left, right));
+        if from_left != right || from_right != left {
+            return Err(MqmdError::Io(format!(
+                "halo integrity probe failed on rank {rank}: boundary strips \
+                 received over the wire differ from the replicated density"
+            )));
+        }
+
+        return Ok(DistributedState {
+            energy,
             mu,
-            rho_out.clone(),
-            residual,
+            density,
+            scf_iterations: iters,
+            n_domains: setups.len(),
+            owned_domains: owned.len(),
+            density_residual: residual,
             spectrum,
-            iter,
             breakdown,
-        ));
-        if converged {
-            break;
-        }
-        if residual > prev_residual {
-            alpha = (alpha * 0.6).max(0.05);
-        } else {
-            alpha = (alpha * 1.05).min(cfg.mix_alpha);
-        }
-        prev_residual = residual;
-        for (r_in, r_out) in rho.iter_mut().zip(&rho_out) {
-            *r_in = (1.0 - alpha) * *r_in + alpha * r_out;
-        }
-    }
-
-    let (energy, mu, density, residual, spectrum, iters, breakdown) =
-        outcome.expect("at least one SCF iteration ran");
-    if residual >= cfg.tol_density {
-        return Err(MqmdError::Convergence {
-            what: "distributed LDC-DFT SCF".into(),
-            iterations: cfg.max_scf,
-            residual,
+            halo_probe_len: probe_len,
         });
     }
-
-    // BSD buffer exchange as integrity probe: ρ is replicated, so the strip
-    // a neighbour sends must equal the strip this rank already holds. Any
-    // mismatch means the transport corrupted or misrouted a frame.
-    let probe_len = HALO_PROBE_LEN.min(density.len());
-    let left = &density[..probe_len];
-    let right = &density[density.len() - probe_len..];
-    let (from_left, from_right) = comm.halo_exchange(left, right)?;
-    if from_left != right || from_right != left {
-        return Err(MqmdError::Io(format!(
-            "halo integrity probe failed on rank {rank}: boundary strips \
-             received over the wire differ from the replicated density"
-        )));
-    }
-
-    Ok(DistributedState {
-        energy,
-        mu,
-        density,
-        scf_iterations: iters,
-        n_domains: setups.len(),
-        owned_domains: owned.len(),
-        density_residual: residual,
-        spectrum,
-        breakdown,
-        halo_probe_len: probe_len,
-    })
 }
 
 /// One owned-domain Kohn–Sham solve with the serial solver's warm start and
@@ -488,7 +544,7 @@ fn partial_density_field(
 fn exchange_spectra(
     comm: &dyn Comm,
     local: &[(usize, Vec<(f64, f64)>)],
-) -> Result<Vec<(f64, f64)>> {
+) -> CommResult<Vec<(f64, f64)>> {
     let mut stream: Vec<f64> = Vec::new();
     for (idx, levels) in local {
         stream.push(*idx as f64);
@@ -508,16 +564,18 @@ fn exchange_spectra(
         let mut s = &all[r * max_len..r * max_len + *len as usize];
         while !s.is_empty() {
             if s.len() < 2 {
-                return Err(MqmdError::Io("truncated spectrum stream".into()));
+                return Err(CommError::Transport("truncated spectrum stream".into()));
             }
             let idx = s[0] as usize;
             let n = s[1] as usize;
             if s.len() < 2 + 2 * n {
-                return Err(MqmdError::Io("truncated spectrum stream".into()));
+                return Err(CommError::Transport("truncated spectrum stream".into()));
             }
             let levels = (0..n).map(|k| (s[2 + 2 * k], s[3 + 2 * k])).collect();
             if by_idx.insert(idx, levels).is_some() {
-                return Err(MqmdError::Io(format!("domain {idx} reported by two ranks")));
+                return Err(CommError::Transport(format!(
+                    "domain {idx} reported by two ranks"
+                )));
             }
             s = &s[2 + 2 * n..];
         }

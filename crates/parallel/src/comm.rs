@@ -60,6 +60,15 @@ pub enum CommError {
     },
     /// A peer process died (socket EOF before its RESULT frame).
     PeerGone { rank: usize, op: &'static str },
+    /// A peer process died and the supervisor respawned it; `epoch` is
+    /// the new communicator generation. Recoverable: call
+    /// [`Comm::recovery_fence`] and replay from the last replicated
+    /// state.
+    PeerRestarted { rank: usize, epoch: u32 },
+    /// A peer exhausted its restart budget and was quarantined; `epoch`
+    /// is the new generation of the shrunk communicator. Recoverable:
+    /// fence, then re-derive ownership from the new `rank()`/`size()`.
+    PeerQuarantined { rank: usize, epoch: u32 },
     /// The service plane cancelled the job while a primitive was
     /// blocked; the reason is the cancel token's.
     Cancelled {
@@ -83,6 +92,18 @@ impl fmt::Display for CommError {
                 "{op}: timed out after {waited_ms} ms waiting on rank {rank}"
             ),
             CommError::PeerGone { rank, op } => write!(f, "{op}: rank {rank} is gone"),
+            CommError::PeerRestarted { rank, epoch } => {
+                write!(
+                    f,
+                    "rank {rank} restarted; communicator now at epoch {epoch}"
+                )
+            }
+            CommError::PeerQuarantined { rank, epoch } => {
+                write!(
+                    f,
+                    "rank {rank} quarantined; shrunk communicator at epoch {epoch}"
+                )
+            }
             CommError::Cancelled { op, reason } => {
                 write!(f, "{op}: cancelled ({})", reason.label())
             }
@@ -255,6 +276,18 @@ pub trait Comm: Sync {
     /// Blocks until every rank arrives, with the same deadline/cancel
     /// semantics as `recv_from`.
     fn barrier(&self) -> CommResult<()>;
+
+    /// Acknowledges a pending [`CommError::PeerRestarted`] /
+    /// [`CommError::PeerQuarantined`] and reconfigures the communicator
+    /// to the new generation: stale in-flight state is purged, and
+    /// after a quarantine `rank()`/`size()` reflect the shrunk
+    /// communicator. Rank programs that want to survive peer rebirth
+    /// call this on those errors and replay from replicated state;
+    /// backends without recovery (the thread executor) keep the default
+    /// no-op.
+    fn recovery_fence(&self) -> CommResult<()> {
+        Ok(())
+    }
 
     /// The executed-collective ledger the digital twin replays.
     fn traffic(&self) -> &TrafficStats;
@@ -518,5 +551,11 @@ mod tests {
         };
         let m: MqmdError = c.into();
         assert!(matches!(m, MqmdError::Cancelled { .. }));
+        let r = CommError::PeerRestarted { rank: 2, epoch: 1 };
+        assert!(r.to_string().contains("epoch 1"));
+        let m: MqmdError = r.into();
+        assert!(matches!(m, MqmdError::Io(_)));
+        let q = CommError::PeerQuarantined { rank: 2, epoch: 3 };
+        assert!(q.to_string().contains("quarantined"));
     }
 }

@@ -30,15 +30,25 @@ use mqmd_util::cancel::{self, CancelScope, CancelToken};
 use mqmd_util::faults;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+/// Per-rank inbox depth. Bounded (backpressure, not unbounded
+/// buffering): a sender that finds the queue full books a deferral in
+/// [`CommStats`] and waits for room. The cap is far above anything the
+/// provided collectives enqueue per rank (at most ~p frames), so clean
+/// runs never defer — but it must stay modest: std's bounded channel
+/// preallocates `cap` slots per rank, so an oversized cap taxes every
+/// executor launch with megabytes of zeroed buffer.
+pub const THREAD_INBOX_CAP: usize = 1_024;
 
 /// Message/byte/cost tally shared by every rank of one executor run.
 #[derive(Debug, Default)]
 pub struct CommStats {
     msgs: AtomicU64,
     bytes: AtomicU64,
+    deferred: AtomicU64,
     cost_bits: AtomicU64, // f64 seconds, CAS-accumulated
 }
 
@@ -51,6 +61,11 @@ impl CommStats {
     /// Total payload bytes sent.
     pub fn bytes(&self) -> u64 {
         self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Sends that hit inbox backpressure (deferred, then delivered).
+    pub fn deferred(&self) -> u64 {
+        self.deferred.load(Ordering::Relaxed)
     }
 
     /// Total modelled communication time (seconds, summed over messages).
@@ -147,7 +162,7 @@ struct Inbox {
 pub struct ThreadComm {
     rank: usize,
     size: usize,
-    senders: Vec<Sender<(usize, Vec<f64>)>>,
+    senders: Vec<SyncSender<(usize, Vec<f64>)>>,
     inbox: Mutex<Inbox>,
     barrier: Arc<WaitBarrier>,
     model: Arc<MachineSpec>,
@@ -177,10 +192,14 @@ impl Comm for ThreadComm {
         self.size
     }
 
-    /// Sends a message to `dest` (non-blocking, unbounded buffering).
-    /// With a fault plan active, pricing runs on the degraded machine:
-    /// detour hops around lost nodes and the worst surviving link
-    /// bandwidth ([`p2p_time_faulty`]). Idle plane: one relaxed load.
+    /// Sends a message to `dest`. Effectively non-blocking for the
+    /// provided collectives (the [`THREAD_INBOX_CAP`] bound is far
+    /// above their per-rank queue depth); a full inbox books a
+    /// deferral and waits for room rather than buffering without
+    /// limit. With a fault plan active, pricing runs on the degraded
+    /// machine: detour hops around lost nodes and the worst surviving
+    /// link bandwidth ([`p2p_time_faulty`]). Idle plane: one relaxed
+    /// load.
     fn send_to(&self, dest: usize, data: &[f64]) -> CommResult<()> {
         let bytes = std::mem::size_of_val(data) as u64;
         let cost = if faults::active() {
@@ -190,12 +209,21 @@ impl Comm for ThreadComm {
         };
         self.stats.record(bytes, cost);
         mqmd_util::trace::add_comm(1, bytes, cost);
-        self.senders[dest]
-            .send((self.rank, data.to_vec()))
-            .map_err(|_| CommError::PeerGone {
+        let gone = |_| CommError::PeerGone {
+            rank: dest,
+            op: "send_to",
+        };
+        match self.senders[dest].try_send((self.rank, data.to_vec())) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(msg)) => {
+                self.stats.deferred.fetch_add(1, Ordering::Relaxed);
+                self.senders[dest].send(msg).map_err(gone)
+            }
+            Err(TrySendError::Disconnected(_)) => Err(CommError::PeerGone {
                 rank: dest,
                 op: "send_to",
-            })
+            }),
+        }
     }
 
     fn recv_from(&self, src: usize, op: &'static str) -> CommResult<Vec<f64>> {
@@ -302,7 +330,7 @@ where
     let mut senders = Vec::with_capacity(n);
     let mut receivers = Vec::with_capacity(n);
     for _ in 0..n {
-        let (tx, rx) = channel();
+        let (tx, rx) = sync_channel(THREAD_INBOX_CAP);
         senders.push(tx);
         receivers.push(rx);
     }
@@ -374,6 +402,21 @@ mod tests {
             rank * 10
         });
         assert_eq!(out, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn clean_runs_never_hit_backpressure() {
+        // The inbox bound exists for pathological senders, not for the
+        // provided collectives — a clean run must book zero deferrals.
+        let mut deferred = u64::MAX;
+        run_ranks(4, |rank, comm| {
+            comm.allreduce_sum(vec![rank as f64; 8]).unwrap();
+            comm.barrier().unwrap();
+            comm.stats().deferred()
+        })
+        .into_iter()
+        .for_each(|d| deferred = deferred.min(d));
+        assert_eq!(deferred, 0);
     }
 
     #[test]

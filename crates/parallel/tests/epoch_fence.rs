@@ -1,0 +1,110 @@
+//! Property tests for the epoch fence: a frame stamped with a stale
+//! generation is refused by [`EpochGate::admit`] for **every** frame
+//! kind, the gate is monotone under any interleaving of advances, and no
+//! stale frame is ever delivered across a restart boundary — the wire
+//! invariant the self-healing rank runtime rests on.
+
+use mqmd_parallel::wire::{read_frame, write_frame, EpochGate, Frame, FrameKind};
+use proptest::prelude::*;
+
+/// Maps a drawn index onto one of the 12 frame kinds.
+fn kind(i: usize) -> FrameKind {
+    FrameKind::ALL[i % FrameKind::ALL.len()]
+}
+
+proptest! {
+    /// Stale frames (epoch < gate) are always refused; current-or-newer
+    /// frames are always admitted — for every FrameKind.
+    #[test]
+    fn stale_generations_are_always_refused(
+        kind_idx in 0usize..12,
+        gate_epoch in 0u32..1_000,
+        frame_epoch in 0u32..1_000,
+        src in 0u32..64,
+        dest in 0u32..64,
+    ) {
+        let gate = EpochGate::new(gate_epoch);
+        let frame = Frame::control(kind(kind_idx), src, dest).at_epoch(frame_epoch);
+        prop_assert_eq!(gate.admit(&frame), frame_epoch >= gate_epoch);
+    }
+
+    /// Advancing the gate is monotone: no interleaving of advances can
+    /// lower it, and a frame refused once stays refused forever.
+    #[test]
+    fn the_gate_never_moves_backwards(
+        advances in prop::collection::vec(0u32..500, 1..16),
+        kind_idx in 0usize..12,
+        frame_epoch in 0u32..500,
+    ) {
+        let gate = EpochGate::new(0);
+        let frame = Frame::control(kind(kind_idx), 0, 1).at_epoch(frame_epoch);
+        let mut refused = false;
+        for to in advances {
+            let before = gate.current();
+            gate.advance(to);
+            prop_assert!(gate.current() >= before);
+            prop_assert!(gate.current() >= to);
+            if !gate.admit(&frame) {
+                refused = true;
+            }
+            if refused {
+                prop_assert!(!gate.admit(&frame), "a refused frame was re-admitted");
+            }
+        }
+    }
+
+    /// Restart boundary: route a stream of frames through the gate with
+    /// a restart (generation bump) in the middle. Nothing stamped with a
+    /// pre-restart generation may be delivered afterwards, while every
+    /// post-restart frame still flows — for every FrameKind.
+    #[test]
+    fn no_stale_frame_crosses_a_restart_boundary(
+        kind_idxs in prop::collection::vec(0usize..12, 1..32),
+        old_gen in 0u32..8,
+        bump in 1u32..4,
+    ) {
+        let gate = EpochGate::new(old_gen);
+        let new_gen = old_gen + bump;
+        // Before the restart every current-generation frame is admitted.
+        for (i, &k) in kind_idxs.iter().enumerate() {
+            let frame = Frame::control(kind(k), i as u32, 0).at_epoch(old_gen);
+            prop_assert!(gate.admit(&frame));
+        }
+        gate.advance(new_gen); // the restart
+        let mut delivered_stale = 0u32;
+        for (i, &k) in kind_idxs.iter().enumerate() {
+            // In-flight frames from the dead generation...
+            let stale = Frame::control(kind(k), i as u32, 0).at_epoch(old_gen);
+            if gate.admit(&stale) {
+                delivered_stale += 1;
+            }
+            // ...versus frames of the healed communicator.
+            let fresh = Frame::data(kind(k), i as u32, 0, &[i as f64]).at_epoch(new_gen);
+            prop_assert!(gate.admit(&fresh));
+        }
+        prop_assert_eq!(delivered_stale, 0, "stale frames crossed the restart");
+    }
+
+    /// The epoch stamp survives the wire bit-exactly for every kind (and
+    /// any payload bit pattern, NaNs included), so the receiving gate
+    /// judges exactly the generation the sender wrote.
+    #[test]
+    fn epoch_stamps_round_trip_the_wire(
+        kind_idx in 0usize..12,
+        epoch in any::<u32>(),
+        bits in prop::collection::vec(any::<u64>(), 1..32),
+    ) {
+        let values: Vec<f64> = bits.iter().map(|&b| f64::from_bits(b)).collect();
+        let frame = Frame::data(kind(kind_idx), 3, 5, &values).at_epoch(epoch);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &frame).unwrap();
+        let back = read_frame(&mut buf.as_slice()).unwrap().expect("one frame");
+        prop_assert_eq!(back.epoch, epoch);
+        prop_assert_eq!(back.kind, kind(kind_idx));
+        let got = back.values().unwrap();
+        prop_assert_eq!(got.len(), values.len());
+        for (a, b) in got.iter().zip(&values) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}

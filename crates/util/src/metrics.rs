@@ -9,15 +9,15 @@
 //! [`kernel_table`] extracts the flattened per-kernel
 //! `(calls, seconds, flops)` aggregates back out of a parsed document.
 //!
-//! Schema (`mqmd-profile-v5`; the parser also accepts `mqmd-profile-v4`,
-//! which lacks the roofline block, `mqmd-profile-v3`, which additionally
-//! lacks the recovery block, `mqmd-profile-v2`, which additionally
-//! lacks the allocation fields, and `mqmd-profile-v1`, which additionally
-//! lacks the latency-distribution fields):
+//! Schema (`mqmd-profile-v8`; the parser also accepts every earlier
+//! generation: `mqmd-profile-v7` lacks the rank_recovery block, `v6`
+//! additionally the twin block, `v5` the service block, `v4` the
+//! roofline block, `v3` the recovery block, `v2` the allocation
+//! fields, and `v1` additionally the latency-distribution fields):
 //!
 //! ```json
 //! {
-//!   "schema": "mqmd-profile-v5",
+//!   "schema": "mqmd-profile-v8",
 //!   "trace": { "name": "root", "calls": 1, "wall_secs": ..., "flops": ...,
 //!              "bytes": ..., "comm_msgs": ..., "comm_bytes": ...,
 //!              "comm_cost_secs": ..., "alloc_count": ..., "alloc_bytes": ...,
@@ -440,8 +440,10 @@ fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Json> {
 // ---------------------------------------------------------------------------
 
 /// Current schema identifier written into profile documents.
-pub const PROFILE_SCHEMA: &str = "mqmd-profile-v7";
-/// Previous schema, still accepted (lacks the twin-validation block).
+pub const PROFILE_SCHEMA: &str = "mqmd-profile-v8";
+/// Previous schema, still accepted (lacks the rank_recovery block).
+pub const PROFILE_SCHEMA_V7: &str = "mqmd-profile-v7";
+/// Still accepted (additionally lacks the twin-validation block).
 pub const PROFILE_SCHEMA_V6: &str = "mqmd-profile-v6";
 /// Still accepted (additionally lacks the service block).
 pub const PROFILE_SCHEMA_V5: &str = "mqmd-profile-v5";
@@ -582,10 +584,11 @@ pub fn profile_report(
     Json::Obj(pairs)
 }
 
-/// Validates a profile document's schema tag (v1 through v7).
+/// Validates a profile document's schema tag (v1 through v8).
 fn check_schema(doc: &Json) -> Result<()> {
     match doc.get("schema").and_then(Json::as_str) {
         Some(PROFILE_SCHEMA)
+        | Some(PROFILE_SCHEMA_V7)
         | Some(PROFILE_SCHEMA_V6)
         | Some(PROFILE_SCHEMA_V5)
         | Some(PROFILE_SCHEMA_V4)
@@ -593,15 +596,15 @@ fn check_schema(doc: &Json) -> Result<()> {
         | Some(PROFILE_SCHEMA_V2)
         | Some(PROFILE_SCHEMA_V1) => Ok(()),
         other => Err(MqmdError::Parse(format!(
-            "expected schema {PROFILE_SCHEMA:?}, {PROFILE_SCHEMA_V6:?}, \
-             {PROFILE_SCHEMA_V5:?}, {PROFILE_SCHEMA_V4:?}, \
-             {PROFILE_SCHEMA_V3:?}, {PROFILE_SCHEMA_V2:?} or \
-             {PROFILE_SCHEMA_V1:?}, found {other:?}"
+            "expected schema {PROFILE_SCHEMA:?}, {PROFILE_SCHEMA_V7:?}, \
+             {PROFILE_SCHEMA_V6:?}, {PROFILE_SCHEMA_V5:?}, \
+             {PROFILE_SCHEMA_V4:?}, {PROFILE_SCHEMA_V3:?}, \
+             {PROFILE_SCHEMA_V2:?} or {PROFILE_SCHEMA_V1:?}, found {other:?}"
         ))),
     }
 }
 
-/// Parses a profile document (schema v1 through v7) and returns its
+/// Parses a profile document (schema v1 through v8) and returns its
 /// flattened kernel table. Rejects documents with a missing or unknown
 /// schema tag. Fields a document's schema generation predates (quantiles
 /// before v2, allocation counters before v3) parse as zero.
@@ -715,6 +718,67 @@ pub fn recovery_counters(text: &str) -> Result<Option<RecoveryCounters>> {
             .get("recompute_seconds")
             .and_then(Json::as_f64)
             .unwrap_or(0.0),
+    }))
+}
+
+// ---------------------------------------------------------------------------
+// Rank recovery (v8)
+// ---------------------------------------------------------------------------
+
+/// Rank-supervisor recovery counters — the v8 top-level `rank_recovery`
+/// block. `mqmd-util` cannot see the process runtime, so callers convert
+/// the supervisor's native stats into this plain struct before reporting.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RankRecoveryCounters {
+    /// Ranks respawned in place.
+    pub restarts: u64,
+    /// Ranks quarantined after exhausting the restart budget.
+    pub quarantines: u64,
+    /// Heartbeat suspect transitions (slow, not yet declared dead).
+    pub suspects: u64,
+    /// Per-death milliseconds from last frame seen to the death verdict.
+    pub detect_ms: Vec<f64>,
+    /// Per-restart milliseconds spent in backoff plus fork/exec.
+    pub respawn_ms: Vec<f64>,
+    /// Per-restart milliseconds from spawn to completed re-rendezvous.
+    pub rejoin_ms: Vec<f64>,
+}
+
+/// Builds the v8 top-level `rank_recovery` block.
+pub fn rank_recovery_block(c: &RankRecoveryCounters) -> Json {
+    let arr = |v: &[f64]| Json::Arr(v.iter().map(|x| Json::Num(*x)).collect());
+    Json::obj([
+        ("restarts", Json::Num(c.restarts as f64)),
+        ("quarantines", Json::Num(c.quarantines as f64)),
+        ("suspects", Json::Num(c.suspects as f64)),
+        ("detect_ms", arr(&c.detect_ms)),
+        ("respawn_ms", arr(&c.respawn_ms)),
+        ("rejoin_ms", arr(&c.rejoin_ms)),
+    ])
+}
+
+/// Reads the rank-recovery counters back from a profile document.
+/// `Ok(None)` for pre-v8 profiles (no `rank_recovery` block).
+pub fn rank_recovery_counters(text: &str) -> Result<Option<RankRecoveryCounters>> {
+    let doc = parse_json(text)?;
+    check_schema(&doc)?;
+    let Some(block) = doc.get("rank_recovery") else {
+        return Ok(None);
+    };
+    let u = |key: &str| block.get(key).and_then(Json::as_u64).unwrap_or(0);
+    let arr = |key: &str| -> Vec<f64> {
+        match block.get(key) {
+            Some(Json::Arr(items)) => items.iter().filter_map(Json::as_f64).collect(),
+            _ => Vec::new(),
+        }
+    };
+    Ok(Some(RankRecoveryCounters {
+        restarts: u("restarts"),
+        quarantines: u("quarantines"),
+        suspects: u("suspects"),
+        detect_ms: arr("detect_ms"),
+        respawn_ms: arr("respawn_ms"),
+        rejoin_ms: arr("rejoin_ms"),
     }))
 }
 
@@ -1223,6 +1287,36 @@ mod tests {
              \"fft\": {{\"calls\": 7, \"seconds\": 0.25, \"flops\": 1200}}}}}}"
         );
         assert_eq!(kernel_table(&text).unwrap()["fft"].calls, 7);
+    }
+
+    #[test]
+    fn kernel_table_accepts_v7_schema_without_rank_recovery() {
+        let text = format!(
+            "{{\"schema\": \"{PROFILE_SCHEMA_V7}\", \"kernels\": {{\
+             \"fft\": {{\"calls\": 7, \"seconds\": 0.25, \"flops\": 1200}}}}}}"
+        );
+        assert_eq!(kernel_table(&text).unwrap()["fft"].calls, 7);
+        // v7 documents carry no rank_recovery block
+        assert_eq!(rank_recovery_counters(&text).unwrap(), None);
+    }
+
+    #[test]
+    fn rank_recovery_block_round_trips() {
+        let c = RankRecoveryCounters {
+            restarts: 2,
+            quarantines: 1,
+            suspects: 3,
+            detect_ms: vec![120.5, 98.0],
+            respawn_ms: vec![6.25, 11.0],
+            rejoin_ms: vec![40.0, 37.5],
+        };
+        let doc = Json::obj([
+            ("schema", Json::Str(PROFILE_SCHEMA.into())),
+            ("kernels", Json::Obj(vec![])),
+            ("rank_recovery", rank_recovery_block(&c)),
+        ]);
+        let back = rank_recovery_counters(&doc.pretty()).unwrap().unwrap();
+        assert_eq!(back, c);
     }
 
     #[test]
